@@ -1,0 +1,24 @@
+"""Benchmark ``figure1``: ECDF of sub-target On-demand correctness (§4.1.2).
+
+Paper: a wide spread of sub-0.99 correctness fractions when bidding the
+On-demand price, *including zeros* — combinations whose Spot price sat
+permanently above On-demand (cg1.4xlarge). The reproduction checks the same
+spread and the zero-fraction phenomenon.
+"""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1(run_once):
+    result = run_once(run_figure1, scale="bench", probability=0.99)
+    print()
+    print(result.render())
+
+    # A material share of combinations falls below target...
+    assert len(result.fractions) >= 3
+    # ...including total failures (the premium class).
+    assert result.has_zero_fraction
+    # The ECDF is a valid distribution function over [0, 1).
+    assert all(0.0 <= x < 0.99 for x in result.ecdf_x)
+    assert list(result.ecdf_y) == sorted(result.ecdf_y)
+    assert abs(result.ecdf_y[-1] - 1.0) < 1e-9

@@ -1,0 +1,24 @@
+"""Benchmark ``figure2``: launch series, c4.large/us-east-1 (§4.2).
+
+Paper: 100 launches at p = 0.95, one week, AZ chosen by lowest predicted
+bound — all 100 succeeded (the combination backtests conservatively at
+0.95). Bench scale: 60 launches; we require a success rate consistent with
+the conservative behaviour the paper reports (at most one failure).
+"""
+
+from repro.experiments.figures23 import run_figure2
+
+
+def test_figure2(run_once):
+    result = run_once(run_figure2, scale="bench")
+    series = result.series
+    print()
+    print(
+        f"launches={len(series.records)} failures={series.failures} "
+        f"success={series.success_fraction:.3f} "
+        f"bid range=[{series.bids.min():.4f}, {series.bids.max():.4f}]"
+    )
+    assert len(series.records) >= 40
+    assert series.failures <= 1
+    # Bids stay far below the On-demand price of c4.large ($0.10).
+    assert series.bids.max() < 0.10

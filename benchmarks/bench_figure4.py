@@ -1,0 +1,30 @@
+"""Benchmark ``figure4``: the bid–duration relationship (§4.3, Figure 4).
+
+Paper: guaranteed duration grows monotonically with the bid for c3.4xlarge
+in us-east-1 — from near zero at the minimum bid to many hours near the top
+of the ladder. The reproduction checks monotonicity and a materially
+increasing trade-off (the top rung buys several times the duration of the
+bottom one).
+"""
+
+import math
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(run_once):
+    result = run_once(run_figure4, scale="bench")
+    print()
+    print(result.render())
+
+    curve = result.curve
+    finite = [d for d in curve.durations if not math.isnan(d)]
+    assert len(finite) >= 10
+    # Monotone non-decreasing durations along the bid ladder.
+    assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+    # The trade-off is material: paying up multiplies the guarantee.
+    positive = [d for d in finite if d > 0]
+    assert positive, "no rung guarantees any duration"
+    assert max(finite) >= 4 * min(positive)
+    # The ladder covers the service's advertised 4x span in 5% rungs.
+    assert curve.bids[-1] / curve.bids[0] >= 3.5

@@ -1,0 +1,74 @@
+"""Benchmark: QBETS online-update throughput (§3.3's performance claim).
+
+The paper: "In a production setting, the predictor state can be updated
+incrementally (in a few milliseconds) whenever a new price data point is
+available." The Fenwick-backed implementation must meet that comfortably.
+This benchmark measures true per-update latency (many rounds, unlike the
+experiment benches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.qbets import QBETS, QBETSConfig
+from repro.market.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def warm_predictor():
+    """A QBETS instance pre-loaded with three months of prices."""
+    trace = generate_trace("volatile", 0.42, n_epochs=26_000, rng=3)
+    qb = QBETS(QBETSConfig(q=0.975, c=0.99))
+    qb.bound_series(trace.prices)
+    tail = generate_trace("volatile", 0.42, n_epochs=4000, rng=4)
+    return qb, tail.prices
+
+
+def test_online_update_latency(benchmark, warm_predictor):
+    qb, updates = warm_predictor
+    stream = iter(np.tile(updates, 50))
+
+    def one_update():
+        qb.update(float(next(stream)))
+
+    benchmark(one_update)
+    # "A few milliseconds": require well under 2 ms per update.
+    assert benchmark.stats["mean"] < 2e-3
+
+
+def test_three_month_fit_time(benchmark):
+    """Fitting a full 3-month history (the paper quotes ~2 minutes on 2016
+    server hardware for its research prototype; the incremental
+    implementation is far faster)."""
+    trace = generate_trace("spiky", 0.42, n_epochs=26_000, rng=5)
+
+    def fit():
+        qb = QBETS(QBETSConfig(q=0.975, c=0.99))
+        qb.bound_series(trace.prices)
+        return qb.bound
+
+    bound = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert bound > 0
+    assert benchmark.stats["mean"] < 30.0
+
+
+def test_online_drafts_update_latency(benchmark):
+    """The full online DrAFTS predictor (QBETS + ladder bookkeeping) must
+    also stay far inside the paper's few-millisecond budget per
+    announcement."""
+    from repro.core.drafts import DraftsConfig
+    from repro.core.online import OnlineDraftsPredictor
+
+    warm = generate_trace("spiky", 0.42, n_epochs=10_000, rng=9)
+    online = OnlineDraftsPredictor(DraftsConfig(probability=0.95))
+    online.extend(warm.times, warm.prices)
+    tail = generate_trace("spiky", 0.42, n_epochs=4000, rng=10)
+    clock = {"t": float(warm.times[-1])}
+    prices = iter(np.tile(tail.prices, 50))
+
+    def one_update():
+        clock["t"] += 300.0
+        online.observe(clock["t"], float(next(prices)))
+
+    benchmark(one_update)
+    assert benchmark.stats["mean"] < 2e-3

@@ -1,0 +1,27 @@
+"""Benchmark ``table5``: per-AZ cost optimisation at p = 0.95 (§4.4).
+
+Paper: dropping the durability target from 0.99 to 0.95 increases savings
+substantially (10 %-73 % per AZ vs 3 %-44 %): tighter bids go below
+On-demand more often. Shape: Table 5's total savings exceed Table 4's.
+"""
+
+from repro.experiments.tables45 import run_table4, run_table5
+
+
+def test_table5(run_once):
+    result = run_once(run_table5, scale="bench")
+    print()
+    print(result.render())
+
+    table = result.table
+    assert table.probability == 0.95
+    assert table.total_savings >= 0.10
+
+    # The paper's probability/savings trade-off: 0.95 saves at least as
+    # much as 0.99 in aggregate.
+    t4 = run_table4(scale="bench").table
+    print(
+        f"total savings: p=0.99 {t4.total_savings:.2%} vs "
+        f"p=0.95 {table.total_savings:.2%}"
+    )
+    assert table.total_savings >= t4.total_savings - 0.02

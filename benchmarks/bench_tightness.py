@@ -1,0 +1,26 @@
+"""Benchmark ``tightness``: bid-to-market ratio (§4.4 / tech report).
+
+The paper's technical-report companion reports per-combination averages of
+the DrAFTS bid over the realised market price between 4.8x and 7.5x. The
+reproduction's overall mean must land in the same regime, with the expected
+per-class ordering (premium pools are tight by construction; volatile ones
+force large safety margins).
+"""
+
+from repro.experiments.tightness import run_tightness
+
+
+def test_tightness(run_once):
+    result = run_once(run_tightness, scale="bench")
+    print()
+    print(result.render())
+
+    by_class = result.by_class()
+    # Overall mean in the paper's order of magnitude.
+    assert 2.0 <= result.mean_ratio <= 15.0
+    # Premium pools: the bid hugs the market (ratio near 1).
+    assert by_class["premium"] < 1.5
+    # Volatile pools demand the largest safety margin.
+    assert by_class["volatile"] == max(by_class.values())
+    # Calm pools sit in between.
+    assert by_class["premium"] < by_class["calm"] < by_class["volatile"]

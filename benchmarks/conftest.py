@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at the
+``bench`` scale (every volatility class and every paper-named combination
+present; fewer combinations/requests than paper scale — see DESIGN.md §3).
+Experiments run once per benchmark (``rounds=1``): the interesting output is
+the *artefact* (recorded into ``extra_info``), the wall time is secondary.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

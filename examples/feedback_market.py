@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Future work (§6): does widespread DrAFTS adoption destabilise the market?
+
+The paper closes by asking what happens when many market participants use
+DrAFTS to set their bids. The mechanistic auction substrate makes the
+question runnable: we simulate one Spot pool twice —
+
+* baseline: the ordinary bidder population;
+* feedback: a share of arrivals bid the current DrAFTS prediction (fitted
+  online on the published price series) instead of their own valuation —
+
+and compare price level, volatility and stickiness between the two runs.
+
+Run: ``python examples/feedback_market.py`` (about a minute).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.qbets import QBETS, QBETSConfig
+from repro.market.agents import AgentPopulation, PopulationConfig
+from repro.market.auction import Bid, clear_market
+from repro.market.supply import RandomWalkSupply
+from repro.util.rng import RngFactory
+from repro.util.stats import lag1_autocorr
+
+EPOCHS = 40 * 288  # 40 days
+DRAFTS_SHARE = 0.5  # half the arrivals follow DrAFTS
+
+
+def simulate(drafts_share: float, seed: int = 9) -> np.ndarray:
+    """One pool, with a DrAFTS-following fraction of extra demand."""
+    rng = RngFactory(seed).generator("feedback")
+    population = AgentPopulation(
+        PopulationConfig(arrival_rate=5.0, base_valuation=0.2), rng
+    )
+    supply = RandomWalkSupply(initial=60, minimum=40, maximum=80)
+    qbets = QBETS(QBETSConfig(q=math.sqrt(0.95), c=0.99))
+    prices = np.empty(EPOCHS)
+    next_id = 10_000_000  # ids disjoint from the population's
+    for epoch in range(EPOCHS):
+        bids = population.step(epoch)
+        # DrAFTS followers: a fraction of extra arrivals bid the current
+        # prediction plus the tick premium, exactly as a DrAFTS user would.
+        drafts_bid = qbets.bound + 1e-4
+        if not math.isnan(drafts_bid):
+            n_followers = rng.poisson(5.0 * drafts_share)
+            for _ in range(n_followers):
+                bids.append(
+                    Bid(bidder_id=next_id, price=round(drafts_bid, 4))
+                )
+                next_id += 1
+        capacity = supply.capacity(epoch, rng)
+        result = clear_market(bids, capacity, reserve_price=0.02)
+        population.after_clearing(result.price, result.rejected)
+        qbets.update(result.price)
+        prices[epoch] = result.price
+    return prices
+
+
+def describe(label: str, prices: np.ndarray) -> None:
+    tail = prices[len(prices) // 4 :]  # skip warm-up
+    print(
+        f"  {label:9s} mean=${tail.mean():.4f}  "
+        f"cv={tail.std() / tail.mean():.3f}  "
+        f"lag-1 autocorr={lag1_autocorr(tail):.3f}  "
+        f"p99=${np.quantile(tail, 0.99):.4f}"
+    )
+
+
+def main() -> None:
+    print(f"simulating {EPOCHS} epochs ({EPOCHS // 288} days) per scenario\n")
+    baseline = simulate(drafts_share=0.0)
+    feedback = simulate(drafts_share=DRAFTS_SHARE)
+    print("price dynamics (post warm-up):")
+    describe("baseline", baseline)
+    describe("feedback", feedback)
+
+    b, f = baseline[len(baseline) // 4 :], feedback[len(feedback) // 4 :]
+    lift = f.mean() / b.mean()
+    cv_change = (f.std() / f.mean()) / (b.std() / b.mean())
+    print(
+        f"\nwith {DRAFTS_SHARE:.0%} of demand following DrAFTS, the mean "
+        f"clearing price changes by a factor of {lift:.2f} and the "
+        f"coefficient of variation by a factor of {cv_change:.2f}."
+    )
+    if cv_change < 1.0:
+        print(
+            "In this mechanism the followers *stabilise* the market: they "
+            "bid just above the prevailing price, so during demand spikes "
+            "they are outbid and release capacity, damping the excursions "
+            "that non-strategic bidders would otherwise ride up. Whether "
+            "real adoption would degrade DrAFTS's own predictions is "
+            "exactly the open question the paper's §6 poses — here the "
+            "predictions remain valid because the price dynamics get "
+            "easier, not harder."
+        )
+    else:
+        print(
+            "Followers amplify the market here: bidding at the margin adds "
+            "demand exactly where the price is set, the self-reinforcement "
+            "the paper's future-work section worries about."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Replay a genomics-platform workload under three bidding policies (§4.3).
+
+Reproduces the Table 2/3 scenario end to end: a Globus-Genomics-shaped job
+stream is replayed against the simulated Spot tier under
+
+* the platform's original rule (bid 80 % of On-demand, price-blind AZs),
+* DrAFTS with a one-hour durability requirement, and
+* DrAFTS with profile-estimated durations,
+
+and reports instances, realised cost, worst-case ("risked") cost and
+provider terminations for each.
+
+Run: ``python examples/genomics_replay.py`` (takes a minute or two — the
+DrAFTS policies recompute service curves over 90-day histories).
+"""
+
+from __future__ import annotations
+
+from repro.market import Universe, UniverseConfig
+from repro.provisioner import ReplayConfig, paper_replay_workload, run_replay
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    # A 100-day universe: 92 training days before the replay window.
+    universe = Universe(UniverseConfig(seed=5, n_epochs=100 * 288))
+    jobs = paper_replay_workload(rng=11, n_jobs=300)
+    print(
+        f"workload: {len(jobs)} jobs over "
+        f"{jobs[-1].submit_time / 3600:.1f} h of submissions "
+        f"({sum(j.runtime for j in jobs) / 3600:.0f} instance-hours of work)"
+    )
+
+    config = ReplayConfig(start_after_days=92.0, probability=0.99, seed=3)
+    rows = []
+    for policy in ("original", "drafts-1hr", "drafts-profiles"):
+        result = run_replay(universe, jobs, policy, config)
+        rows.append(
+            [
+                result.policy,
+                result.instances,
+                f"${result.cost:.2f}",
+                f"${result.max_bid_cost:.2f}",
+                result.terminations,
+                result.ondemand_instances,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "Policy",
+                "Instances",
+                "Cost",
+                "Max Bid Cost",
+                "Terminations",
+                "On-demand fallbacks",
+            ],
+            rows,
+            title="Workload replay (cf. paper Tables 2-3)",
+        )
+    )
+    print(
+        "\nDrAFTS completes the same workload at lower cost and a fraction "
+        "of the worst-case financial risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Run a long batch job on a volatile Spot pool, three ways (§5).
+
+The related work the DrAFTS paper discusses tolerates revocations with
+checkpoints; DrAFTS prevents them with certified bids. This example runs a
+12-hour job on a volatile pool under
+
+* ``naive``     — 80 % of On-demand, no checkpoints (lose-it-all);
+* ``reactive``  — bid the On-demand price, Young-Daly periodic checkpoints
+                  from an MTTF estimate (the SpotCheck recipe);
+* ``drafts``    — DrAFTS-certified bids with a single checkpoint near the
+                  certified horizon's end.
+
+Run: ``python examples/long_job_checkpointing.py``
+"""
+
+from __future__ import annotations
+
+from repro.faulttol import (
+    make_drafts_executor,
+    make_naive_executor,
+    make_reactive_executor,
+)
+from repro.market import synthetic_trace
+from repro.util.tables import format_table
+
+ONDEMAND = 0.84  # c3.4xlarge-ish
+WORK = 12 * 3600.0
+
+
+def main() -> None:
+    trace = synthetic_trace(
+        "volatile", seed=11, n_epochs=80 * 288, ondemand_price=ONDEMAND
+    )
+    start = trace.start + 60 * 86400.0  # 60 days of history to learn from
+    print(
+        f"pool: volatile, prices ${trace.prices.min():.3f}-"
+        f"${trace.prices.max():.2f} (On-demand ${ONDEMAND}); "
+        f"job: {WORK / 3600:.0f} h of work\n"
+    )
+
+    executors = {
+        "naive (0.8xOD, no ckpt)": make_naive_executor(trace, ONDEMAND),
+        "reactive (OD + Young-Daly)": make_reactive_executor(
+            trace, ONDEMAND, start
+        ),
+        "DrAFTS (certified + guided)": make_drafts_executor(
+            trace, total_work=WORK
+        ),
+    }
+    rows = []
+    for name, executor in executors.items():
+        report = executor.run(start, WORK)
+        rows.append(
+            [
+                name,
+                "yes" if report.completed else "NO",
+                f"{report.makespan / 3600:.1f} h",
+                f"${report.cost:.2f}",
+                report.restarts,
+                report.checkpoints,
+                f"{report.work_lost / 3600:.2f} h",
+                f"{report.efficiency:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Strategy",
+                "Done",
+                "Makespan",
+                "Cost",
+                "Restarts",
+                "Ckpts",
+                "Lost work",
+                "Efficiency",
+            ],
+            rows,
+            title="12-hour batch job on a volatile Spot pool",
+        )
+    )
+    print(
+        "\nDrAFTS needs neither frequent checkpoints nor luck: the bid is "
+        "sized so the certified horizon covers the work, and one guided "
+        "checkpoint insures the residual 5%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Survey the price dynamics of the study universe (§2.2, §4.1.3).
+
+Reproduces the paper's exploratory analysis: measure the stylised facts of
+each volatility class (discount, above-On-demand episodes, floor
+stickiness, autocorrelation) and test which classes a Gaussian AR(1) model
+actually fits — the §4.1.3 finding that "some series are well-modeled by an
+AR(n) process and some are not", which is why the AR(1) baseline misses its
+durability target where it does.
+
+Run: ``python examples/market_survey.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import diagnose_ar1, stylized_facts
+from repro.market import Universe, UniverseConfig
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    universe = Universe(UniverseConfig(seed=5, n_epochs=90 * 288))
+    combos = universe.subsample(per_class=2)
+
+    rows = []
+    ar1_verdicts: dict[str, list[bool]] = {}
+    for combo in combos:
+        trace = universe.trace(combo)
+        facts = stylized_facts(trace, combo.ondemand_price)
+        diagnosis = diagnose_ar1(trace.prices)
+        ar1_verdicts.setdefault(combo.volatility_class, []).append(
+            diagnosis.quantile_calibrated
+        )
+        rows.append(
+            [
+                combo.key,
+                combo.volatility_class,
+                f"{facts.discount:.0%}",
+                f"{facts.fraction_above_ondemand:.2%}",
+                facts.episodes_above_ondemand,
+                f"{facts.autocorr:.3f}",
+                "yes" if diagnosis.well_modelled else "no",
+                "yes" if diagnosis.quantile_calibrated else "no",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Combination",
+                "Class",
+                "Discount",
+                ">OD time",
+                ">OD episodes",
+                "Autocorr",
+                "AR(1) fits?",
+                "q99 covers?",
+            ],
+            rows,
+            title="Spot market survey (two combinations per volatility class)",
+        )
+    )
+
+    print(
+        "\nAR(1) 0.99-quantile calibration per class (what the bidding "
+        "baseline needs):"
+    )
+    for cls, verdicts in sorted(ar1_verdicts.items()):
+        share = np.mean(verdicts)
+        print(f"  {cls:9s}: calibrated in {share:.0%} of sampled combos")
+    print(
+        "\nClasses with plateaus, spikes or regime shifts defeat the "
+        "Gaussian AR(1) assumptions — exactly where the AR(1) bidding "
+        "baseline under-covers in Table 1, while smooth seasonal series "
+        "remain coverable even though they are formally not AR(1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: compute a DrAFTS bid for one Spot market.
+
+The core DrAFTS workflow in four steps:
+
+1. obtain a Spot price history (here: a synthetic 3-month trace of the
+   "spiky" volatility class — plateaus that occasionally exceed the
+   On-demand price, the situation naive bids mishandle);
+2. fit a :class:`~repro.core.drafts.DraftsPredictor` at a durability target;
+3. ask for the minimum bid guaranteeing the duration you need;
+4. inspect the full bid-duration trade-off curve.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import DraftsConfig, DraftsPredictor
+from repro.market import synthetic_trace
+
+ONDEMAND_PRICE = 0.42  # $/hour for the instance type we pretend to use
+
+
+def main() -> None:
+    # 1. Three months of 5-minute Spot price announcements.
+    trace = synthetic_trace(
+        "spiky", seed=3, n_epochs=26_000, ondemand_price=ONDEMAND_PRICE
+    )
+    print(
+        f"price history: {len(trace)} announcements over "
+        f"{trace.span / 86400:.0f} days, "
+        f"range ${trace.prices.min():.4f}-${trace.prices.max():.4f} "
+        f"(On-demand: ${ONDEMAND_PRICE})"
+    )
+
+    # 2. Fit DrAFTS at a 95% durability target (c = 0.99 confidence).
+    predictor = DraftsPredictor(trace, DraftsConfig(probability=0.95))
+    now = len(trace)  # predict for "now", right after the last announcement
+
+    # 3. Minimum bids for a few required durations.
+    print("\nminimum bid guaranteeing each duration with probability 0.95:")
+    for hours in (0.5, 1, 2, 4, 8):
+        bid = predictor.bid_for(hours * 3600.0, now)
+        if math.isnan(bid):
+            print(f"  {hours:4.1f} h : not guaranteeable within the bid ladder")
+        else:
+            marker = "below On-demand!" if bid < ONDEMAND_PRICE else ""
+            print(f"  {hours:4.1f} h : ${bid:.4f}  {marker}")
+
+    # 4. The full bid-duration curve (the Figure 4 artefact).
+    curve = predictor.curve_at(now)
+    assert curve is not None
+    print("\nbid-duration curve (5% rungs up to 4x the minimum bid):")
+    for bid, duration in zip(curve.bids[::4], curve.durations[::4]):
+        if math.isnan(duration):
+            print(f"  ${bid:8.4f} -> (no guarantee yet)")
+        else:
+            print(f"  ${bid:8.4f} -> {duration / 3600:5.2f} h")
+
+
+if __name__ == "__main__":
+    main()

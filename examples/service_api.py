@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Operate the DrAFTS decision-support service (§3.3).
+
+Demonstrates the service-side workflow the production prototype at
+predictspotprice.cs.ucsb.edu implements:
+
+1. the service periodically recomputes bid-duration curves per instance
+   type and AZ from the (90-day-capped) price-history API;
+2. clients query it over REST for machine-readable graphs, point bids and
+   AZ recommendations;
+3. because Amazon obfuscates AZ names per account (§2.2), a client on a
+   different account first *deobfuscates* the zone mapping by correlating
+   its own price histories with the service's.
+
+Run: ``python examples/service_api.py``
+"""
+
+from __future__ import annotations
+
+from repro.cloud.api import EC2Api
+from repro.market import Universe, UniverseConfig
+from repro.market.obfuscation import AccountView, deobfuscate
+from repro.service import DraftsClient, DraftsService, RestRouter
+
+INSTANCE_TYPE = "c3.2xlarge"
+REGION = "us-west-1"
+
+
+def main() -> None:
+    universe = Universe(UniverseConfig(seed=5, n_epochs=100 * 288))
+
+    # The service runs under its own account (physical zone names here).
+    service_api = EC2Api(universe)
+    service = DraftsService(service_api)
+    router = RestRouter(service)
+    client = DraftsClient(router)
+
+    combo = universe.combo(INSTANCE_TYPE, f"{REGION}a")
+    now = universe.trace(combo).start + 95 * 86400.0
+
+    print(f"service healthy: {client.health()}")
+
+    # Raw REST round trip (what the Globus Galaxies provisioner consumed).
+    response = router.get(
+        f"/predictions/{INSTANCE_TYPE}/{REGION}a?probability=0.95&now={now}"
+    )
+    print(f"\nGET /predictions -> {response.status}")
+    bids = response.body["bids"]
+    durations = response.body["durations"]
+    for bid, duration in list(zip(bids, durations))[:6]:
+        label = "-" if duration is None else f"{duration / 3600:.2f} h"
+        print(f"  ${bid:.4f} guarantees {label}")
+
+    # Point queries.
+    zone, min_bid = client.cheapest_zone(INSTANCE_TYPE, REGION, 0.95, now)
+    print(f"\ncheapest AZ for {INSTANCE_TYPE}: {zone} (min bid ${min_bid:.4f})")
+    bid = client.bid_for(INSTANCE_TYPE, zone, 0.95, 3300.0, now)
+    print(f"bid for a 55-minute run at p=0.95: ${bid:.4f}")
+
+    # A client account sees permuted AZ names; recover the mapping by
+    # comparing price histories (the paper performed this manually).
+    view = AccountView.random(REGION, ("a", "b"), rng=42)
+    client_api = EC2Api(universe, {REGION: view})
+    local = {
+        z: client_api.describe_spot_price_history(INSTANCE_TYPE, z, now)
+        for z in client_api.describe_availability_zones(REGION)
+    }
+    remote = {
+        z: service_api.describe_spot_price_history(INSTANCE_TYPE, z, now)
+        for z in service_api.describe_availability_zones(REGION)
+    }
+    mapping = deobfuscate(local, remote)
+    print("\ndeobfuscated AZ mapping (client name -> service name):")
+    for local_name, service_name in sorted(mapping.items()):
+        check = "ok" if view.to_physical(local_name) == service_name else "MISMATCH"
+        print(f"  {local_name} -> {service_name}  [{check}]")
+
+
+if __name__ == "__main__":
+    main()

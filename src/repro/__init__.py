@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of DrAFTS (SC'17).
+
+*Probabilistic Guarantees of Execution Duration for Amazon Spot Instances*
+(Wolski, Brevik, Chard & Chard). The package provides:
+
+* :mod:`repro.core` — QBETS and the DrAFTS two-phase bid predictor;
+* :mod:`repro.market` — a Spot-market substrate (auction mechanism, bidder
+  agents, synthetic price-trace generators, the 3-region/9-AZ/53-type
+  universe, AZ-name obfuscation);
+* :mod:`repro.cloud` — EC2 billing and instance-lifecycle model;
+* :mod:`repro.baselines` — the comparison bidding strategies of Table 1;
+* :mod:`repro.backtest` — correctness/cost backtesting and launch harness;
+* :mod:`repro.service` — the DrAFTS decision-support web service;
+* :mod:`repro.provisioner` — the Globus-Galaxies-style workload replayer;
+* :mod:`repro.experiments` — one driver per paper table/figure
+  (``python -m repro.experiments <id>``).
+
+Quickstart::
+
+    from repro import DraftsConfig, DraftsPredictor
+    from repro.market import synthetic_trace
+
+    trace = synthetic_trace("volatile", seed=7)
+    drafts = DraftsPredictor(trace, DraftsConfig(probability=0.95))
+    bid = drafts.bid_for(duration_seconds=4 * 3600, t_idx=len(trace) - 1)
+"""
+
+from repro.core import (
+    QBETS,
+    BidDurationCurve,
+    DraftsConfig,
+    DraftsPredictor,
+    QBETSConfig,
+)
+from repro.market.traces import PriceTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QBETS",
+    "BidDurationCurve",
+    "DraftsConfig",
+    "DraftsPredictor",
+    "PriceTrace",
+    "QBETSConfig",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands:
+
+``experiments <id|all> [--scale bench]``
+    Reproduce paper tables/figures (same as ``python -m repro.experiments``).
+``export <directory> [--per-class N] [--scale bench]``
+    Write a price-history archive of the study universe to disk
+    (the reproduction's equivalent of the paper's published dataset).
+``survey [--per-class N] [--scale bench]``
+    Print the stylised facts and AR(1) adequacy of sampled combinations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import SCALES, scaled_universe
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main([args.experiment, "--scale", args.scale])
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.data import export_universe
+
+    universe = scaled_universe(args.scale)
+    combos = (
+        universe.combos()
+        if args.per_class <= 0
+        else universe.subsample(per_class=args.per_class)
+    )
+    manifest = export_universe(universe, args.directory, combos)
+    print(
+        f"exported {len(manifest.entries)} combinations "
+        f"({sum(e.n_announcements for e in manifest.entries)} announcements) "
+        f"to {args.directory}"
+    )
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.analysis import diagnose_ar1, stylized_facts
+    from repro.util.tables import format_table
+
+    universe = scaled_universe(args.scale)
+    combos = universe.subsample(per_class=max(args.per_class, 1))
+    rows = []
+    for combo in combos:
+        trace = universe.trace(combo)
+        facts = stylized_facts(trace, combo.ondemand_price)
+        diagnosis = diagnose_ar1(trace.prices)
+        rows.append(
+            [
+                combo.key,
+                combo.volatility_class,
+                f"{facts.discount:.0%}",
+                f"{facts.fraction_above_ondemand:.2%}",
+                f"{facts.autocorr:.3f}",
+                "yes" if diagnosis.quantile_calibrated else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["Combination", "Class", "Discount", ">OD time", "Autocorr", "AR1 q99 ok"],
+            rows,
+            title=f"Universe survey (scale={args.scale})",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse the command line and dispatch."""
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="reproduce paper artefacts")
+    p_exp.add_argument("experiment")
+    p_exp.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_export = sub.add_parser("export", help="write a price archive")
+    p_export.add_argument("directory")
+    p_export.add_argument("--per-class", type=int, default=2)
+    p_export.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_survey = sub.add_parser("survey", help="stylised-fact survey")
+    p_survey.add_argument("--per-class", type=int, default=2)
+    p_survey.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p_survey.set_defaults(func=_cmd_survey)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Price-dynamics analysis: stylised facts, AR(1) diagnostics, and
+trace-source comparison (the §2.2/§4.1.3 analyses of the paper)."""
+
+from repro.analysis.ar1 import AR1Diagnosis, diagnose_ar1, fit_ar1
+from repro.analysis.compare import FactComparison, compare_traces
+from repro.analysis.stylized import (
+    Episode,
+    StylizedFacts,
+    episodes_above,
+    stylized_facts,
+)
+
+__all__ = [
+    "AR1Diagnosis",
+    "Episode",
+    "FactComparison",
+    "StylizedFacts",
+    "compare_traces",
+    "diagnose_ar1",
+    "episodes_above",
+    "fit_ar1",
+    "stylized_facts",
+]

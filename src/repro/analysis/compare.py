@@ -1,0 +1,59 @@
+"""Cross-validation of the two trace sources (DESIGN.md §1).
+
+The reproduction generates price traces statistically
+(:mod:`repro.market.synthetic`) but also implements the actual clearing
+mechanism (:mod:`repro.market.simulator`). This module compares the two on
+the stylised facts DrAFTS's evaluation depends on, providing the evidence
+that the statistical substitution preserves auction-plausible behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.analysis.stylized import StylizedFacts, stylized_facts
+from repro.market.traces import PriceTrace
+
+__all__ = ["FactComparison", "compare_traces"]
+
+
+@dataclass(frozen=True)
+class FactComparison:
+    """Side-by-side stylised facts of two traces.
+
+    Attributes
+    ----------
+    left / right:
+        The measured facts.
+    """
+
+    left: StylizedFacts
+    right: StylizedFacts
+
+    def agreement(self, fact: str, rel_tol: float) -> bool:
+        """Whether one fact agrees within a relative tolerance.
+
+        Comparison is symmetric-relative: ``|a - b| <= rel_tol *
+        max(|a|, |b|, eps)``.
+        """
+        a = getattr(self.left, fact)
+        b = getattr(self.right, fact)
+        scale = max(abs(a), abs(b), 1e-12)
+        return abs(a - b) <= rel_tol * scale
+
+    def shared_qualities(self) -> dict[str, tuple[float, float]]:
+        """All facts as ``name -> (left, right)`` pairs."""
+        return {
+            f.name: (getattr(self.left, f.name), getattr(self.right, f.name))
+            for f in fields(StylizedFacts)
+        }
+
+
+def compare_traces(
+    a: PriceTrace, b: PriceTrace, ondemand_price: float
+) -> FactComparison:
+    """Measure and pair the stylised facts of two traces."""
+    return FactComparison(
+        left=stylized_facts(a, ondemand_price),
+        right=stylized_facts(b, ondemand_price),
+    )

@@ -1,0 +1,136 @@
+"""Stylised-fact measurement for Spot price traces.
+
+The paper grounds its design in observed properties of Spot price series
+(§2.1–2.2): ~5-minute update periodicity, deep discounts relative to
+On-demand punctuated by excursions above it, long price plateaus, floor
+("reserve") stickiness, and strong autocorrelation. This module measures
+those properties on any :class:`~repro.market.traces.PriceTrace`, so that
+
+* the synthetic volatility classes can be validated against the behaviour
+  they claim to model, and
+* traces produced by the mechanistic auction simulator can be compared
+  with the statistical generators (:mod:`repro.analysis.compare`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.traces import PriceTrace
+from repro.util.stats import lag1_autocorr
+
+__all__ = ["Episode", "StylizedFacts", "episodes_above", "stylized_facts"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One contiguous excursion of the price above a level.
+
+    Attributes
+    ----------
+    start_idx / end_idx:
+        Announcement indices (half-open: the episode covers
+        ``[start_idx, end_idx)``).
+    duration:
+        Episode length in seconds.
+    peak:
+        Highest price during the episode.
+    """
+
+    start_idx: int
+    end_idx: int
+    duration: float
+    peak: float
+
+
+def episodes_above(trace: PriceTrace, level: float) -> list[Episode]:
+    """Contiguous episodes with ``price >= level``.
+
+    The final episode is closed at the trace end (its duration is then a
+    lower bound).
+    """
+    above = trace.prices >= level
+    episodes: list[Episode] = []
+    n = len(trace)
+    i = 0
+    while i < n:
+        if not above[i]:
+            i += 1
+            continue
+        j = i
+        while j < n and above[j]:
+            j += 1
+        end_time = trace.times[j] if j < n else trace.end
+        episodes.append(
+            Episode(
+                start_idx=i,
+                end_idx=j,
+                duration=float(end_time - trace.times[i]),
+                peak=float(trace.prices[i:j].max()),
+            )
+        )
+        i = j
+    return episodes
+
+
+@dataclass(frozen=True)
+class StylizedFacts:
+    """Summary of one trace's price dynamics.
+
+    Attributes
+    ----------
+    mean_update_gap:
+        Mean seconds between announcements (the paper observes ~300 s).
+    discount:
+        1 − (time-weighted mean price / On-demand price).
+    fraction_above_ondemand:
+        Share of epochs priced at or above On-demand.
+    episodes_above_ondemand:
+        Number of above-On-demand episodes.
+    mean_episode_seconds:
+        Mean duration of those episodes (0 when none).
+    floor_occupancy:
+        Share of epochs at the trace's minimum price (reserve stickiness).
+    range_ratio:
+        max/min price (the §4.4 volatility measure).
+    autocorr:
+        Lag-1 autocorrelation of the price series.
+    cv:
+        Coefficient of variation of the price series.
+    """
+
+    mean_update_gap: float
+    discount: float
+    fraction_above_ondemand: float
+    episodes_above_ondemand: int
+    mean_episode_seconds: float
+    floor_occupancy: float
+    range_ratio: float
+    autocorr: float
+    cv: float
+
+
+def stylized_facts(trace: PriceTrace, ondemand_price: float) -> StylizedFacts:
+    """Measure the paper's stylised facts on one trace."""
+    if ondemand_price <= 0:
+        raise ValueError("ondemand_price must be positive")
+    prices = trace.prices
+    gaps = np.diff(trace.times)
+    episodes = episodes_above(trace, ondemand_price)
+    floor = float(prices.min())
+    mean = float(prices.mean())
+    return StylizedFacts(
+        mean_update_gap=float(gaps.mean()) if gaps.size else 0.0,
+        discount=1.0 - trace.mean_price() / ondemand_price,
+        fraction_above_ondemand=float(np.mean(prices >= ondemand_price)),
+        episodes_above_ondemand=len(episodes),
+        mean_episode_seconds=(
+            float(np.mean([e.duration for e in episodes])) if episodes else 0.0
+        ),
+        floor_occupancy=float(np.mean(prices <= floor * (1 + 1e-9))),
+        range_ratio=float(prices.max() / floor),
+        autocorr=lag1_autocorr(prices),
+        cv=float(prices.std() / mean) if mean > 0 else 0.0,
+    )

@@ -1,0 +1,52 @@
+"""Backtesting harnesses: correctness (§4.1), cost optimisation (§4.4) and
+the instance-launch experiments (§4.2)."""
+
+from repro.backtest.correctness import (
+    CorrectnessTable,
+    correctness_table,
+    sub_target_ecdf,
+)
+from repro.backtest.costopt import CostOptRow, CostOptTable, run_costopt
+from repro.backtest.engine import (
+    BacktestConfig,
+    ComboResult,
+    RequestOutcome,
+    check_survival,
+    run_backtest,
+    sample_requests,
+)
+from repro.backtest.launch import (
+    LaunchConfig,
+    LaunchRecord,
+    LaunchSeries,
+    run_launch_series,
+)
+from repro.backtest.validation import (
+    FractionAssessment,
+    assess_fraction,
+    retest_combo,
+    wilson_interval,
+)
+
+__all__ = [
+    "BacktestConfig",
+    "ComboResult",
+    "CorrectnessTable",
+    "CostOptRow",
+    "CostOptTable",
+    "FractionAssessment",
+    "LaunchConfig",
+    "LaunchRecord",
+    "LaunchSeries",
+    "RequestOutcome",
+    "assess_fraction",
+    "check_survival",
+    "correctness_table",
+    "retest_combo",
+    "run_backtest",
+    "run_costopt",
+    "run_launch_series",
+    "sample_requests",
+    "sub_target_ecdf",
+    "wilson_interval",
+]

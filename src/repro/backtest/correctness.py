@@ -1,0 +1,144 @@
+"""Aggregation of backtest results into Table 1 and Figure 1.
+
+Table 1 buckets each (AZ, instance type) combination's correctness fraction
+into ``< target``, ``[target, 1)`` and ``1.0`` and reports the share of
+combinations per bucket and strategy. Figure 1 is the empirical CDF of the
+sub-target fractions for the On-demand strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backtest.engine import ComboResult
+from repro.util.stats import ecdf
+from repro.util.validation import check_probability
+
+__all__ = ["CorrectnessTable", "correctness_table", "sub_target_ecdf"]
+
+
+@dataclass(frozen=True)
+class CorrectnessRow:
+    """One strategy's bucket shares.
+
+    Attributes
+    ----------
+    strategy:
+        Strategy name.
+    below_target / at_target / perfect:
+        Fraction of combinations with correctness fraction ``< target``,
+        in ``[target, 1)``, and exactly ``1.0``.
+    n_combos:
+        Combinations aggregated.
+    below_but_consistent:
+        Of the sub-target combinations, the fraction whose shortfall is
+        statistically consistent with the target (exact binomial test at
+        1 % — the §4.1.1 "due to random variation" standard). For DrAFTS
+        this should be ~1.0: misses exist but none *contradict* the
+        guarantee.
+    """
+
+    strategy: str
+    below_target: float
+    at_target: float
+    perfect: float
+    n_combos: int
+    below_but_consistent: float = 1.0
+
+
+@dataclass(frozen=True)
+class CorrectnessTable:
+    """The full Table 1 artefact."""
+
+    target: float
+    rows: tuple[CorrectnessRow, ...]
+
+    def row(self, strategy: str) -> CorrectnessRow:
+        """Look up one strategy's row."""
+        for r in self.rows:
+            if r.strategy == strategy:
+                return r
+        raise KeyError(f"no row for strategy {strategy!r}")
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.util.tables.format_table`."""
+        return [
+            [
+                r.strategy,
+                f"{r.below_target:.1%}",
+                f"{r.at_target:.1%}",
+                f"{r.perfect:.1%}",
+            ]
+            for r in self.rows
+        ]
+
+
+def correctness_table(
+    results: list[ComboResult], target: float
+) -> CorrectnessTable:
+    """Bucket per-combination correctness fractions per strategy."""
+    from repro.backtest.validation import assess_fraction
+
+    check_probability(target, "target")
+    by_strategy: dict[str, list[ComboResult]] = {}
+    for result in results:
+        by_strategy.setdefault(result.strategy, []).append(result)
+    rows = []
+    for strategy in sorted(by_strategy):
+        combo_results = by_strategy[strategy]
+        fractions = np.asarray([r.success_fraction for r in combo_results])
+        n = fractions.size
+        below = float(np.mean(fractions < target))
+        perfect = float(np.mean(fractions >= 1.0))
+        at = float(np.mean((fractions >= target) & (fractions < 1.0)))
+        sub_target = [
+            r for r in combo_results if r.success_fraction < target
+        ]
+        if sub_target:
+            consistent = float(
+                np.mean(
+                    [
+                        assess_fraction(
+                            r.successes, r.n, target
+                        ).consistent_with_target(alpha=0.01)
+                        for r in sub_target
+                    ]
+                )
+            )
+        else:
+            consistent = 1.0
+        rows.append(
+            CorrectnessRow(
+                strategy=strategy,
+                below_target=below,
+                at_target=at,
+                perfect=perfect,
+                n_combos=int(n),
+                below_but_consistent=consistent,
+            )
+        )
+    return CorrectnessTable(target=target, rows=tuple(rows))
+
+
+def sub_target_ecdf(
+    results: list[ComboResult], strategy: str, target: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 1: ECDF of the sub-target correctness fractions of a strategy.
+
+    Returns the ``(x, F)`` pair of :func:`repro.util.stats.ecdf`; raises
+    ``ValueError`` when the strategy never fell below target (no figure to
+    draw — a good problem to have).
+    """
+    check_probability(target, "target")
+    fractions = [
+        r.success_fraction
+        for r in results
+        if r.strategy == strategy and r.success_fraction < target
+    ]
+    if not fractions:
+        raise ValueError(
+            f"strategy {strategy!r} has no sub-{target} correctness fractions"
+        )
+    return ecdf(np.asarray(fractions))

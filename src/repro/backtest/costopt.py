@@ -1,0 +1,172 @@
+"""The cost-optimisation strategy of §4.4 (Tables 4 and 5).
+
+For every backtested request, compare the DrAFTS bid (computed for the
+request's duration and durability target) with the On-demand price of the
+same instance type and region:
+
+* DrAFTS bid < On-demand price → request a Spot instance with the DrAFTS
+  bid (the worst case you can pay is still below On-demand);
+* otherwise → pay the On-demand price.
+
+Either way the request gets (at least) the target durability probability.
+The tables report, per AZ, the pure-On-demand cost, the strategy's cost and
+the percentage savings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.backtest.engine import BacktestConfig, sample_requests
+from repro.baselines.drafts_strategy import DraftsBid
+from repro.cloud.billing import charge_ondemand, charge_spot_run
+from repro.cloud.spot import SpotTier, TerminationCause
+from repro.market.universe import Combo, Universe
+from repro.util.rng import RngFactory
+
+__all__ = ["CostOptRow", "CostOptTable", "run_costopt"]
+
+
+@dataclass(frozen=True)
+class CostOptRow:
+    """Per-AZ cost comparison (one row of Table 4/5).
+
+    Attributes
+    ----------
+    zone:
+        AZ name.
+    ondemand_cost:
+        Dollars if every request ran On-demand.
+    strategy_cost:
+        Dollars under the DrAFTS-or-On-demand strategy.
+    savings:
+        ``1 - strategy/ondemand``.
+    spot_requests / ondemand_requests:
+        How many requests each branch served.
+    terminations:
+        Spot-branch requests terminated early by price (rare at 0.99).
+    """
+
+    zone: str
+    ondemand_cost: float
+    strategy_cost: float
+    spot_requests: int
+    ondemand_requests: int
+    terminations: int
+
+    @property
+    def savings(self) -> float:
+        """Fractional savings of the strategy over pure On-demand."""
+        return 1.0 - self.strategy_cost / self.ondemand_cost
+
+
+@dataclass(frozen=True)
+class CostOptTable:
+    """The full Table 4/5 artefact."""
+
+    probability: float
+    rows: tuple[CostOptRow, ...]
+
+    def row(self, zone: str) -> CostOptRow:
+        """Look up one AZ's row."""
+        for r in self.rows:
+            if r.zone == zone:
+                return r
+        raise KeyError(f"no row for zone {zone!r}")
+
+    @property
+    def total_savings(self) -> float:
+        """Aggregate savings across all AZs."""
+        od = sum(r.ondemand_cost for r in self.rows)
+        st = sum(r.strategy_cost for r in self.rows)
+        return 1.0 - st / od
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.util.tables.format_table`."""
+        return [
+            [
+                r.zone,
+                f"${r.ondemand_cost:.2f}",
+                f"${r.strategy_cost:.2f}",
+                f"{r.savings:.2%}",
+            ]
+            for r in self.rows
+        ]
+
+
+def _request_cost(
+    tier: SpotTier,
+    combo: Combo,
+    start: float,
+    duration: float,
+    bid: float,
+) -> tuple[float, bool, bool]:
+    """Cost of one request under the strategy.
+
+    Returns ``(cost, used_spot, terminated_early)``. A Spot run terminated
+    early by price is charged for the executed hours *plus* an On-demand
+    re-run of the remaining work — the strategy still has to finish the job,
+    so cutting corners on the retry cost would overstate the savings.
+    """
+    od_price = combo.ondemand_price
+    if math.isnan(bid) or bid >= od_price:
+        return charge_ondemand(od_price, duration).cost, False, False
+    run = tier.run(start, duration, bid)
+    if run.cause is TerminationCause.USER:
+        return run.charge.cost, True, False
+    if run.cause is TerminationCause.REJECTED:
+        # Never started: immediately fall back to On-demand.
+        return charge_ondemand(od_price, duration).cost, False, False
+    remaining = duration - run.ran_seconds
+    retry = charge_ondemand(od_price, remaining).cost
+    return run.charge.cost + retry, True, True
+
+
+def run_costopt(
+    universe: Universe,
+    combos: list[Combo],
+    config: BacktestConfig,
+) -> CostOptTable:
+    """Run the §4.4 strategy over ``combos`` and aggregate per AZ.
+
+    Uses the same request-sampling distribution as the correctness
+    backtest (§4.4 prices "all of the backtested instances used to generate
+    the results in Section 4.1").
+    """
+    per_zone: dict[str, dict[str, float]] = {}
+    for combo in combos:
+        trace = universe.trace(combo)
+        strategy = DraftsBid.for_combo(combo, trace, config.probability)
+        tier = SpotTier(trace)
+        rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
+        t_indices, durations = sample_requests(trace, config, rng)
+        acc = per_zone.setdefault(
+            combo.zone.name,
+            {"od": 0.0, "strategy": 0.0, "spot": 0, "ondemand": 0, "term": 0},
+        )
+        for t_idx, duration in zip(t_indices, durations):
+            start = float(trace.times[t_idx])
+            duration = float(duration)
+            bid = strategy.bid_at(int(t_idx), duration)
+            od_cost = charge_ondemand(combo.ondemand_price, duration).cost
+            cost, used_spot, terminated = _request_cost(
+                tier, combo, start, duration, bid
+            )
+            acc["od"] += od_cost
+            acc["strategy"] += cost
+            acc["spot"] += int(used_spot)
+            acc["ondemand"] += int(not used_spot)
+            acc["term"] += int(terminated)
+    rows = tuple(
+        CostOptRow(
+            zone=zone,
+            ondemand_cost=acc["od"],
+            strategy_cost=acc["strategy"],
+            spot_requests=int(acc["spot"]),
+            ondemand_requests=int(acc["ondemand"]),
+            terminations=int(acc["term"]),
+        )
+        for zone, acc in sorted(per_zone.items())
+    )
+    return CostOptTable(probability=config.probability, rows=rows)

@@ -1,0 +1,178 @@
+"""The instance-launch experiments of §4.2 (Figures 2 and 3).
+
+A script repeatedly launches one instance of a fixed type in a fixed
+*region*, letting DrAFTS pick the AZ: at each launch instant it computes
+the predicted price upper bound for every AZ in the region, chooses the AZ
+with the lowest bound (a fitness function minimising financial risk),
+requests an instance there with the DrAFTS bid for a 3300-second duration
+(five minutes under one billable hour), waits out the duration and records
+whether the instance survived. Launches are spread over about a week with
+normally distributed inter-arrival gaps (mean 2748 s, sd 687 s) so the
+provider cannot detect a periodicity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.spot import SpotTier, TerminationCause
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.market.universe import Combo, Universe
+from repro.util.rng import RngFactory
+from repro.util.validation import check_probability
+
+__all__ = ["LaunchConfig", "LaunchRecord", "LaunchSeries", "run_launch_series"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Parameters of one launch experiment (§4.2 defaults)."""
+
+    instance_type: str
+    region: str
+    probability: float = 0.95
+    duration_seconds: float = 3300.0
+    n_launches: int = 100
+    mean_gap_seconds: float = 2748.0
+    sd_gap_seconds: float = 687.0
+    start_after_days: float = 90.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        check_probability(self.probability, "probability")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.n_launches < 1:
+            raise ValueError("n_launches must be >= 1")
+        if self.mean_gap_seconds <= 0:
+            raise ValueError("mean_gap_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One launch attempt.
+
+    ``outcome`` is ``"success"`` (survived the full duration),
+    ``"terminated"`` (price termination mid-run) or ``"rejected"`` (bid not
+    above the market price at launch — the paper's Figure 3 counts one of
+    these among its four failures).
+    """
+
+    index: int
+    time: float
+    zone: str
+    bid: float
+    outcome: str
+
+    @property
+    def failed(self) -> bool:
+        """Whether this launch counts as a failure."""
+        return self.outcome != "success"
+
+
+@dataclass(frozen=True)
+class LaunchSeries:
+    """Outcome of a whole launch experiment (the Figure 2/3 series)."""
+
+    config: LaunchConfig
+    records: tuple[LaunchRecord, ...]
+
+    @property
+    def bids(self) -> np.ndarray:
+        """Bid series in launch order (the figures' y-axis)."""
+        return np.array([r.bid for r in self.records])
+
+    @property
+    def failures(self) -> int:
+        """Total failed launches."""
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of successful launches."""
+        return 1.0 - self.failures / len(self.records)
+
+    def failure_runs(self) -> list[tuple[int, int]]:
+        """(start index, length) of each consecutive failure run.
+
+        Figure 3's failures were back-to-back; this makes that clustering
+        observable in the reproduction.
+        """
+        runs: list[tuple[int, int]] = []
+        i = 0
+        records = self.records
+        while i < len(records):
+            if records[i].failed:
+                j = i
+                while j < len(records) and records[j].failed:
+                    j += 1
+                runs.append((i, j - i))
+                i = j
+            else:
+                i += 1
+        return runs
+
+
+def run_launch_series(
+    universe: Universe, config: LaunchConfig
+) -> LaunchSeries:
+    """Run one §4.2 launch experiment against the simulated Spot tier."""
+    combos: list[Combo] = [
+        c
+        for c in universe.combos_for_type(config.instance_type)
+        if c.zone.region == config.region
+    ]
+    if not combos:
+        raise ValueError(
+            f"{config.instance_type} is not offered in {config.region}"
+        )
+    predictors = {
+        c.zone.name: DraftsPredictor(
+            universe.trace(c),
+            DraftsConfig(
+                probability=config.probability,
+                max_price=max(100.0, float(universe.trace(c).prices.max()) * 8),
+            ),
+        )
+        for c in combos
+    }
+    tiers = {c.zone.name: SpotTier(universe.trace(c)) for c in combos}
+
+    rng = RngFactory(config.seed).generator(
+        f"launch/{config.instance_type}/{config.region}"
+    )
+    trace0 = next(iter(tiers.values())).trace
+    t = trace0.start + config.start_after_days * 86400.0
+    records: list[LaunchRecord] = []
+    for i in range(config.n_launches):
+        # AZ fitness: lowest predicted price upper bound right now (§4.2).
+        best_zone, best_bound = "", math.inf
+        for zone, predictor in predictors.items():
+            idx = predictor.trace.index_at(t)
+            bound = predictor.min_bid_at(idx)
+            if not math.isnan(bound) and bound < best_bound:
+                best_zone, best_bound = zone, bound
+        if not best_zone:
+            raise RuntimeError(f"no AZ has enough history at t={t}")
+        predictor = predictors[best_zone]
+        idx = predictor.trace.index_at(t)
+        bid = predictor.bid_for(config.duration_seconds, idx)
+        if math.isnan(bid):
+            bid = best_bound * predictor.config.ladder_span
+        run = tiers[best_zone].run(t, config.duration_seconds, bid)
+        outcome = {
+            TerminationCause.USER: "success",
+            TerminationCause.PRICE: "terminated",
+            TerminationCause.REJECTED: "rejected",
+        }[run.cause]
+        records.append(
+            LaunchRecord(index=i, time=t, zone=best_zone, bid=bid, outcome=outcome)
+        )
+        gap = rng.normal(config.mean_gap_seconds, config.sd_gap_seconds)
+        t += max(float(gap), 60.0) + config.duration_seconds
+        if t >= trace0.end - config.duration_seconds:
+            break
+    return LaunchSeries(config=config, records=tuple(records))

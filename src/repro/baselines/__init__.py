@@ -1,0 +1,27 @@
+"""The bidding strategies compared in Table 1 (plus the provisioner's
+original constant-factor rule)."""
+
+from repro.baselines.ar1 import AR1Bid
+from repro.baselines.base import BidStrategy
+from repro.baselines.constant_factor import ConstantFactorBid
+from repro.baselines.drafts_strategy import DraftsBid
+from repro.baselines.empirical import EmpiricalCDFBid
+from repro.baselines.ondemand import OnDemandBid
+
+#: The four Table 1 strategies, in the paper's row order.
+TABLE1_STRATEGIES: tuple[type[BidStrategy], ...] = (
+    DraftsBid,
+    OnDemandBid,
+    AR1Bid,
+    EmpiricalCDFBid,
+)
+
+__all__ = [
+    "AR1Bid",
+    "BidStrategy",
+    "ConstantFactorBid",
+    "DraftsBid",
+    "EmpiricalCDFBid",
+    "OnDemandBid",
+    "TABLE1_STRATEGIES",
+]

@@ -1,0 +1,57 @@
+"""Common interface of all bidding strategies.
+
+A *bidding strategy* answers one question: for a request at a given instant
+with a given required duration and durability target, what maximum bid
+should be submitted? Table 1 of the paper compares four such strategies
+(DrAFTS, On-demand price, AR(1) quantile, empirical CDF quantile); the
+backtest engine drives them all through this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.market.traces import PriceTrace
+from repro.market.universe import Combo
+
+__all__ = ["BidStrategy"]
+
+
+class BidStrategy(abc.ABC):
+    """Strategy object bound to one (instance type, AZ) combination.
+
+    Strategies are constructed per combination by their factory
+    classmethod :meth:`for_combo` and may precompute whatever state they
+    need from the full trace — but :meth:`bid_at` must only use data before
+    the query index (the backtest relies on this no-look-ahead contract,
+    which tests verify per strategy).
+    """
+
+    #: Short name used in result tables.
+    name: str = "base"
+
+    @classmethod
+    @abc.abstractmethod
+    def for_combo(
+        cls, combo: Combo, trace: PriceTrace, probability: float
+    ) -> "BidStrategy":
+        """Build the strategy for one combination.
+
+        Parameters
+        ----------
+        combo:
+            The combination (provides e.g. the On-demand price).
+        trace:
+            The combination's full price history (strategies may index it,
+            but each query must only consult the prefix before the query).
+        probability:
+            The durability target ``p`` the strategy should aim for.
+        """
+
+    @abc.abstractmethod
+    def bid_at(self, t_idx: int, duration_seconds: float) -> float:
+        """Maximum bid for a request at announcement ``t_idx``.
+
+        Returns ``nan`` when the strategy cannot produce a bid (e.g. not
+        enough history); the backtest records such requests separately.
+        """

@@ -1,0 +1,61 @@
+"""Constant-factor-of-On-demand bidding.
+
+Two uses in the paper:
+
+* the Globus Galaxies provisioner's *original* bid rule was 80 % of the
+  On-demand price (§4.3, Tables 2–3's "Original" rows);
+* the related-work "proactive" strategy for Spot-hosted services bids a
+  constant factor *greater* than 1.0 of the On-demand price (§5).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BidStrategy
+from repro.market.traces import PriceTrace
+from repro.market.universe import Combo
+
+__all__ = ["ConstantFactorBid"]
+
+
+class ConstantFactorBid(BidStrategy):
+    """Bid ``factor`` times the On-demand price."""
+
+    name = "constant-factor"
+
+    #: The Globus Galaxies provisioner's original rule (§4.3).
+    GALAXIES_FACTOR = 0.80
+
+    def __init__(self, price: float, factor: float) -> None:
+        if price <= 0:
+            raise ValueError("price must be positive")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self._bid = round(float(price) * float(factor), 4)
+        self.factor = float(factor)
+
+    @classmethod
+    def for_combo(
+        cls, combo: Combo, trace: PriceTrace, probability: float
+    ) -> "ConstantFactorBid":
+        return cls(combo.ondemand_price, cls.GALAXIES_FACTOR)
+
+    @classmethod
+    def with_factor(cls, factor: float):
+        """A factory producing strategies with a non-default factor."""
+
+        class _Factory(ConstantFactorBid):
+            name = f"constant-factor-{factor:g}"
+
+            @classmethod
+            def for_combo(
+                inner_cls,  # noqa: N804 - factory idiom
+                combo: Combo,
+                trace: PriceTrace,
+                probability: float,
+            ) -> "ConstantFactorBid":
+                return inner_cls(combo.ondemand_price, factor)
+
+        return _Factory
+
+    def bid_at(self, t_idx: int, duration_seconds: float) -> float:
+        return self._bid

@@ -1,0 +1,66 @@
+"""DrAFTS wrapped in the common :class:`BidStrategy` interface.
+
+This is the strategy object the backtest engine drives for the "DrAFTS"
+rows of Tables 1, 4 and 5. It also implements the backtest's fallback rule
+for requests whose duration exceeds what the bid ladder can certify: bid
+the ladder top (4x the minimum bid — the most the production service would
+ever suggest), which is the conservative best effort when no rung carries
+the requested guarantee. The strict (no-fallback) behaviour is available
+for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.base import BidStrategy
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.market.traces import PriceTrace
+from repro.market.universe import Combo
+
+__all__ = ["DraftsBid"]
+
+
+class DraftsBid(BidStrategy):
+    """Bid via a :class:`~repro.core.drafts.DraftsPredictor`.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted DrAFTS predictor for the combination.
+    fallback:
+        ``"top"`` (default) — when no ladder rung certifies the requested
+        duration, bid the ladder top; ``"none"`` — return ``nan`` instead.
+    """
+
+    name = "drafts"
+
+    def __init__(self, predictor: DraftsPredictor, fallback: str = "top"):
+        if fallback not in ("top", "none"):
+            raise ValueError(f"unknown fallback mode {fallback!r}")
+        self._predictor = predictor
+        self._fallback = fallback
+
+    @classmethod
+    def for_combo(
+        cls, combo: Combo, trace: PriceTrace, probability: float
+    ) -> "DraftsBid":
+        max_price = max(100.0, float(trace.prices.max()) * 8.0)
+        config = DraftsConfig(probability=probability, max_price=max_price)
+        return cls(DraftsPredictor(trace, config))
+
+    @property
+    def predictor(self) -> DraftsPredictor:
+        """The underlying DrAFTS predictor."""
+        return self._predictor
+
+    def bid_at(self, t_idx: int, duration_seconds: float) -> float:
+        bid = self._predictor.bid_for(duration_seconds, t_idx)
+        if not math.isnan(bid):
+            return bid
+        if self._fallback == "none":
+            return float("nan")
+        min_bid = self._predictor.min_bid_at(t_idx)
+        if math.isnan(min_bid):
+            return float("nan")
+        return min_bid * self._predictor.config.ladder_span

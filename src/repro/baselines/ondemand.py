@@ -1,0 +1,36 @@
+"""On-demand-price bidding (the Table 1 "On-demand" row).
+
+Bid exactly the regional On-demand price of the instance type. The
+intuition — "I am willing to pay up to what the reliable tier costs" —
+sounds safe, but §4.1.2 shows it fails the 0.99 durability target for ~37 %
+of combinations, and for some (the ``cg1.4xlarge`` example) it *never*
+admits an instance because the Spot price sits permanently above it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BidStrategy
+from repro.market.traces import PriceTrace
+from repro.market.universe import Combo
+
+__all__ = ["OnDemandBid"]
+
+
+class OnDemandBid(BidStrategy):
+    """Bid the On-demand price, regardless of duration or probability."""
+
+    name = "ondemand"
+
+    def __init__(self, price: float) -> None:
+        if price <= 0:
+            raise ValueError("price must be positive")
+        self._price = float(price)
+
+    @classmethod
+    def for_combo(
+        cls, combo: Combo, trace: PriceTrace, probability: float
+    ) -> "OnDemandBid":
+        return cls(combo.ondemand_price)
+
+    def bid_at(self, t_idx: int, duration_seconds: float) -> float:
+        return self._price

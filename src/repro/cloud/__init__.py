@@ -1,0 +1,27 @@
+"""The EC2 substrate: billing rules, instance lifecycles, SLA, API facade."""
+
+from repro.cloud.api import EC2Api, HISTORY_WINDOW_SECONDS
+from repro.cloud.billing import (
+    RunCharge,
+    charge_ondemand,
+    charge_spot_run,
+    risked_cost,
+)
+from repro.cloud.ondemand import AvailabilitySLA, OnDemandTier, SLAAccount
+from repro.cloud.spot import SpotOutcome, SpotRun, SpotTier, TerminationCause
+
+__all__ = [
+    "HISTORY_WINDOW_SECONDS",
+    "AvailabilitySLA",
+    "EC2Api",
+    "OnDemandTier",
+    "RunCharge",
+    "SLAAccount",
+    "SpotOutcome",
+    "SpotRun",
+    "SpotTier",
+    "TerminationCause",
+    "charge_ondemand",
+    "charge_spot_run",
+    "risked_cost",
+]

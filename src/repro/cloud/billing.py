@@ -1,0 +1,88 @@
+"""EC2 billing rules (§2.1 of the paper).
+
+Spot instances are charged by the hour: at the beginning of each hour of
+execution the user is charged *that hour's market price* for the whole
+hour; when the user terminates mid-hour, the hour is rounded up. When
+*Amazon* terminates an instance because the market price reached its bid,
+the interrupted final hour is still charged here (the study period predates
+the per-second billing and interrupted-hour-refund changes AWS made in
+late 2017 — we bill what the paper's cost tables bill).
+
+The worst-case ("risked") cost of a run is the maximum bid times the number
+of billable hours: the user authorises up to the bid for every hour (§2.1),
+and Tables 2–3 report exactly this quantity as *Maximum Bid Cost*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.traces import PriceTrace
+from repro.util.timeutils import billable_hours, hour_starts
+
+__all__ = ["RunCharge", "charge_ondemand", "charge_spot_run", "risked_cost"]
+
+
+@dataclass(frozen=True)
+class RunCharge:
+    """Billing outcome of one instance run.
+
+    Attributes
+    ----------
+    hours:
+        Billable hours (final partial hour rounded up).
+    cost:
+        Dollars actually charged.
+    hourly_prices:
+        The market price charged for each billable hour.
+    """
+
+    hours: int
+    cost: float
+    hourly_prices: tuple[float, ...]
+
+
+def charge_spot_run(
+    trace: PriceTrace, start: float, duration_seconds: float
+) -> RunCharge:
+    """Charge a Spot run of ``duration_seconds`` starting at ``start``.
+
+    The price for each hour is the market price in force at that hour's
+    beginning (§2.1).
+    """
+    if duration_seconds < 0:
+        raise ValueError("duration must be non-negative")
+    starts = hour_starts(start, duration_seconds)
+    prices = trace.prices_at(np.minimum(starts, trace.end))
+    return RunCharge(
+        hours=int(starts.size),
+        cost=float(prices.sum()),
+        hourly_prices=tuple(float(p) for p in prices),
+    )
+
+
+def charge_ondemand(
+    ondemand_price: float, duration_seconds: float
+) -> RunCharge:
+    """Charge an On-demand run (fixed hourly price, round-up)."""
+    if ondemand_price <= 0:
+        raise ValueError("ondemand_price must be positive")
+    hours = billable_hours(duration_seconds)
+    return RunCharge(
+        hours=hours,
+        cost=round(ondemand_price * hours, 10),
+        hourly_prices=tuple([ondemand_price] * hours),
+    )
+
+
+def risked_cost(max_bid: float, duration_seconds: float) -> float:
+    """Worst-case cost of a Spot run: the bid for every billable hour.
+
+    The *financial risk* DrAFTS minimises (§1, §4.3): the user could be
+    charged up to the maximum bid each hour.
+    """
+    if max_bid <= 0:
+        raise ValueError("max_bid must be positive")
+    return max_bid * billable_hours(duration_seconds)

@@ -1,0 +1,115 @@
+"""The On-demand tier and its availability SLA (§4.1.2 of the paper).
+
+On-demand instances run at a fixed regional hourly price under Amazon's
+availability SLA: at the time of the study, 99.95 % monthly availability,
+with a 10 % service-credit refund below 99.95 % and a 30 % refund at or
+below 99 %. The SLA is *cumulative* availability — one second of
+unavailability in every non-overlapping 100-second window technically
+satisfies a 99 % guarantee (§3) — which is exactly the distinction the
+paper draws against DrAFTS's *continuous* durability guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.billing import RunCharge, charge_ondemand
+
+__all__ = ["AvailabilitySLA", "OnDemandTier", "SLAAccount"]
+
+
+@dataclass(frozen=True)
+class AvailabilitySLA:
+    """The EC2 availability SLA of the study period.
+
+    Attributes
+    ----------
+    target:
+        Monthly availability fraction promised (0.9995).
+    tier1_refund:
+        Service credit below ``target`` (10 %).
+    tier2_threshold / tier2_refund:
+        Availability at or below this gets the larger credit (99 % / 30 %).
+    """
+
+    target: float = 0.9995
+    tier1_refund: float = 0.10
+    tier2_threshold: float = 0.99
+    tier2_refund: float = 0.30
+
+    def refund_fraction(self, availability: float) -> float:
+        """Service-credit fraction owed for a month at ``availability``."""
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+        if availability <= self.tier2_threshold:
+            return self.tier2_refund
+        if availability < self.target:
+            return self.tier1_refund
+        return 0.0
+
+
+@dataclass
+class SLAAccount:
+    """Tracks one month of availability for SLA accounting.
+
+    Feed downtime intervals; at month end, :meth:`availability` and
+    :meth:`refund` report the cumulative outcome. Used by tests to
+    demonstrate that the cumulative SLA is satisfiable by availability
+    patterns that provide *zero* continuous durability (the paper's §3
+    example).
+    """
+
+    month_seconds: float = 30 * 86400.0
+    _downtime: float = 0.0
+
+    def record_outage(self, seconds: float) -> None:
+        """Add an outage of ``seconds`` to the month."""
+        if seconds < 0:
+            raise ValueError("outage must be non-negative")
+        self._downtime = min(self._downtime + seconds, self.month_seconds)
+
+    @property
+    def downtime(self) -> float:
+        """Total recorded downtime this month."""
+        return self._downtime
+
+    def availability(self) -> float:
+        """Cumulative availability fraction of the month."""
+        return 1.0 - self._downtime / self.month_seconds
+
+    def refund(self, sla: AvailabilitySLA, monthly_cost: float) -> float:
+        """Service credit owed under ``sla`` for a month costing that much."""
+        return monthly_cost * sla.refund_fraction(self.availability())
+
+
+class OnDemandTier:
+    """Fixed-price tier of one (instance type, region).
+
+    On-demand capacity is modelled as always available (the SLA's rare
+    outages are handled by :class:`SLAAccount`, not by rejecting runs);
+    what the cost experiments need from this tier is its *price*.
+    """
+
+    def __init__(self, hourly_price: float, sla: AvailabilitySLA | None = None):
+        if hourly_price <= 0:
+            raise ValueError("hourly_price must be positive")
+        self._price = float(hourly_price)
+        self._sla = sla or AvailabilitySLA()
+
+    @property
+    def hourly_price(self) -> float:
+        """The fixed hourly price."""
+        return self._price
+
+    @property
+    def sla(self) -> AvailabilitySLA:
+        """The availability SLA attached to the tier."""
+        return self._sla
+
+    def run(self, duration_seconds: float) -> RunCharge:
+        """Charge a run of ``duration_seconds``."""
+        return charge_ondemand(self._price, duration_seconds)
+
+    def cost_of(self, duration_seconds: float) -> float:
+        """Dollars charged for a run of ``duration_seconds``."""
+        return self.run(duration_seconds).cost

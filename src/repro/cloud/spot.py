@@ -1,0 +1,146 @@
+"""Spot-instance lifecycle against a price trace (§2.1 of the paper).
+
+A Spot request carrying a maximum bid is *admitted* when the bid exceeds
+the market price at request time; while running, the instance is terminated
+by the provider the moment the market price becomes **greater than or
+equal to** the bid (the paper notes Amazon "may" terminate on equality —
+the model here uses the conservative reading DrAFTS itself assumes in
+§3.2, so bids one tick above a price are genuinely safe while bids equal to
+it are not).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cloud.billing import RunCharge, charge_spot_run, risked_cost
+from repro.market.traces import PriceTrace
+
+__all__ = ["SpotOutcome", "SpotRun", "SpotTier", "TerminationCause"]
+
+
+class TerminationCause(enum.Enum):
+    """Why a Spot run ended."""
+
+    USER = "user"  # ran its full requested duration
+    PRICE = "price"  # terminated by the provider (market >= bid)
+    REJECTED = "rejected"  # never started (bid <= market at request time)
+
+
+@dataclass(frozen=True)
+class SpotRun:
+    """Outcome of one Spot instance run.
+
+    Attributes
+    ----------
+    requested_start / requested_duration:
+        What the user asked for.
+    max_bid:
+        The request's maximum bid.
+    ran_seconds:
+        Time actually executed (0 when rejected).
+    cause:
+        How the run ended.
+    charge:
+        Billing outcome for the executed portion.
+    """
+
+    requested_start: float
+    requested_duration: float
+    max_bid: float
+    ran_seconds: float
+    cause: TerminationCause
+    charge: RunCharge
+
+    @property
+    def completed(self) -> bool:
+        """Whether the run survived its full requested duration."""
+        return self.cause is TerminationCause.USER
+
+    @property
+    def risk(self) -> float:
+        """Worst-case cost the user authorised for the executed hours."""
+        if self.cause is TerminationCause.REJECTED:
+            return 0.0
+        return risked_cost(self.max_bid, self.ran_seconds)
+
+
+class SpotOutcome(enum.Enum):
+    """Admission decision for a Spot request."""
+
+    STARTED = "started"
+    REJECTED = "rejected"
+
+
+class SpotTier:
+    """The Spot tier of one (instance type, AZ) pool.
+
+    Wraps the pool's price trace with the request/terminate semantics of
+    §2.1. This is the object the backtest and launch harnesses exercise.
+    """
+
+    def __init__(self, trace: PriceTrace) -> None:
+        self._trace = trace
+
+    @property
+    def trace(self) -> PriceTrace:
+        """The pool's market price history."""
+        return self._trace
+
+    def current_price(self, t: float) -> float:
+        """Market price quoted at time ``t``."""
+        return self._trace.price_at(t)
+
+    def would_admit(self, t: float, max_bid: float) -> bool:
+        """Whether a request at ``t`` bidding ``max_bid`` starts at all.
+
+        Admission requires the bid to *exceed* the market price (a bid
+        exactly at the market price is eligible for immediate termination,
+        which the conservative model treats as a rejection — this is the
+        third failure of Figure 3, "a failure of the instance to launch due
+        to the bid being below the current market price").
+        """
+        if max_bid <= 0:
+            raise ValueError("max_bid must be positive")
+        return max_bid > self.current_price(t)
+
+    def termination_time(self, t: float, max_bid: float) -> float:
+        """First instant ``>= t`` at which the provider may terminate.
+
+        ``inf`` if the market price never reaches the bid within the trace.
+        """
+        return self._trace.first_reach_after(t, max_bid)
+
+    def run(
+        self, start: float, duration_seconds: float, max_bid: float
+    ) -> SpotRun:
+        """Execute one request end-to-end and return its outcome."""
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if not self.would_admit(start, max_bid):
+            return SpotRun(
+                requested_start=start,
+                requested_duration=duration_seconds,
+                max_bid=max_bid,
+                ran_seconds=0.0,
+                cause=TerminationCause.REJECTED,
+                charge=RunCharge(hours=0, cost=0.0, hourly_prices=()),
+            )
+        kill = self.termination_time(start, max_bid)
+        end = start + duration_seconds
+        if kill >= end or math.isinf(kill):
+            ran = duration_seconds
+            cause = TerminationCause.USER
+        else:
+            ran = kill - start
+            cause = TerminationCause.PRICE
+        return SpotRun(
+            requested_start=start,
+            requested_duration=duration_seconds,
+            max_bid=max_bid,
+            ran_seconds=ran,
+            cause=cause,
+            charge=charge_spot_run(self._trace, start, ran),
+        )

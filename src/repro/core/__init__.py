@@ -1,0 +1,42 @@
+"""The paper's primary contribution: QBETS and the DrAFTS predictor.
+
+Layered bottom-up:
+
+* :mod:`repro.core.binomial` — distribution-free order-statistic confidence
+  bounds on quantiles (the arithmetic behind QBETS);
+* :mod:`repro.core.fenwick` / :mod:`repro.core.quantile_tracker` — the
+  ``O(log m)`` incremental order-statistic state;
+* :mod:`repro.core.changepoint` — binomial stationarity-break detection;
+* :mod:`repro.core.autocorr` — effective-sample-size compensation;
+* :mod:`repro.core.qbets` — the online QBETS forecaster;
+* :mod:`repro.core.durations` — vectorised survival-until-exceedance series;
+* :mod:`repro.core.drafts` — the two-phase DrAFTS bid predictor;
+* :mod:`repro.core.curves` — bid–duration curve artefacts.
+"""
+
+from repro.core.artable import ARCorrectionTable
+from repro.core.changepoint import ChangePointDetector, ChangeSignal
+from repro.core.curves import BidDurationCurve, bid_ladder
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.durations import DurationLadder, next_exceed_indices
+from repro.core.fenwick import FenwickTree
+from repro.core.online import OnlineDraftsPredictor
+from repro.core.qbets import QBETS, QBETSConfig
+from repro.core.quantile_tracker import QuantileTracker
+
+__all__ = [
+    "QBETS",
+    "ARCorrectionTable",
+    "BidDurationCurve",
+    "ChangePointDetector",
+    "ChangeSignal",
+    "DraftsConfig",
+    "DraftsPredictor",
+    "DurationLadder",
+    "FenwickTree",
+    "OnlineDraftsPredictor",
+    "QBETSConfig",
+    "QuantileTracker",
+    "bid_ladder",
+    "next_exceed_indices",
+]

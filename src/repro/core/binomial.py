@@ -1,0 +1,140 @@
+"""Exact binomial order-statistic indices for quantile confidence bounds.
+
+This module is the arithmetic heart of QBETS (§3.1 of the paper). Let
+``X_1..X_n`` be i.i.d. draws from an unknown distribution and ``Q_q`` its
+``q``-th quantile. The number of observations strictly greater than ``Q_q``
+is Binomial(n, 1-q); the number less than or equal to it is Binomial(n, q).
+Order statistics therefore give distribution-free confidence bounds:
+
+* **Upper bound**: with ``d[0] >= d[1] >= ... >= d[n-1]`` sorted descending,
+  ``P(d[k] >= Q_q) = 1 - BinCDF(k; n, 1-q)``, so ``d[k]`` is an upper
+  ``c``-confidence bound on ``Q_q`` for the largest ``k`` with
+  ``BinCDF(k; n, 1-q) <= 1-c``. Smaller ``k`` is more conservative; the
+  largest admissible ``k`` is the *tightest* valid bound, which is what
+  DrAFTS wants (minimise the bid).
+
+* **Lower bound**: with ``a[0] <= a[1] <= ... <= a[n-1]`` sorted ascending,
+  ``P(a[k] <= Q_q) = 1 - BinCDF(k; n, q)``, so ``a[k]`` is a lower
+  ``c``-confidence bound for the largest ``k`` with
+  ``BinCDF(k; n, q) <= 1-c``.
+
+Either bound exists only when the history is long enough:
+``q**n <= 1-c`` for the upper bound (equivalently
+``n >= ln(1-c)/ln(q)``). For the paper's defaults (q = sqrt(0.95) ~ 0.9747,
+c = 0.99) that is 180 observations, i.e. ~15 hours of 5-minute price
+updates — exactly the "DrAFTS needs history before it can bid" behaviour.
+
+All functions accept scalars or arrays of ``n`` and are vectorised, because
+the backtest evaluates bound indices for every prefix of a price history.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.util.validation import check_probability
+
+__all__ = [
+    "lower_bound_index",
+    "lower_bound_value",
+    "min_history_lower",
+    "min_history_upper",
+    "upper_bound_index",
+    "upper_bound_value",
+]
+
+
+def min_history_upper(q: float, c: float) -> int:
+    """Smallest ``n`` for which an upper ``c``-bound on quantile ``q`` exists.
+
+    Requires ``P(no observation exceeds Q_q) = q**n <= 1-c``.
+    """
+    check_probability(q, "q")
+    check_probability(c, "c")
+    return int(math.ceil(math.log(1.0 - c) / math.log(q)))
+
+
+def min_history_lower(q: float, c: float) -> int:
+    """Smallest ``n`` for which a lower ``c``-bound on quantile ``q`` exists.
+
+    By symmetry with :func:`min_history_upper` under ``q -> 1-q``.
+    """
+    check_probability(q, "q")
+    check_probability(c, "c")
+    return int(math.ceil(math.log(1.0 - c) / math.log(1.0 - q)))
+
+
+def upper_bound_index(
+    n: int | np.ndarray, q: float, c: float
+) -> int | np.ndarray:
+    """Index (0-based, descending order) of the upper ``c``-bound on ``Q_q``.
+
+    Returns the largest ``k`` such that ``BinCDF(k; n, 1-q) <= 1-c``, or
+    ``-1`` when no valid bound exists for that ``n`` (history too short).
+
+    The returned index selects the *tightest* order statistic that is still a
+    valid ``c``-confidence upper bound; ``k = 0`` is the sample maximum.
+    """
+    check_probability(q, "q")
+    check_probability(c, "c")
+    n_arr = np.asarray(n, dtype=np.int64)
+    if np.any(n_arr < 0):
+        raise ValueError("n must be non-negative")
+    # BinCDF(k; n, 1-q) <= 1-c  <=>  k <= ppf-style inverse. scipy's ppf
+    # returns the smallest k with CDF >= target, so step back as needed.
+    alpha = 1.0 - c
+    p_exceed = 1.0 - q
+    # ppf gives smallest k with cdf(k) >= alpha; candidates are that k or k-1.
+    k = stats.binom.ppf(alpha, n_arr, p_exceed)
+    k = np.nan_to_num(k, nan=-1.0).astype(np.int64)
+    # Correct for the closed/open inequality: we need cdf(k) <= alpha.
+    cdf_k = stats.binom.cdf(k, n_arr, p_exceed)
+    k = np.where(cdf_k > alpha, k - 1, k)
+    # When even k = 0 fails (q**n > 1-c), no bound exists.
+    cdf0 = stats.binom.cdf(0, n_arr, p_exceed)
+    k = np.where(cdf0 > alpha, -1, k)
+    k = np.minimum(k, n_arr - 1)
+    if np.ndim(n) == 0:
+        return int(k)
+    return k
+
+
+def lower_bound_index(
+    n: int | np.ndarray, q: float, c: float
+) -> int | np.ndarray:
+    """Index (0-based, ascending order) of the lower ``c``-bound on ``Q_q``.
+
+    Returns the largest ``k`` such that ``BinCDF(k; n, q) <= 1-c``, or ``-1``
+    when the history is too short. ``k = 0`` is the sample minimum.
+    """
+    # Lower bound on Q_q in ascending order is the mirror image of the upper
+    # bound on Q_{1-q} in descending order.
+    return upper_bound_index(n, 1.0 - q, c)
+
+
+def upper_bound_value(values: np.ndarray, q: float, c: float) -> float:
+    """Upper ``c``-confidence bound on the ``q``-quantile of a sample.
+
+    Returns ``nan`` when the sample is too short for a valid bound.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    k = upper_bound_index(x.size, q, c)
+    if k < 0:
+        return float("nan")
+    # k-th largest == (n-1-k)-th smallest.
+    return float(np.partition(x, x.size - 1 - k)[x.size - 1 - k])
+
+
+def lower_bound_value(values: np.ndarray, q: float, c: float) -> float:
+    """Lower ``c``-confidence bound on the ``q``-quantile of a sample.
+
+    Returns ``nan`` when the sample is too short for a valid bound.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    k = lower_bound_index(x.size, q, c)
+    if k < 0:
+        return float("nan")
+    return float(np.partition(x, k)[k])

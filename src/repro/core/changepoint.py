@@ -1,0 +1,187 @@
+"""Non-parametric binomial change-point detection for QBETS.
+
+QBETS assumes the series segment it estimates from is stationary and
+"attempts to detect change points ... so that it can apply this inference
+technique to only the most recent segment of the series that appears to be
+stationary" (§3.1). The published mechanism is a binomial surprise test; we
+implement it as two one-sided exceedance-run tests over a sliding window of
+indicator events:
+
+* **Upward shift** — each new observation either violates the current bound
+  prediction or not. Under the stationary model a violation happens with
+  probability at most ``1 - q``; if the number of violations in the last
+  ``window`` observations is improbably high (binomial tail below ``alpha``),
+  the level of the series has risen and old history is misleading.
+
+* **Downward shift** — a regime *drop* never violates an upper bound, so it
+  needs its own test: each observation either falls strictly below the
+  historical median or not (probability 1/2 under stationarity). An
+  improbably long run of sub-median observations signals that the old, higher
+  history should be discarded (otherwise bids stay needlessly high forever).
+
+On detection the caller truncates its history to the detection window, which
+is exactly the "restart from the most recent segment" behaviour the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+
+from scipy import stats
+
+from repro.util.validation import check_probability
+
+__all__ = ["BinomialRunDetector", "ChangePointDetector", "ChangeSignal"]
+
+
+class ChangeSignal(Enum):
+    """Outcome of feeding one observation to the detector."""
+
+    NONE = "none"
+    UP = "up"
+    DOWN = "down"
+
+
+class BinomialRunDetector:
+    """One-sided sliding-window binomial surprise test.
+
+    Feed booleans ("hit" events); after each event the detector reports
+    whether the hit count in the last ``window`` events is in the upper
+    binomial tail: ``P(Bin(window, p_hit) >= hits) < alpha``.
+
+    Parameters
+    ----------
+    p_hit:
+        Stationary per-event hit probability under the null.
+    window:
+        Sliding window length.
+    alpha:
+        Tail significance level for declaring a change.
+    """
+
+    def __init__(self, p_hit: float, window: int, alpha: float) -> None:
+        check_probability(p_hit, "p_hit")
+        check_probability(alpha, "alpha")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._p = float(p_hit)
+        self._window = int(window)
+        self._alpha = float(alpha)
+        self._events: deque[bool] = deque(maxlen=self._window)
+        self._hits = 0
+        # Precompute the critical hit count: smallest h with
+        # P(Bin(window, p) >= h) < alpha, i.e. sf(h - 1) < alpha.
+        self._critical = int(stats.binom.isf(alpha, self._window, self._p)) + 1
+        # isf returns the largest h with sf(h) >= alpha; the next integer is
+        # the first in the rejection region. Guard against degenerate cases.
+        while (
+            self._critical <= self._window
+            and stats.binom.sf(self._critical - 1, self._window, self._p)
+            >= alpha
+        ):
+            self._critical += 1
+
+    @property
+    def window(self) -> int:
+        """Sliding window length."""
+        return self._window
+
+    @property
+    def critical_hits(self) -> int:
+        """Hit count at which the test first rejects stationarity."""
+        return self._critical
+
+    def observe(self, hit: bool) -> bool:
+        """Record one event; return True if a change is signalled.
+
+        A signal is only raised once the window is full, so early noisy
+        prefixes of a series cannot trigger spurious truncation.
+        """
+        if len(self._events) == self._window:
+            if self._events[0]:
+                self._hits -= 1
+        self._events.append(bool(hit))
+        if hit:
+            self._hits += 1
+        return (
+            len(self._events) == self._window and self._hits >= self._critical
+        )
+
+    def reset(self) -> None:
+        """Forget all window state (called after a change point fires)."""
+        self._events.clear()
+        self._hits = 0
+
+
+class ChangePointDetector:
+    """Composite up/down change-point detector for one time series.
+
+    The caller is expected to feed *decimated* indicator samples (e.g. one
+    per hour rather than one per 5-minute epoch): the binomial null assumes
+    independent trials, and Spot price series decorrelate over tens of
+    minutes, so feeding every epoch would make the test fire on ordinary
+    autocorrelated wandering (see :class:`repro.core.qbets.QBETSConfig`'s
+    ``cp_decimation``).
+
+    Parameters
+    ----------
+    q:
+        The quantile the caller is bounding (violations of the bound have
+        null probability at most ``1 - q``).
+    window:
+        Sliding window length for both directional tests, in (decimated)
+        indicator samples.
+    alpha:
+        Significance level per test.
+    down_quantile:
+        Empirical quantile of the tracked history below which an
+        observation counts as a "low" hit for the downward test.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        window: int = 48,
+        alpha: float = 0.001,
+        down_quantile: float = 0.25,
+    ) -> None:
+        check_probability(q, "q")
+        check_probability(down_quantile, "down_quantile")
+        self._window = int(window)
+        self.down_quantile = down_quantile
+        self._up = BinomialRunDetector(1.0 - q, window, alpha)
+        self._down = BinomialRunDetector(down_quantile, window, alpha)
+
+    @property
+    def window(self) -> int:
+        """Observations kept after a truncation (the detection window)."""
+        return self._window
+
+    def observe(self, exceeded_bound: bool, below_low: bool) -> ChangeSignal:
+        """Feed the indicator pair for one new (decimated) observation.
+
+        ``exceeded_bound`` — the observation was above the current bound
+        prediction (or the bound did not exist yet, which counts as not
+        exceeded). ``below_low`` — the observation fell strictly below the
+        ``down_quantile`` empirical quantile of the tracked history.
+
+        Up-shifts take precedence when both fire on the same observation
+        (a violently volatile regime is treated as a level rise, the
+        conservative choice for bidding).
+        """
+        up = self._up.observe(exceeded_bound)
+        down = self._down.observe(below_low)
+        if up:
+            self.reset()
+            return ChangeSignal.UP
+        if down:
+            self.reset()
+            return ChangeSignal.DOWN
+        return ChangeSignal.NONE
+
+    def reset(self) -> None:
+        """Clear both directional windows."""
+        self._up.reset()
+        self._down.reset()

@@ -1,0 +1,162 @@
+"""Bid–duration curves (the DrAFTS service's primary artefact, Figure 4).
+
+A :class:`BidDurationCurve` is the list of ``(bid, guaranteed_duration)``
+pairs the DrAFTS service publishes for one (instance type, AZ, probability)
+triple: the smallest bid able to guarantee *any* duration, then bids in 5 %
+increments up to 4x that minimum, each paired with the duration the bid
+guarantees with the configured probability (§3.3). Durations are
+monotonically non-decreasing in the bid by construction (§3: "as bids get
+larger, the durations must increase monotonically for a fixed target
+probability").
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+__all__ = ["BidDurationCurve", "bid_ladder"]
+
+
+def bid_ladder(
+    minimum_bid: float, increment: float = 0.05, span: float = 4.0
+) -> np.ndarray:
+    """The service's multiplicative bid ladder.
+
+    Starts at ``minimum_bid`` and multiplies by ``1 + increment`` until
+    ``span * minimum_bid`` is reached (the endpoint is included so the
+    ladder always covers the full advertised range).
+    """
+    if minimum_bid <= 0:
+        raise ValueError(f"minimum_bid must be positive, got {minimum_bid}")
+    if increment <= 0:
+        raise ValueError(f"increment must be positive, got {increment}")
+    if span < 1.0:
+        raise ValueError(f"span must be >= 1, got {span}")
+    n = int(math.ceil(math.log(span) / math.log1p(increment)))
+    rungs = minimum_bid * (1.0 + increment) ** np.arange(n + 1)
+    rungs[-1] = min(rungs[-1], minimum_bid * span)
+    if rungs[-1] < minimum_bid * span:
+        rungs = np.append(rungs, minimum_bid * span)
+    return rungs
+
+
+@dataclass(frozen=True)
+class BidDurationCurve:
+    """Immutable (bid, duration) ladder for one instance type and AZ.
+
+    Attributes
+    ----------
+    bids:
+        Strictly increasing bid values in dollars/hour.
+    durations:
+        Guaranteed durations in seconds, non-decreasing, aligned with
+        ``bids``. ``nan`` entries mean "no duration guarantee possible yet"
+        (insufficient history).
+    probability:
+        The durability probability ``p`` the guarantees refer to.
+    instance_type / zone:
+        Identity of the market the curve describes.
+    computed_at:
+        Simulation timestamp (seconds) at which the curve was computed.
+    """
+
+    bids: tuple[float, ...]
+    durations: tuple[float, ...]
+    probability: float
+    instance_type: str = ""
+    zone: str = ""
+    computed_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.probability, "probability")
+        if len(self.bids) != len(self.durations):
+            raise ValueError("bids and durations must have equal length")
+        if len(self.bids) == 0:
+            raise ValueError("curve must contain at least one rung")
+        b = np.asarray(self.bids, dtype=np.float64)
+        if np.any(np.diff(b) <= 0):
+            raise ValueError("bids must be strictly increasing")
+        d = np.asarray(self.durations, dtype=np.float64)
+        finite = d[~np.isnan(d)]
+        if finite.size and np.any(np.diff(finite) < -1e-9):
+            raise ValueError("durations must be non-decreasing in the bid")
+
+    def __len__(self) -> int:
+        return len(self.bids)
+
+    @property
+    def minimum_bid(self) -> float:
+        """Smallest bid on the ladder."""
+        return self.bids[0]
+
+    def duration_for_bid(self, bid: float) -> float:
+        """Guaranteed duration for ``bid`` (conservative rung-down lookup).
+
+        A bid between two rungs guarantees at least the duration of the
+        highest rung not exceeding it. Bids below the ladder guarantee
+        nothing (returns ``nan``); bids above the top rung get the top
+        rung's duration (the guarantee cannot be extrapolated upward).
+        """
+        b = np.asarray(self.bids)
+        i = int(np.searchsorted(b, bid, side="right")) - 1
+        if i < 0:
+            return float("nan")
+        return self.durations[min(i, len(self.durations) - 1)]
+
+    def bid_for_duration(self, duration_seconds: float) -> float:
+        """Smallest ladder bid guaranteeing at least ``duration_seconds``.
+
+        Returns ``nan`` when no rung guarantees the requested duration —
+        the caller should fall back to On-demand (§4.4's cost-optimisation
+        strategy does exactly this comparison).
+        """
+        if duration_seconds < 0:
+            raise ValueError("duration must be non-negative")
+        d = np.asarray(self.durations, dtype=np.float64)
+        ok = np.flatnonzero(~np.isnan(d) & (d >= duration_seconds))
+        if ok.size == 0:
+            return float("nan")
+        return self.bids[int(ok[0])]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the service's machine-readable form)."""
+        return {
+            "instance_type": self.instance_type,
+            "zone": self.zone,
+            "probability": self.probability,
+            "computed_at": self.computed_at,
+            "bids": list(self.bids),
+            "durations": [
+                None if math.isnan(d) else d for d in self.durations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BidDurationCurve":
+        """Inverse of :meth:`to_dict`."""
+        durations = tuple(
+            float("nan") if d is None else float(d) for d in data["durations"]
+        )
+        return cls(
+            bids=tuple(float(b) for b in data["bids"]),
+            durations=durations,
+            probability=float(data["probability"]),
+            instance_type=str(data.get("instance_type", "")),
+            zone=str(data.get("zone", "")),
+            computed_at=float(data.get("computed_at", 0.0)),
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BidDurationCurve":
+        """Parse a curve serialised with :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))

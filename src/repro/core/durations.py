@@ -1,0 +1,149 @@
+"""Duration-until-price-exceeds-bid computations (DrAFTS phase 2).
+
+For a candidate maximum bid ``b`` and a price history, DrAFTS needs, for
+every historical instant ``s``, the time until the market price first
+reaches ``b`` (at which point an instance bidding ``b`` becomes *eligible*
+for termination — the paper uses ``>=`` because Amazon may terminate on
+equality, §3.2). Observations whose termination has not happened by the
+prediction time ``t`` are **right-censored at t**: we know only that they
+survived ``t - s``. Censored durations enter the series at their censor
+time, which under-states the true duration and therefore keeps the phase-2
+*lower* bound conservative (DESIGN.md §4.2).
+
+Everything here is vectorised: the next-exceedance scan is a sorted-index
+lookup (``O(n log n)`` once per bid level) and censoring is an elementwise
+``minimum``, so backtests can evaluate hundreds of (time, bid) queries per
+combination without Python-level loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DurationLadder", "censored_durations", "next_exceed_indices"]
+
+
+def next_exceed_indices(prices: np.ndarray, threshold: float) -> np.ndarray:
+    """For each index ``s``, the smallest ``j >= s`` with ``prices[j] >= threshold``.
+
+    Returns an int64 array; entries equal to ``len(prices)`` mean the price
+    never reaches ``threshold`` within the trace (censored at trace end).
+    """
+    p = np.asarray(prices, dtype=np.float64)
+    n = p.size
+    hits = np.flatnonzero(p >= threshold)
+    pos = np.searchsorted(hits, np.arange(n), side="left")
+    out = np.full(n, n, dtype=np.int64)
+    valid = pos < hits.size
+    out[valid] = hits[pos[valid]]
+    return out
+
+
+def censored_durations(
+    times: np.ndarray, exceed_idx: np.ndarray, t_idx: int
+) -> np.ndarray:
+    """Durations (seconds) observable at prediction index ``t_idx``.
+
+    ``exceed_idx`` is the output of :func:`next_exceed_indices` for the bid
+    under consideration. The result covers start indices ``s = 0 .. t_idx-1``;
+    each entry is ``times[min(exceed_idx[s], t_idx)] - times[s]`` — the true
+    termination-eligibility delay when it happened before ``t_idx``, the
+    censored survival time otherwise.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    if not 0 <= t_idx <= t.size:
+        raise IndexError(f"t_idx {t_idx} out of range for {t.size} samples")
+    if t_idx == 0:
+        return np.empty(0, dtype=np.float64)
+    # t_idx == t.size means "predict now, after the last announcement":
+    # ongoing starts are censored at the final timestamp.
+    censor = min(t_idx, t.size - 1)
+    ends = np.minimum(exceed_idx[:t_idx], censor)
+    return t[ends] - t[:t_idx]
+
+
+class DurationLadder:
+    """Precomputed next-exceedance indices for a ladder of bid levels.
+
+    The backtest engine asks for durations at many random prediction times
+    for bids drawn from a multiplicative ladder (the DrAFTS service uses 5 %
+    rungs up to 4x the minimum bid, §3.3). Precomputing the exceedance scan
+    per rung makes each query an ``O(n)`` slice instead of a fresh
+    ``O(n log n)`` scan per (time, bid) pair.
+
+    Parameters
+    ----------
+    times / prices:
+        The price history (parallel arrays).
+    levels:
+        Monotonically increasing bid levels to precompute.
+    """
+
+    def __init__(
+        self, times: np.ndarray, prices: np.ndarray, levels: np.ndarray
+    ) -> None:
+        self._times = np.asarray(times, dtype=np.float64)
+        self._prices = np.asarray(prices, dtype=np.float64)
+        lv = np.asarray(levels, dtype=np.float64)
+        if self._times.shape != self._prices.shape:
+            raise ValueError("times and prices must have identical shape")
+        if lv.ndim != 1 or lv.size == 0:
+            raise ValueError("levels must be a non-empty 1-D array")
+        if np.any(np.diff(lv) <= 0):
+            raise ValueError("levels must be strictly increasing")
+        self._levels = lv
+        self._exceed = np.vstack(
+            [next_exceed_indices(self._prices, b) for b in lv]
+        )
+
+    @property
+    def levels(self) -> np.ndarray:
+        """The precomputed bid levels (read-only view)."""
+        v = self._levels.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n_samples(self) -> int:
+        """Length of the underlying price history."""
+        return self._times.size
+
+    def rung_at_least(self, bid: float) -> int:
+        """Index of the smallest precomputed level ``>= bid``.
+
+        Using the next rung *up* keeps duration estimates conservative for
+        bids between rungs (a higher threshold is exceeded no sooner).
+        Raises ``ValueError`` if ``bid`` exceeds the top of the ladder.
+        """
+        i = int(np.searchsorted(self._levels, bid, side="left"))
+        if i >= self._levels.size:
+            raise ValueError(
+                f"bid {bid} above ladder maximum {self._levels[-1]}"
+            )
+        return i
+
+    def rung_at_most(self, bid: float) -> int:
+        """Index of the largest precomputed level ``<= bid`` (or -1)."""
+        return int(np.searchsorted(self._levels, bid, side="right")) - 1
+
+    def exceed_indices(self, rung: int) -> np.ndarray:
+        """Next-exceedance index array for ladder rung ``rung``."""
+        return self._exceed[rung]
+
+    def durations_at(self, rung: int, t_idx: int) -> np.ndarray:
+        """Censored duration series observable at ``t_idx`` for ``rung``."""
+        return censored_durations(self._times, self._exceed[rung], t_idx)
+
+    def survival_time(self, rung: int, t_idx: int) -> float:
+        """Realised time from ``t_idx`` until the rung's level is reached.
+
+        Post-facto ground truth used by backtests to decide whether a bid
+        would have survived a requested duration. Returns ``inf`` when the
+        price never reaches the level again within the trace.
+        """
+        if not 0 <= t_idx < self._times.size:
+            raise IndexError(f"t_idx {t_idx} out of range")
+        j = int(self._exceed[rung, t_idx])
+        if j >= self._times.size:
+            return float("inf")
+        return float(self._times[j] - self._times[t_idx])

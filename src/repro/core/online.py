@@ -1,0 +1,204 @@
+"""Incremental (online) DrAFTS predictor.
+
+:class:`~repro.core.drafts.DraftsPredictor` fits a whole price history at
+construction — right for backtests, wasteful for a live service that
+receives one announcement every five minutes. The paper is explicit that
+the production predictor updates incrementally ("in a few milliseconds",
+§3.3); this module provides that object.
+
+State per new announcement:
+
+* the phase-1 QBETS price bound advances in ``O(log m)`` (Fenwick tree);
+* each bid-ladder rung keeps the index of its most recent exceedance —
+  because "never exceeded since s" is a *suffix* property, one pointer per
+  rung fully describes the unresolved set, and a new announcement resolves
+  a whole suffix at once (amortised ``O(1)`` per (rung, announcement));
+* duration queries then materialise censored durations per rung exactly as
+  the batch predictor does, so both predictors agree bit-for-bit on shared
+  history (verified by tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import binomial
+from repro.core.curves import BidDurationCurve, bid_ladder
+from repro.core.drafts import PRICE_TICK, DraftsConfig
+from repro.core.qbets import QBETS
+
+__all__ = ["OnlineDraftsPredictor"]
+
+
+class OnlineDraftsPredictor:
+    """DrAFTS predictor fed one announcement at a time.
+
+    Parameters
+    ----------
+    config:
+        The DrAFTS configuration (same object the batch predictor takes).
+    ladder_lo / ladder_hi:
+        Fixed bid-ladder range to precompute rungs over. A live service
+        knows its instrument's plausible price range (e.g. one tick up to
+        ``ladder_span`` times the On-demand price); the ladder is laid out
+        once so per-update work stays O(rungs).
+    """
+
+    def __init__(
+        self,
+        config: DraftsConfig | None = None,
+        ladder_lo: float = PRICE_TICK,
+        ladder_hi: float = 100.0,
+    ) -> None:
+        if ladder_hi <= ladder_lo:
+            raise ValueError("ladder_hi must exceed ladder_lo")
+        if ladder_lo <= 0:
+            raise ValueError("ladder_lo must be positive")
+        self._cfg = config or DraftsConfig()
+        self._qbets = QBETS(self._cfg.qbets_config())
+        n = int(
+            math.ceil(
+                math.log(ladder_hi / ladder_lo)
+                / math.log1p(self._cfg.ladder_increment)
+            )
+        )
+        self._levels = ladder_lo * (
+            (1.0 + self._cfg.ladder_increment) ** np.arange(n + 1)
+        )
+        self._times: list[float] = []
+        self._prices: list[float] = []
+        # Per rung: first-exceedance index for every past announcement.
+        # Unresolved entries hold the sentinel (a large int) and form a
+        # suffix; _last_exceed[r] is the newest resolved boundary.
+        self._exceed: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in self._levels
+        ]
+        self._last_exceed = np.full(len(self._levels), -1, dtype=np.int64)
+        self._capacity = 0
+        self._min_duration_n = binomial.min_history_lower(
+            self._cfg.duration_quantile, self._cfg.confidence
+        )
+
+    _SENTINEL = np.iinfo(np.int64).max
+
+    @property
+    def config(self) -> DraftsConfig:
+        """The predictor's configuration."""
+        return self._cfg
+
+    @property
+    def n(self) -> int:
+        """Announcements consumed so far."""
+        return len(self._times)
+
+    def _grow(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_capacity = max(2 * self._capacity, needed, 1024)
+        for r, row in enumerate(self._exceed):
+            grown = np.full(new_capacity, self._SENTINEL, dtype=np.int64)
+            grown[: row.size] = row
+            self._exceed[r] = grown
+        self._capacity = new_capacity
+
+    def observe(self, time: float, price: float) -> None:
+        """Consume one price announcement."""
+        if self._times and time <= self._times[-1]:
+            raise ValueError("announcements must arrive in time order")
+        if price <= 0:
+            raise ValueError("price must be positive")
+        t = len(self._times)
+        self._grow(t + 1)
+        self._times.append(float(time))
+        self._prices.append(float(price))
+        # Resolve every rung whose level this price reaches: all currently
+        # unresolved starts (a suffix) terminate at t. Each entry resolves
+        # at most once across the predictor's lifetime.
+        reached = int(np.searchsorted(self._levels, price, side="right"))
+        for r in range(reached):
+            row = self._exceed[r]
+            start = int(self._last_exceed[r]) + 1
+            row[start : t + 1] = t
+            self._last_exceed[r] = t
+        self._qbets.update(float(price))
+
+    def extend(self, times, prices) -> None:
+        """Consume many announcements in order."""
+        for time, price in zip(times, prices):
+            self.observe(float(time), float(price))
+
+    # -- queries (all "as of now") ------------------------------------------
+
+    def price_bound(self) -> float:
+        """Current phase-1 upper price bound (nan while warming up)."""
+        return self._qbets.bound
+
+    def min_bid(self) -> float:
+        """Current minimum admissible DrAFTS bid (bound + premium)."""
+        return self._qbets.bound + self._cfg.premium
+
+    def _durations_for_rung(self, rung: int) -> np.ndarray:
+        t = len(self._times)
+        if t == 0:
+            return np.empty(0, dtype=np.float64)
+        times = np.asarray(self._times)
+        ends = np.minimum(self._exceed[rung][:t], t - 1)
+        return times[ends] - times
+
+    def duration_bound(self, bid: float) -> float:
+        """Certified duration for ``bid`` as of the latest announcement."""
+        if math.isnan(bid):
+            return float("nan")
+        rung = int(np.searchsorted(self._levels, bid, side="left"))
+        rung = min(rung, len(self._levels) - 1)
+        durations = self._durations_for_rung(rung)
+        n = durations.size
+        if n < self._min_duration_n:
+            return float("nan")
+        k = binomial.lower_bound_index(
+            n, self._cfg.duration_quantile, self._cfg.confidence
+        )
+        if k < 0:
+            return float("nan")
+        return float(np.partition(durations, int(k))[int(k)])
+
+    def bid_for(self, duration_seconds: float) -> float:
+        """Minimum ladder bid guaranteeing ``duration_seconds`` now."""
+        if duration_seconds < 0:
+            raise ValueError("duration must be non-negative")
+        lo = self.min_bid()
+        if math.isnan(lo):
+            return float("nan")
+        cap = lo * self._cfg.ladder_span
+        start = int(np.searchsorted(self._levels, lo, side="left"))
+        for r in range(start, len(self._levels)):
+            bid = float(self._levels[r])
+            if bid > cap * (1.0 + 1e-12):
+                break
+            certified = self.duration_bound(bid)
+            if not math.isnan(certified) and certified >= duration_seconds:
+                return bid
+        return float("nan")
+
+    def curve(
+        self, instance_type: str = "", zone: str = ""
+    ) -> BidDurationCurve | None:
+        """Current bid-duration curve (the service's published artefact)."""
+        lo = self.min_bid()
+        if math.isnan(lo):
+            return None
+        rungs = bid_ladder(lo, self._cfg.ladder_increment, self._cfg.ladder_span)
+        durations = np.array([self.duration_bound(float(b)) for b in rungs])
+        filled = np.where(np.isnan(durations), -np.inf, durations)
+        mono = np.maximum.accumulate(filled)
+        durations = np.where(np.isinf(mono), np.nan, mono)
+        return BidDurationCurve(
+            bids=tuple(float(b) for b in rungs),
+            durations=tuple(float(d) for d in durations),
+            probability=self._cfg.probability,
+            instance_type=instance_type,
+            zone=zone,
+            computed_at=self._times[-1] if self._times else 0.0,
+        )

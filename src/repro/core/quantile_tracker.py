@@ -1,0 +1,154 @@
+"""Incremental order-statistic tracking over a sliding history.
+
+:class:`QuantileTracker` is the state behind online QBETS: it holds the
+currently relevant window of a time series (everything since the last
+change point) and answers order-statistic queries in ``O(log m)``.
+
+Values are quantised to integer *ticks* (default $0.0001, the Spot tier's
+price increment) and stored both in a Fenwick tree (for rank/selection) and
+in a ring-ordered list (so change-point truncation can drop the oldest
+observations). Quantisation direction is configurable because DrAFTS needs
+*conservative* rounding: price upper bounds round up, duration lower bounds
+round down.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.core.fenwick import FenwickTree
+
+__all__ = ["QuantileTracker"]
+
+
+class QuantileTracker:
+    """Order statistics over the most recent observations of a series.
+
+    Parameters
+    ----------
+    tick:
+        Quantisation step. Values are stored as integer multiples of
+        ``tick``.
+    max_value:
+        Upper limit of representable values; defines the Fenwick domain.
+        Values above it raise ``ValueError`` (the caller chooses a domain
+        with headroom — e.g. 4x the largest on-demand price).
+    rounding:
+        ``"up"`` (ceil, conservative for upper bounds on prices),
+        ``"down"`` (floor, conservative for lower bounds on durations) or
+        ``"nearest"``.
+    """
+
+    def __init__(
+        self,
+        tick: float = 1e-4,
+        max_value: float = 100.0,
+        rounding: str = "up",
+    ) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        if max_value <= tick:
+            raise ValueError("max_value must exceed tick")
+        if rounding not in ("up", "down", "nearest"):
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        self._tick = float(tick)
+        self._rounding = rounding
+        slots = int(math.ceil(max_value / tick)) + 1
+        self._tree = FenwickTree(slots)
+        self._order: deque[int] = deque()
+
+    @property
+    def tick(self) -> float:
+        """Quantisation step."""
+        return self._tick
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (self._tree.size - 1) * self._tick
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def _quantise(self, value: float) -> int:
+        if value < 0:
+            raise ValueError(f"values must be non-negative, got {value}")
+        if not math.isfinite(value):
+            raise ValueError(f"values must be finite, got {value}")
+        scaled = value / self._tick
+        if self._rounding == "up":
+            slot = int(math.ceil(scaled - 1e-9))
+        elif self._rounding == "down":
+            slot = int(math.floor(scaled + 1e-9))
+        else:
+            slot = int(round(scaled))
+        if slot >= self._tree.size:
+            raise ValueError(
+                f"value {value} exceeds tracker domain "
+                f"(max {self.max_value})"
+            )
+        return slot
+
+    def push(self, value: float) -> None:
+        """Append an observation (the newest point of the series)."""
+        slot = self._quantise(value)
+        self._tree.add(slot)
+        self._order.append(slot)
+
+    def extend(self, values) -> None:
+        """Append many observations in series order."""
+        for v in values:
+            self.push(v)
+
+    def drop_oldest(self, count: int) -> None:
+        """Discard the ``count`` oldest observations (change-point truncation)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > len(self._order):
+            raise ValueError(
+                f"cannot drop {count} of {len(self._order)} observations"
+            )
+        for _ in range(count):
+            slot = self._order.popleft()
+            self._tree.remove(slot)
+
+    def truncate_to(self, keep: int) -> None:
+        """Keep only the ``keep`` most recent observations."""
+        if keep < 0:
+            raise ValueError(f"keep must be non-negative, got {keep}")
+        excess = len(self._order) - keep
+        if excess > 0:
+            self.drop_oldest(excess)
+
+    def clear(self) -> None:
+        """Forget the entire history."""
+        self._tree.clear()
+        self._order.clear()
+
+    def kth_largest(self, k: int) -> float:
+        """The ``k``-th largest tracked value (0-based)."""
+        return self._tree.kth_largest(k) * self._tick
+
+    def kth_smallest(self, k: int) -> float:
+        """The ``k``-th smallest tracked value (0-based)."""
+        return self._tree.kth_smallest(k) * self._tick
+
+    def count_greater(self, value: float) -> int:
+        """Number of tracked observations strictly greater than ``value``.
+
+        The comparison happens in tick space with the tracker's rounding, so
+        it is consistent with what :meth:`kth_largest` returns.
+        """
+        slot = self._quantise(value)
+        return len(self._order) - self._tree.prefix_count(slot)
+
+    def recent(self, count: int) -> list[float]:
+        """The ``count`` most recent observations, oldest first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        count = min(count, len(self._order))
+        if count == 0:
+            return []
+        items = list(self._order)[-count:]
+        return [slot * self._tick for slot in items]

@@ -1,0 +1,16 @@
+"""Dataset tooling: export/load price-history archives (the reproduction's
+equivalent of the paper's published Spot price dataset)."""
+
+from repro.data.archive import (
+    ArchiveEntry,
+    ArchiveManifest,
+    export_universe,
+    load_archive,
+)
+
+__all__ = [
+    "ArchiveEntry",
+    "ArchiveManifest",
+    "export_universe",
+    "load_archive",
+]

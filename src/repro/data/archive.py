@@ -1,0 +1,170 @@
+"""Price-history archives on disk.
+
+The paper published its Spot price dataset (the SOFTWARE AVAILABILITY
+section); this module provides the equivalent for the reproduction: export
+any set of the universe's combinations to a directory of CSV trace files
+plus a JSON manifest (seed, class assignments, On-demand prices), and load
+such an archive back into plain :class:`~repro.market.traces.PriceTrace`
+objects — so an experiment can be shipped, inspected with ordinary tools,
+and re-run bit-for-bit without regenerating anything.
+
+Layout::
+
+    archive/
+      manifest.json
+      traces/
+        c4.large@us-east-1b.csv
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.market.traces import PriceTrace
+from repro.market.universe import Combo, Universe
+
+__all__ = ["ArchiveEntry", "ArchiveManifest", "export_universe", "load_archive"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """Manifest record of one archived combination."""
+
+    key: str
+    instance_type: str
+    zone: str
+    volatility_class: str
+    ondemand_price: float
+    n_announcements: int
+    filename: str
+
+
+@dataclass(frozen=True)
+class ArchiveManifest:
+    """Archive-wide metadata."""
+
+    format_version: int
+    universe_seed: int
+    n_epochs: int
+    entries: tuple[ArchiveEntry, ...]
+
+    def entry(self, key: str) -> ArchiveEntry:
+        """Look up one combination's record."""
+        for e in self.entries:
+            if e.key == key:
+                return e
+        raise KeyError(f"no archived combination {key!r}")
+
+
+def _safe_filename(key: str) -> str:
+    return key.replace("/", "_") + ".csv"
+
+
+def export_universe(
+    universe: Universe,
+    directory: str | Path,
+    combos: tuple[Combo, ...] | None = None,
+) -> ArchiveManifest:
+    """Write ``combos`` (default: all) of ``universe`` to ``directory``.
+
+    Returns the manifest; refuses to overwrite an existing manifest so an
+    archive is never silently clobbered.
+    """
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    if manifest_path.exists():
+        raise FileExistsError(f"archive already exists at {manifest_path}")
+    traces_dir = root / "traces"
+    traces_dir.mkdir(parents=True, exist_ok=True)
+
+    selected = combos if combos is not None else universe.combos()
+    entries: list[ArchiveEntry] = []
+    for combo in selected:
+        trace = universe.trace(combo)
+        filename = _safe_filename(combo.key)
+        (traces_dir / filename).write_text(trace.to_csv())
+        entries.append(
+            ArchiveEntry(
+                key=combo.key,
+                instance_type=combo.instance_type,
+                zone=combo.zone.name,
+                volatility_class=combo.volatility_class,
+                ondemand_price=combo.ondemand_price,
+                n_announcements=len(trace),
+                filename=filename,
+            )
+        )
+    manifest = ArchiveManifest(
+        format_version=_FORMAT_VERSION,
+        universe_seed=universe.config.seed,
+        n_epochs=universe.config.n_epochs,
+        entries=tuple(entries),
+    )
+    manifest_path.write_text(
+        json.dumps(
+            {
+                "format_version": manifest.format_version,
+                "universe_seed": manifest.universe_seed,
+                "n_epochs": manifest.n_epochs,
+                "entries": [e.__dict__ for e in manifest.entries],
+            },
+            indent=2,
+        )
+    )
+    return manifest
+
+
+def load_archive(
+    directory: str | Path,
+) -> tuple[ArchiveManifest, dict[str, PriceTrace]]:
+    """Load an archive written by :func:`export_universe`.
+
+    Returns ``(manifest, traces)`` with traces keyed by combination key.
+    """
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    data = json.loads(manifest_path.read_text())
+    version = int(data.get("format_version", -1))
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported archive format {version} "
+            f"(this reader supports {_FORMAT_VERSION})"
+        )
+    entries = tuple(
+        ArchiveEntry(
+            key=str(e["key"]),
+            instance_type=str(e["instance_type"]),
+            zone=str(e["zone"]),
+            volatility_class=str(e["volatility_class"]),
+            ondemand_price=float(e["ondemand_price"]),
+            n_announcements=int(e["n_announcements"]),
+            filename=str(e["filename"]),
+        )
+        for e in data["entries"]
+    )
+    manifest = ArchiveManifest(
+        format_version=version,
+        universe_seed=int(data["universe_seed"]),
+        n_epochs=int(data["n_epochs"]),
+        entries=entries,
+    )
+    traces: dict[str, PriceTrace] = {}
+    for entry in entries:
+        payload = (root / "traces" / entry.filename).read_text()
+        trace = PriceTrace.from_csv(
+            payload, entry.instance_type, entry.zone
+        )
+        if len(trace) != entry.n_announcements:
+            raise ValueError(
+                f"{entry.key}: manifest records {entry.n_announcements} "
+                f"announcements, file holds {len(trace)}"
+            )
+        traces[entry.key] = trace
+    return manifest, traces

@@ -1,0 +1,35 @@
+"""One driver per paper table/figure; see DESIGN.md §3 for the index.
+
+Run from the command line::
+
+    python -m repro.experiments table1 --scale bench
+"""
+
+from repro.experiments.common import SCALES, Scale, scaled_combos, scaled_universe
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figures23 import run_figure2, run_figure3
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.tables23 import run_table2, run_table3
+from repro.experiments.tables45 import run_table4, run_table5
+from repro.experiments.tightness import run_tightness
+
+__all__ = [
+    "EXPERIMENTS",
+    "SCALES",
+    "Scale",
+    "run_experiment",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_tightness",
+    "scaled_combos",
+    "scaled_universe",
+]

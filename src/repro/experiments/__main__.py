@@ -1,0 +1,59 @@
+"""CLI entry: ``python -m repro.experiments <id> [--scale bench]``.
+
+Runs one paper experiment and prints its paper-shaped table or figure.
+``python -m repro.experiments all`` runs every experiment in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import SCALES
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run experiments, print renditions."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce one table/figure of the DrAFTS paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all"],
+        help="experiment id (DESIGN.md section 3) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="bench",
+        help="scale preset (default: bench)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for table1's backtest matrix "
+        "(recommended for --scale paper; 0 = sequential)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.perf_counter()
+        if experiment_id == "table1" and args.workers > 0:
+            from repro.experiments.table1 import run_table1
+
+            result = run_table1(scale=args.scale, workers=args.workers)
+        else:
+            result = run_experiment(experiment_id, scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

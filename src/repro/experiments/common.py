@@ -1,0 +1,130 @@
+"""Shared experiment infrastructure: scale presets and the study universe.
+
+Paper-scale experiments (452 combinations x 300 requests x 5-month traces)
+run in tens of minutes; the ``bench`` preset keeps every volatility class
+and every pinned paper-named combination while shrinking the combination
+count and sample sizes so the whole benchmark suite runs on a laptop; the
+``test`` preset is smaller still for the integration tests. All presets are
+pure functions of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.backtest.engine import BacktestConfig
+from repro.market.universe import Combo, Universe, UniverseConfig
+
+__all__ = ["SCALES", "Scale", "scaled_combos", "scaled_universe"]
+
+_EPOCHS_PER_DAY = 288
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale preset.
+
+    Attributes
+    ----------
+    name:
+        Preset name.
+    trace_days:
+        Length of every market trace.
+    per_class:
+        Stratified combinations per volatility class (``0`` = the full
+        452-combination universe).
+    n_requests:
+        Backtest requests per combination (paper: 300).
+    max_duration_hours:
+        Request-duration upper bound (paper: 12).
+    train_days:
+        History before the earliest request (paper: ~90).
+    n_launches:
+        Launch-experiment attempts (paper: 100).
+    replay_jobs:
+        Jobs in the workload replay (paper: 1000).
+    replay_seeds:
+        Replay repetitions for Table 3 (paper: 35).
+    seed:
+        Root seed of the universe.
+    """
+
+    name: str
+    trace_days: int
+    per_class: int
+    n_requests: int
+    max_duration_hours: float
+    train_days: float
+    n_launches: int
+    replay_jobs: int
+    replay_seeds: int
+    seed: int = 20170101
+
+    def universe_config(self) -> UniverseConfig:
+        """The preset's universe configuration."""
+        return UniverseConfig(
+            seed=self.seed, n_epochs=self.trace_days * _EPOCHS_PER_DAY
+        )
+
+    def backtest_config(self, probability: float) -> BacktestConfig:
+        """The preset's backtest configuration at ``probability``."""
+        return BacktestConfig(
+            probability=probability,
+            n_requests=self.n_requests,
+            max_duration_hours=self.max_duration_hours,
+            train_days=self.train_days,
+            seed=self.seed + 1,
+        )
+
+
+SCALES: dict[str, Scale] = {
+    "paper": Scale(
+        name="paper",
+        trace_days=150,
+        per_class=0,
+        n_requests=300,
+        max_duration_hours=12.0,
+        train_days=90.0,
+        n_launches=100,
+        replay_jobs=1000,
+        replay_seeds=35,
+    ),
+    "bench": Scale(
+        name="bench",
+        trace_days=150,
+        per_class=3,
+        n_requests=100,
+        max_duration_hours=12.0,
+        train_days=90.0,
+        n_launches=60,
+        replay_jobs=300,
+        replay_seeds=5,
+    ),
+    "test": Scale(
+        name="test",
+        trace_days=70,
+        per_class=1,
+        n_requests=30,
+        max_duration_hours=4.0,
+        train_days=40.0,
+        n_launches=20,
+        replay_jobs=120,
+        replay_seeds=2,
+    ),
+}
+
+
+@lru_cache(maxsize=4)
+def scaled_universe(scale_name: str) -> Universe:
+    """The (cached) universe of a preset."""
+    return Universe(SCALES[scale_name].universe_config())
+
+
+def scaled_combos(scale_name: str) -> tuple[Combo, ...]:
+    """The preset's combination set (stratified subsample or full)."""
+    scale = SCALES[scale_name]
+    universe = scaled_universe(scale_name)
+    if scale.per_class <= 0:
+        return universe.combos()
+    return universe.subsample(per_class=scale.per_class)

@@ -1,0 +1,76 @@
+"""Experiment ``figure4`` — the bid–duration relationship (§4.3, Figure 4).
+
+The DrAFTS service's graph for one combination: predicted instance duration
+(x) against the DrAFTS maximum bid that guarantees it (y); monotone, with
+diminishing duration returns as the bid rises. The paper plots
+``c3.4xlarge`` in ``us-east-1a``; AZ names are per-account (§2.2), so the
+reproduction uses the equivalent combination under our account's naming
+(``us-east-1b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.api import EC2Api
+from repro.core.curves import BidDurationCurve
+from repro.experiments.common import SCALES, scaled_universe
+from repro.service.drafts_service import DraftsService, ServiceConfig
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The published curve for the figure's combination."""
+
+    scale: str
+    instance_type: str
+    zone: str
+    probability: float
+    curve: BidDurationCurve
+
+    def render(self) -> str:
+        """ASCII plot: one row per ladder rung."""
+        lines = [
+            f"Figure 4 (scale={self.scale}): bid-duration relationship, "
+            f"{self.instance_type} in {self.zone}, p={self.probability}"
+        ]
+        finite = [d for d in self.curve.durations if d == d]
+        top = max(finite) if finite else 1.0
+        for bid, duration in zip(self.curve.bids, self.curve.durations):
+            if duration != duration:
+                lines.append(f"  ${bid:8.4f} | (no guarantee yet)")
+                continue
+            bar = "#" * int(round(40 * duration / top)) if top else ""
+            lines.append(f"  ${bid:8.4f} | {bar} {duration / 3600:.2f} h")
+        return "\n".join(lines)
+
+
+def run_figure4(
+    scale: str = "bench",
+    instance_type: str = "c3.4xlarge",
+    zone: str = "us-east-1b",
+    probability: float = 0.99,
+) -> Figure4Result:
+    """Compute the service's curve for the figure's combination."""
+    preset = SCALES[scale]
+    universe = scaled_universe(scale)
+    api = EC2Api(universe)
+    service = DraftsService(
+        api, ServiceConfig(probabilities=(probability,))
+    )
+    combo = universe.combo(instance_type, zone)
+    now = universe.trace(combo).start + preset.train_days * 86400.0
+    curve = service.curve(instance_type, zone, probability, now)
+    if curve is None:
+        raise RuntimeError(
+            f"insufficient history for {instance_type}@{zone} at {now}"
+        )
+    return Figure4Result(
+        scale=scale,
+        instance_type=instance_type,
+        zone=zone,
+        probability=probability,
+        curve=curve,
+    )

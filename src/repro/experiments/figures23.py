@@ -1,0 +1,65 @@
+"""Experiments ``figure2`` and ``figure3`` — launch series (§4.2).
+
+Figure 2: ~100 launches of ``c4.large`` in ``us-east-1`` at p = 0.95 over a
+week — all succeeded (the combination backtests conservatively at 0.95).
+Figure 3: the same protocol for ``c3.2xlarge`` in ``us-west-1`` — four
+failures, back to back, one of them a launch rejection; consistent with the
+0.95 target and with price autocorrelation clustering the failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backtest.launch import LaunchConfig, LaunchSeries, run_launch_series
+from repro.experiments.common import SCALES, scaled_universe
+
+__all__ = ["FigureLaunchResult", "run_figure2", "run_figure3"]
+
+
+@dataclass(frozen=True)
+class FigureLaunchResult:
+    """A launch-experiment series plus its summary statistics."""
+
+    figure: str
+    scale: str
+    series: LaunchSeries
+
+    def render(self) -> str:
+        """Launch-by-launch bid series with failure markers."""
+        s = self.series
+        lines = [
+            f"{self.figure} (scale={self.scale}): {len(s.records)} launches "
+            f"of {s.config.instance_type} in {s.config.region}, "
+            f"p={s.config.probability}; failures={s.failures} "
+            f"(runs: {s.failure_runs()}), success={s.success_fraction:.3f}"
+        ]
+        for r in s.records:
+            marker = "" if not r.failed else f"  <-- {r.outcome}"
+            lines.append(f"  #{r.index + 1:3d} {r.zone} ${r.bid:.4f}{marker}")
+        return "\n".join(lines)
+
+
+def _run(figure: str, scale: str, instance_type: str, region: str, seed: int):
+    preset = SCALES[scale]
+    universe = scaled_universe(scale)
+    config = LaunchConfig(
+        instance_type=instance_type,
+        region=region,
+        probability=0.95,
+        n_launches=preset.n_launches,
+        start_after_days=preset.train_days,
+        seed=seed,
+    )
+    series = run_launch_series(universe, config)
+    return FigureLaunchResult(figure=figure, scale=scale, series=series)
+
+
+def run_figure2(scale: str = "bench") -> FigureLaunchResult:
+    """Figure 2: c4.large launches in us-east-1 (calm combination)."""
+    return _run("Figure 2", scale, "c4.large", "us-east-1", seed=7)
+
+
+def run_figure3(scale: str = "bench") -> FigureLaunchResult:
+    """Figure 3: c3.2xlarge launches in us-west-1 (spiky combination)."""
+    return _run("Figure 3", scale, "c3.2xlarge", "us-west-1", seed=7)

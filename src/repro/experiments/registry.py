@@ -1,0 +1,46 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each entry is a callable taking a scale preset name and returning a result
+object with a ``render()`` method; ``python -m repro.experiments <id>``
+dispatches through this table. DESIGN.md §3 maps each id to the paper
+artefact, its workload, and the modules involved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figures23 import run_figure2, run_figure3
+from repro.experiments.table1 import run_table1
+from repro.experiments.tables23 import run_table2, run_table3
+from repro.experiments.tables45 import run_table4, run_table5
+from repro.experiments.tightness import run_tightness
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": run_table1,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "tightness": run_tightness,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "bench"):
+    """Run one experiment by id at the given scale."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale)

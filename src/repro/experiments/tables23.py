@@ -1,0 +1,156 @@
+"""Experiments ``table2`` and ``table3`` — the workload replays (§4.3).
+
+Table 2: one replay of the production workload slice comparing the
+platform's original bid rule against DrAFTS-driven selection and pricing —
+cost and worst-case ("maximum bid") cost.
+
+Table 3: the simulator study — the same workload replayed under varying
+market/overhead randomness (35 repetitions in the paper), averaging
+instances provisioned, cost, risked cost, and provider terminations across
+the original, DrAFTS 1-hour and DrAFTS profile-driven policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import SCALES, scaled_universe
+from repro.provisioner.replay import ReplayConfig, ReplayResult, run_replay
+from repro.provisioner.workload import paper_replay_workload
+from repro.util.tables import format_table
+
+__all__ = ["Table2Result", "Table3Result", "run_table2", "run_table3"]
+
+_POLICIES = ("original", "drafts-1hr", "drafts-profiles")
+
+
+def _replay_config(scale: str, seed: int) -> ReplayConfig:
+    preset = SCALES[scale]
+    return ReplayConfig(
+        start_after_days=preset.train_days + 2.0,
+        probability=0.99,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """One-replay cost comparison (Table 2)."""
+
+    scale: str
+    original: ReplayResult
+    drafts: ReplayResult
+
+    def render(self) -> str:
+        """The paper-shaped two-row table."""
+        rows = [
+            [
+                "Original (80% On-demand)",
+                f"${self.original.cost:.2f}",
+                f"${self.original.max_bid_cost:.2f}",
+            ],
+            [
+                "DrAFTS Bid",
+                f"${self.drafts.cost:.2f}",
+                f"${self.drafts.max_bid_cost:.2f}",
+            ],
+        ]
+        return format_table(
+            ["Method", "Cost", "Maximum Bid Cost"],
+            rows,
+            title=(
+                f"Table 2 (scale={self.scale}): workload replay, "
+                f"{self.original.jobs_completed} jobs, "
+                f"{self.original.instances}/{self.drafts.instances} instances"
+            ),
+        )
+
+
+def run_table2(scale: str = "bench") -> Table2Result:
+    """Replay the workload once under Original and DrAFTS (1-hour)."""
+    preset = SCALES[scale]
+    universe = scaled_universe(scale)
+    jobs = paper_replay_workload(rng=preset.seed + 2, n_jobs=preset.replay_jobs)
+    config = _replay_config(scale, seed=preset.seed + 3)
+    return Table2Result(
+        scale=scale,
+        original=run_replay(universe, jobs, "original", config),
+        drafts=run_replay(universe, jobs, "drafts-1hr", config),
+    )
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Multi-replay averages (Table 3)."""
+
+    scale: str
+    n_repetitions: int
+    runs: tuple[tuple[ReplayResult, ...], ...]  # indexed [policy][rep]
+
+    def averages(self) -> dict[str, dict[str, float]]:
+        """Per-policy averages of the Table 3 columns."""
+        out: dict[str, dict[str, float]] = {}
+        for policy, runs in zip(_POLICIES, self.runs):
+            out[policy] = {
+                "instances": float(np.mean([r.instances for r in runs])),
+                "cost": float(np.mean([r.cost for r in runs])),
+                "max_bid_cost": float(
+                    np.mean([r.max_bid_cost for r in runs])
+                ),
+                "terminations": float(
+                    np.mean([r.terminations for r in runs])
+                ),
+            }
+        return out
+
+    def render(self) -> str:
+        """The paper-shaped four-column table."""
+        avg = self.averages()
+        labels = {
+            "original": "Original",
+            "drafts-1hr": "DrAFTS (1-hr)",
+            "drafts-profiles": "DrAFTS (profiles)",
+        }
+        rows = [
+            [
+                labels[p],
+                f"{avg[p]['instances']:.1f}",
+                f"${avg[p]['cost']:.2f}",
+                f"${avg[p]['max_bid_cost']:.2f}",
+                f"{avg[p]['terminations']:.2f}",
+            ]
+            for p in _POLICIES
+        ]
+        return format_table(
+            [
+                "Method",
+                "Avg. Instances",
+                "Avg. Cost",
+                "Avg. Max Bid Cost",
+                "Avg. Terminations",
+            ],
+            rows,
+            title=(
+                f"Table 3 (scale={self.scale}): averages over "
+                f"{self.n_repetitions} simulated replays"
+            ),
+        )
+
+
+def run_table3(scale: str = "bench") -> Table3Result:
+    """Replay the workload ``replay_seeds`` times under all three policies."""
+    preset = SCALES[scale]
+    universe = scaled_universe(scale)
+    jobs = paper_replay_workload(rng=preset.seed + 2, n_jobs=preset.replay_jobs)
+    runs = []
+    for policy in _POLICIES:
+        policy_runs = []
+        for rep in range(preset.replay_seeds):
+            config = _replay_config(scale, seed=preset.seed + 100 + rep)
+            policy_runs.append(run_replay(universe, jobs, policy, config))
+        runs.append(tuple(policy_runs))
+    return Table3Result(
+        scale=scale, n_repetitions=preset.replay_seeds, runs=tuple(runs)
+    )

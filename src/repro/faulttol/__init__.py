@@ -1,0 +1,32 @@
+"""Fault tolerance on the Spot tier: checkpoint policies and a batch
+executor, composing DrAFTS's duration predictions with the
+checkpoint/migration strategies of the paper's related work (§5)."""
+
+from repro.faulttol.checkpoint import (
+    CheckpointPolicy,
+    HorizonGuidedCheckpoint,
+    NoCheckpoint,
+    PeriodicCheckpoint,
+    youngdaly_interval,
+)
+from repro.faulttol.executor import BatchRunReport, SpotBatchExecutor
+from repro.faulttol.strategies import (
+    estimate_mttf,
+    make_drafts_executor,
+    make_naive_executor,
+    make_reactive_executor,
+)
+
+__all__ = [
+    "BatchRunReport",
+    "CheckpointPolicy",
+    "HorizonGuidedCheckpoint",
+    "NoCheckpoint",
+    "PeriodicCheckpoint",
+    "SpotBatchExecutor",
+    "estimate_mttf",
+    "make_drafts_executor",
+    "make_naive_executor",
+    "make_reactive_executor",
+    "youngdaly_interval",
+]

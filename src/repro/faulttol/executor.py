@@ -1,0 +1,207 @@
+"""A checkpoint-aware batch executor for the Spot tier.
+
+Runs one long-running job (a fixed amount of work) against a Spot pool:
+launch with a configured bid, execute, checkpoint per policy, and — when
+the provider revokes the instance — lose the work since the last
+checkpoint, wait out a resubmit delay, and relaunch (with a freshly
+computed bid) until the work completes. This is the execution model of the
+SpotOn-style systems the paper's related-work section discusses, built on
+this repository's Spot substrate so DrAFTS-informed bidding and
+checkpointing can be compared with the classic reactive strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cloud.billing import charge_spot_run
+from repro.cloud.spot import SpotTier
+from repro.faulttol.checkpoint import CheckpointPolicy
+from repro.market.traces import PriceTrace
+
+__all__ = ["BatchRunReport", "SpotBatchExecutor"]
+
+#: Callback: (time) -> (bid, certified_horizon_seconds or nan).
+BidFn = Callable[[float], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class BatchRunReport:
+    """Outcome of executing one batch job to completion.
+
+    Attributes
+    ----------
+    completed:
+        Whether all work finished within the trace.
+    makespan:
+        Wall-clock seconds from first launch to completion.
+    cost:
+        Dollars charged across all attempts.
+    work_done / work_lost:
+        Productive seconds banked vs. discarded at revocations.
+    checkpoints / restarts / rejections:
+        Event counts (rejections = launch attempts with bid at or below
+        the market price).
+    checkpoint_overhead:
+        Seconds spent writing checkpoints.
+    """
+
+    completed: bool
+    makespan: float
+    cost: float
+    work_done: float
+    work_lost: float
+    checkpoints: int
+    restarts: int
+    rejections: int
+    checkpoint_overhead: float
+
+    @property
+    def efficiency(self) -> float:
+        """Productive fraction of the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.work_done / self.makespan
+
+
+class SpotBatchExecutor:
+    """Executes one job of ``total_work`` seconds against a Spot pool.
+
+    Parameters
+    ----------
+    trace:
+        The pool's price history (the simulation's ground truth).
+    bid_fn:
+        Strategy callback: given the current time, return ``(bid,
+        certified_horizon)``; the horizon may be ``nan`` when the strategy
+        offers no durability statement (e.g. a constant-factor bid).
+    policy_fn:
+        Builds the checkpoint policy for one attempt, given the certified
+        horizon (``nan``-tolerant).
+    checkpoint_cost:
+        Seconds each checkpoint takes (work pauses while writing).
+    resubmit_delay:
+        Seconds between a revocation/rejection and the next launch attempt.
+    """
+
+    def __init__(
+        self,
+        trace: PriceTrace,
+        bid_fn: BidFn,
+        policy_fn: Callable[[float], CheckpointPolicy],
+        checkpoint_cost: float = 120.0,
+        resubmit_delay: float = 300.0,
+    ) -> None:
+        if checkpoint_cost < 0:
+            raise ValueError("checkpoint_cost must be non-negative")
+        if resubmit_delay <= 0:
+            raise ValueError("resubmit_delay must be positive")
+        self._tier = SpotTier(trace)
+        self._trace = trace
+        self._bid_fn = bid_fn
+        self._policy_fn = policy_fn
+        self._checkpoint_cost = float(checkpoint_cost)
+        self._resubmit_delay = float(resubmit_delay)
+
+    def run(self, start: float, total_work: float) -> BatchRunReport:
+        """Execute ``total_work`` seconds of work starting at ``start``."""
+        if total_work <= 0:
+            raise ValueError("total_work must be positive")
+        now = float(start)
+        banked = 0.0  # checkpointed work
+        cost = 0.0
+        lost = 0.0
+        checkpoints = 0
+        restarts = 0
+        rejections = 0
+        overhead = 0.0
+        horizon_end = self._trace.end
+
+        while banked < total_work:
+            if now >= horizon_end:
+                return self._report(
+                    False, now - start, cost, banked, lost,
+                    checkpoints, restarts, rejections, overhead,
+                )
+            bid, certified = self._bid_fn(now)
+            if math.isnan(bid) or not self._tier.would_admit(now, bid):
+                rejections += 1
+                now += self._resubmit_delay
+                continue
+            policy = self._policy_fn(certified)
+            kill = self._tier.termination_time(now, bid)
+            attempt_start = now
+            attempt_banked = banked
+            last_ckpt = now
+            # Walk the attempt forward checkpoint by checkpoint.
+            while banked < total_work:
+                next_ckpt = policy.next_checkpoint(attempt_start, last_ckpt)
+                finish = now + (total_work - banked)
+                event = min(next_ckpt, finish, kill, horizon_end)
+                if event >= kill:
+                    # Revoked: work since the last checkpoint is gone.
+                    lost += max(kill - max(last_ckpt, attempt_start), 0.0)
+                    cost += charge_spot_run(
+                        self._trace, attempt_start, kill - attempt_start
+                    ).cost
+                    restarts += 1
+                    now = kill + self._resubmit_delay
+                    banked = attempt_banked
+                    break
+                if event == finish and finish <= min(next_ckpt, horizon_end):
+                    banked = total_work
+                    cost += charge_spot_run(
+                        self._trace, attempt_start, finish - attempt_start
+                    ).cost
+                    now = finish
+                    break
+                if event >= horizon_end:
+                    # Trace exhausted mid-attempt.
+                    cost += charge_spot_run(
+                        self._trace, attempt_start, horizon_end - attempt_start
+                    ).cost
+                    now = horizon_end
+                    banked = attempt_banked + max(
+                        last_ckpt - attempt_start, 0.0
+                    )
+                    break
+                # Take a checkpoint: bank the work accumulated since the
+                # last one, pay the write cost.
+                banked += event - last_ckpt
+                attempt_banked = banked
+                checkpoints += 1
+                overhead += self._checkpoint_cost
+                now = event + self._checkpoint_cost
+                last_ckpt = now
+                if now >= kill:
+                    # Revoked while writing: the checkpoint still counts
+                    # (atomic-commit semantics), but billing covers to kill.
+                    cost += charge_spot_run(
+                        self._trace, attempt_start, kill - attempt_start
+                    ).cost
+                    restarts += 1
+                    now = kill + self._resubmit_delay
+                    break
+        return self._report(
+            banked >= total_work, now - start, cost, banked, lost,
+            checkpoints, restarts, rejections, overhead,
+        )
+
+    @staticmethod
+    def _report(
+        completed, makespan, cost, banked, lost,
+        checkpoints, restarts, rejections, overhead,
+    ) -> BatchRunReport:
+        return BatchRunReport(
+            completed=completed,
+            makespan=float(makespan),
+            cost=round(float(cost), 4),
+            work_done=float(banked),
+            work_lost=float(lost),
+            checkpoints=int(checkpoints),
+            restarts=int(restarts),
+            rejections=int(rejections),
+            checkpoint_overhead=float(overhead),
+        )

@@ -1,0 +1,126 @@
+"""Ready-made bid/checkpoint strategy pairs for the batch executor.
+
+Packages the strategies the paper's related work discusses (§5) so they
+can be compared head-to-head on the same pool:
+
+* ``reactive`` — the SpotCheck-style reactive rule: bid the On-demand
+  price, checkpoint periodically at the Young–Daly interval derived from
+  an MTTF estimate measured on the price history;
+* ``drafts`` — bid the DrAFTS minimum for the *whole remaining job* when
+  the ladder can certify it, otherwise for the longest certifiable
+  horizon, and checkpoint once near the certified horizon's end
+  (:class:`~repro.faulttol.checkpoint.HorizonGuidedCheckpoint`);
+* ``naive`` — a constant-factor bid with no checkpointing (the baseline
+  every fault-tolerance paper starts from).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.faulttol.checkpoint import (
+    CheckpointPolicy,
+    HorizonGuidedCheckpoint,
+    NoCheckpoint,
+    PeriodicCheckpoint,
+)
+from repro.faulttol.executor import SpotBatchExecutor
+from repro.market.traces import PriceTrace
+
+__all__ = ["make_drafts_executor", "make_naive_executor", "make_reactive_executor"]
+
+
+def estimate_mttf(trace: PriceTrace, bid: float, upto: float) -> float:
+    """Mean time between bid-level crossings, measured on history before ``upto``.
+
+    The failure-rate estimate a reactive system would maintain: how long,
+    on average, the market stayed below ``bid`` between consecutive
+    crossings in the observed history.
+    """
+    history = trace.slice(trace.start, upto)
+    above = history.prices >= bid
+    crossings = int(np.sum((~above[:-1]) & above[1:]))
+    if crossings == 0:
+        return float(history.span)
+    return float(history.span / crossings)
+
+
+def make_reactive_executor(
+    trace: PriceTrace,
+    ondemand_price: float,
+    start: float,
+    checkpoint_cost: float = 120.0,
+) -> SpotBatchExecutor:
+    """SpotCheck-style reactive strategy: On-demand bid + Young–Daly."""
+    mttf = estimate_mttf(trace, ondemand_price, start)
+
+    def bid_fn(now: float) -> tuple[float, float]:
+        return ondemand_price, float("nan")
+
+    def policy_fn(certified: float) -> CheckpointPolicy:
+        return PeriodicCheckpoint.young_daly(mttf, checkpoint_cost)
+
+    return SpotBatchExecutor(
+        trace, bid_fn, policy_fn, checkpoint_cost=checkpoint_cost
+    )
+
+
+def make_drafts_executor(
+    trace: PriceTrace,
+    total_work: float,
+    probability: float = 0.95,
+    checkpoint_cost: float = 120.0,
+) -> SpotBatchExecutor:
+    """DrAFTS-informed strategy: certified bids + horizon-guided checkpoints."""
+    predictor = DraftsPredictor(
+        trace,
+        DraftsConfig(
+            probability=probability,
+            max_price=max(100.0, float(trace.prices.max()) * 8),
+        ),
+    )
+
+    def bid_fn(now: float) -> tuple[float, float]:
+        t_idx = trace.index_at(now)
+        bid = predictor.bid_for(total_work, t_idx)
+        if not math.isnan(bid):
+            return bid, float(predictor.duration_bound(bid, t_idx))
+        # The whole job is not certifiable: take the ladder top and its
+        # certified horizon; the checkpoint policy covers the rest.
+        min_bid = predictor.min_bid_at(t_idx)
+        if math.isnan(min_bid):
+            return float("nan"), float("nan")
+        top = min_bid * predictor.config.ladder_span
+        return top, float(predictor.duration_bound(top, t_idx))
+
+    def policy_fn(certified: float) -> CheckpointPolicy:
+        if math.isnan(certified) or certified <= 0:
+            return PeriodicCheckpoint(interval=3600.0)
+        return HorizonGuidedCheckpoint(horizon=certified)
+
+    return SpotBatchExecutor(
+        trace, bid_fn, policy_fn, checkpoint_cost=checkpoint_cost
+    )
+
+
+def make_naive_executor(
+    trace: PriceTrace,
+    ondemand_price: float,
+    factor: float = 0.8,
+    checkpoint_cost: float = 120.0,
+) -> SpotBatchExecutor:
+    """Constant-factor bid, no checkpoints: the classic lose-it-all baseline."""
+    bid = round(ondemand_price * factor, 4)
+
+    def bid_fn(now: float) -> tuple[float, float]:
+        return bid, float("nan")
+
+    def policy_fn(certified: float) -> CheckpointPolicy:
+        return NoCheckpoint()
+
+    return SpotBatchExecutor(
+        trace, bid_fn, policy_fn, checkpoint_cost=checkpoint_cost
+    )

@@ -1,0 +1,71 @@
+"""The Spot-market substrate.
+
+Everything DrAFTS needs from "Amazon": the EC2 resource model and the
+study's 53-type catalogue, the uniform-price clearing mechanism with hidden
+supply and a stochastic bidder population, synthetic price-trace generators
+organised into volatility classes (the archival-data substitute — DESIGN.md
+§1), AZ-name obfuscation, and the 452-combination study universe.
+"""
+
+from repro.market.agents import AgentPopulation, PopulationConfig
+from repro.market.auction import Bid, ClearingResult, clear_market
+from repro.market.calibration import CalibrationResult, calibrate, classify
+from repro.market.catalog import (
+    INSTANCE_TYPES,
+    REGIONS,
+    all_zones,
+    instance_type,
+    offered_combinations,
+    ondemand_price,
+)
+from repro.market.obfuscation import AccountView, deobfuscate
+from repro.market.simulator import MarketSimulator, SimulatedMarket
+from repro.market.supply import ConstantSupply, RandomWalkSupply, ShockSupply
+from repro.market.synthetic import (
+    VOLATILITY_CLASSES,
+    generate_trace,
+    synthetic_trace,
+)
+from repro.market.traces import PriceTrace
+from repro.market.types import (
+    AvailabilityZone,
+    InstanceType,
+    Region,
+    SpotRequestSpec,
+)
+from repro.market.universe import Combo, Universe, UniverseConfig
+
+__all__ = [
+    "INSTANCE_TYPES",
+    "REGIONS",
+    "VOLATILITY_CLASSES",
+    "AccountView",
+    "AgentPopulation",
+    "AvailabilityZone",
+    "Bid",
+    "CalibrationResult",
+    "ClearingResult",
+    "Combo",
+    "ConstantSupply",
+    "InstanceType",
+    "MarketSimulator",
+    "PopulationConfig",
+    "PriceTrace",
+    "RandomWalkSupply",
+    "Region",
+    "ShockSupply",
+    "SimulatedMarket",
+    "SpotRequestSpec",
+    "Universe",
+    "UniverseConfig",
+    "all_zones",
+    "calibrate",
+    "classify",
+    "clear_market",
+    "deobfuscate",
+    "generate_trace",
+    "instance_type",
+    "offered_combinations",
+    "ondemand_price",
+    "synthetic_trace",
+]

@@ -1,0 +1,191 @@
+"""Bidder-population models for the mechanistic market simulator.
+
+The demand side of a Spot pool: a stochastic population of users who arrive,
+post maximum bids, hold instances for a while and leave. Individual bids are
+never published (§2), so the population parameters are the simulator's
+hidden state; the only observable output is the clearing price series.
+
+The population model is deliberately simple but captures the features the
+paper leans on:
+
+* lognormal bid dispersion around a base valuation (a wide right tail of
+  bidders who "just bid high", §1);
+* diurnal demand modulation (periodic load swings);
+* geometric holding times (users depart, freeing capacity);
+* an optional *strategic* fraction that re-bids the current market price
+  plus a small margin each epoch — these are the agents that make the price
+  sticky and autocorrelated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.market.auction import Bid
+
+__all__ = ["AgentPopulation", "PopulationConfig"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Parameters of the bidder population.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Mean new requests per epoch (Poisson).
+    base_valuation:
+        Central bid level in dollars/hour (typically near the On-demand
+        price of the instance type).
+    bid_sigma:
+        Lognormal sigma of bid dispersion around ``base_valuation``.
+    mean_holding_epochs:
+        Mean instance-holding time (geometric departures).
+    diurnal_amplitude:
+        Relative amplitude of the 24-hour arrival modulation in ``[0, 1)``.
+    strategic_fraction:
+        Fraction of arrivals that track the market price instead of bidding
+        their valuation.
+    strategic_margin:
+        Relative margin strategic bidders add to the observed price.
+    strategic_cap:
+        Strategic bidders never bid above ``strategic_cap *
+        base_valuation`` — everyone has a walk-away price. Without this
+        cap, price-tracking bidders setting the clearing price ratchet it
+        up by ``strategic_margin`` every epoch, an exponential explosion no
+        real market exhibits.
+    max_quantity:
+        Request sizes are uniform on ``[1, max_quantity]``.
+    """
+
+    arrival_rate: float = 4.0
+    base_valuation: float = 0.1
+    bid_sigma: float = 0.5
+    mean_holding_epochs: float = 24.0
+    diurnal_amplitude: float = 0.3
+    strategic_fraction: float = 0.2
+    strategic_margin: float = 0.05
+    strategic_cap: float = 4.0
+    max_quantity: int = 3
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.base_valuation <= 0:
+            raise ValueError("base_valuation must be positive")
+        if self.bid_sigma < 0:
+            raise ValueError("bid_sigma must be non-negative")
+        if self.mean_holding_epochs < 1:
+            raise ValueError("mean_holding_epochs must be >= 1")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 <= self.strategic_fraction <= 1.0:
+            raise ValueError("strategic_fraction must be in [0, 1]")
+        if self.strategic_cap <= 0:
+            raise ValueError("strategic_cap must be positive")
+        if self.max_quantity < 1:
+            raise ValueError("max_quantity must be >= 1")
+
+
+@dataclass
+class _Agent:
+    bid: Bid
+    strategic: bool
+    departs_at: int
+
+
+class AgentPopulation:
+    """The evolving book of active bids for one Spot pool.
+
+    Call :meth:`step` once per epoch to get the bid book for that epoch;
+    afterwards report the clearing outcome with :meth:`after_clearing` so
+    outbid non-strategic agents abandon the pool and strategic agents can
+    re-price.
+    """
+
+    #: Epochs per simulated day at the 5-minute epoch length.
+    EPOCHS_PER_DAY: int = 288
+
+    def __init__(
+        self, config: PopulationConfig, rng: np.random.Generator
+    ) -> None:
+        self._cfg = config
+        self._rng = rng
+        self._agents: dict[int, _Agent] = {}
+        self._next_id = 0
+        self._last_price = config.base_valuation
+
+    @property
+    def active_count(self) -> int:
+        """Number of agents currently holding or seeking capacity."""
+        return len(self._agents)
+
+    def _arrival_rate_at(self, epoch: int) -> float:
+        cfg = self._cfg
+        phase = 2.0 * math.pi * (epoch % self.EPOCHS_PER_DAY) / self.EPOCHS_PER_DAY
+        return cfg.arrival_rate * (1.0 + cfg.diurnal_amplitude * math.sin(phase))
+
+    def step(self, epoch: int) -> list[Bid]:
+        """Advance one epoch: departures, arrivals, strategic re-pricing."""
+        cfg = self._cfg
+        rng = self._rng
+
+        departed = [
+            aid for aid, a in self._agents.items() if a.departs_at <= epoch
+        ]
+        for aid in departed:
+            del self._agents[aid]
+
+        n_new = int(rng.poisson(self._arrival_rate_at(epoch)))
+        for _ in range(n_new):
+            strategic = rng.random() < cfg.strategic_fraction
+            if strategic:
+                price = min(
+                    self._last_price * (1.0 + cfg.strategic_margin),
+                    cfg.strategic_cap * cfg.base_valuation,
+                )
+            else:
+                price = cfg.base_valuation * float(
+                    rng.lognormal(mean=0.0, sigma=cfg.bid_sigma)
+                )
+            price = max(round(price, 4), 1e-4)
+            quantity = int(rng.integers(1, cfg.max_quantity + 1))
+            holding = int(rng.geometric(1.0 / cfg.mean_holding_epochs))
+            aid = self._next_id
+            self._next_id += 1
+            self._agents[aid] = _Agent(
+                bid=Bid(bidder_id=aid, price=price, quantity=quantity),
+                strategic=strategic,
+                departs_at=epoch + holding,
+            )
+
+        for agent in self._agents.values():
+            if agent.strategic:
+                tracked = min(
+                    self._last_price * (1.0 + cfg.strategic_margin),
+                    cfg.strategic_cap * cfg.base_valuation,
+                )
+                price = max(round(tracked, 4), 1e-4)
+                agent.bid = Bid(
+                    bidder_id=agent.bid.bidder_id,
+                    price=price,
+                    quantity=agent.bid.quantity,
+                )
+
+        return [a.bid for a in self._agents.values()]
+
+    def after_clearing(self, price: float, rejected: tuple[int, ...]) -> None:
+        """Digest a clearing outcome.
+
+        Non-strategic agents that were outbid leave the pool (their
+        workload goes elsewhere); strategic agents stay and re-price next
+        epoch. The clearing price seeds the strategic re-pricing.
+        """
+        self._last_price = price
+        for aid in rejected:
+            agent = self._agents.get(aid)
+            if agent is not None and not agent.strategic:
+                del self._agents[aid]

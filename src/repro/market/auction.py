@@ -1,0 +1,118 @@
+"""The Spot-tier market-clearing mechanism (§2.1 of the paper).
+
+Amazon computes the market price so that the (hidden) supply is exhausted:
+active maximum bids are sorted by value and resources are allocated in
+descending bid order (taking request sizes into account); the lowest bid
+holding a "taken" resource sets the market price. Requests bidding at least
+the market price run; running instances whose bid falls *below* a newly
+computed market price are terminated (termination on exact equality is at
+Amazon's discretion — the mechanism here exposes both the strict and
+at-the-money sets so the simulator can exercise either behaviour).
+
+A reserve price models Amazon's hidden externalities (the paper's §5 cites
+evidence that spot prices are not purely demand-driven): when demand does
+not exhaust supply, the market clears at the reserve rather than at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Bid", "ClearingResult", "clear_market"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One active request in the auction book.
+
+    Attributes
+    ----------
+    bidder_id:
+        Opaque identity used to report allocation outcomes.
+    price:
+        The maximum hourly price the bidder is willing to pay.
+    quantity:
+        Number of instances requested (request size, §2.1).
+    """
+
+    bidder_id: int
+    price: float
+    quantity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError("bid price must be positive")
+        if self.quantity < 1:
+            raise ValueError("bid quantity must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClearingResult:
+    """Outcome of one market-clearing round.
+
+    Attributes
+    ----------
+    price:
+        The new market price.
+    accepted:
+        ``bidder_id`` of every fully allocated bid (bid >= price and supply
+        reached it).
+    rejected:
+        ``bidder_id`` of every bid that did not receive resources.
+    supply_used:
+        Instances allocated in this round.
+    """
+
+    price: float
+    accepted: tuple[int, ...]
+    rejected: tuple[int, ...]
+    supply_used: int
+
+
+def clear_market(
+    bids: list[Bid], supply: int, reserve_price: float
+) -> ClearingResult:
+    """Run one uniform-price clearing round.
+
+    Bids are sorted by price descending (ties broken by bidder id for
+    determinism) and allocated whole until supply runs out; partially
+    fillable requests are rejected (all-or-nothing, like Spot requests).
+    The market price is the price of the lowest accepted bid when supply is
+    exhausted, and the reserve price otherwise.
+    """
+    if supply < 0:
+        raise ValueError("supply must be non-negative")
+    if reserve_price <= 0:
+        raise ValueError("reserve price must be positive")
+
+    eligible = [b for b in bids if b.price >= reserve_price]
+    ineligible = [b.bidder_id for b in bids if b.price < reserve_price]
+
+    order = sorted(eligible, key=lambda b: (-b.price, b.bidder_id))
+    accepted: list[int] = []
+    rejected: list[int] = list(ineligible)
+    remaining = supply
+    lowest_accepted = float("inf")
+    for bid in order:
+        if bid.quantity <= remaining:
+            accepted.append(bid.bidder_id)
+            remaining -= bid.quantity
+            lowest_accepted = min(lowest_accepted, bid.price)
+        else:
+            rejected.append(bid.bidder_id)
+
+    if remaining == 0 and accepted:
+        price = lowest_accepted
+    else:
+        # Supply not exhausted: the market clears at the reserve.
+        price = reserve_price
+    # Quantise to the $0.0001 tick the Spot interface quotes in.
+    price = float(np.round(price, 4))
+    return ClearingResult(
+        price=price,
+        accepted=tuple(accepted),
+        rejected=tuple(sorted(rejected)),
+        supply_used=supply - remaining,
+    )

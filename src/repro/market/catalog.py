@@ -1,0 +1,192 @@
+"""The EC2 instance-type and region catalogue used by the study.
+
+The paper's backtest covers three regions — ``us-east-1`` (4 AZs visible to
+the experiment account), ``us-west-1`` (2 AZs) and ``us-west-2`` (3 AZs) —
+and 53 instance types, of which not every type is offered in every AZ; the
+offered (AZ, type) combinations total **452** (§4.1). We reproduce those
+counts exactly with a representative circa-2016 catalogue: names, shapes and
+On-demand prices approximate the published EC2 price sheet of the study
+period (absolute dollars are representative, not archival — see DESIGN.md
+§1), and the exclusion list removes 25 combinations (legacy families missing
+from newer AZs, exactly as the paper describes for e.g. ``cg1.4xlarge``).
+"""
+
+from __future__ import annotations
+
+from repro.market.types import AvailabilityZone, InstanceType, Region
+
+__all__ = [
+    "INSTANCE_TYPES",
+    "REGIONS",
+    "REGION_PRICE_FACTOR",
+    "all_zones",
+    "instance_type",
+    "offered_combinations",
+    "ondemand_price",
+]
+
+#: Regions and the AZs the experiment account saw (§4.1, footnote 5).
+REGIONS: tuple[Region, ...] = (
+    Region("us-east-1", ("b", "c", "d", "e")),
+    Region("us-west-1", ("a", "b")),
+    Region("us-west-2", ("a", "b", "c")),
+)
+
+#: On-demand prices are set per Region (§4.1.2); factors applied to the
+#: catalogue base price (which is the us-east-1 sheet).
+REGION_PRICE_FACTOR: dict[str, float] = {
+    "us-east-1": 1.0,
+    "us-west-1": 1.10,
+    "us-west-2": 1.0,
+}
+
+# name, vcpus, memory_gb, storage_gb, ondemand ($/h, us-east-1 sheet).
+_CATALOG: tuple[tuple[str, int, float, float, float], ...] = (
+    # Previous-generation general purpose.
+    ("t1.micro", 1, 0.613, 0.0, 0.020),
+    ("m1.small", 1, 1.7, 160.0, 0.044),
+    ("m1.medium", 1, 3.75, 410.0, 0.087),
+    ("m1.large", 2, 7.5, 840.0, 0.175),
+    ("m1.xlarge", 4, 15.0, 1680.0, 0.350),
+    ("m2.xlarge", 2, 17.1, 420.0, 0.245),
+    ("m2.2xlarge", 4, 34.2, 850.0, 0.490),
+    ("m2.4xlarge", 8, 68.4, 1680.0, 0.980),
+    # Current-generation general purpose.
+    ("m3.medium", 1, 3.75, 4.0, 0.067),
+    ("m3.large", 2, 7.5, 32.0, 0.133),
+    ("m3.xlarge", 4, 15.0, 80.0, 0.266),
+    ("m3.2xlarge", 8, 30.0, 160.0, 0.532),
+    ("m4.large", 2, 8.0, 0.0, 0.108),
+    ("m4.xlarge", 4, 16.0, 0.0, 0.215),
+    ("m4.2xlarge", 8, 32.0, 0.0, 0.431),
+    ("m4.4xlarge", 16, 64.0, 0.0, 0.862),
+    ("m4.10xlarge", 40, 160.0, 0.0, 2.155),
+    ("m4.16xlarge", 64, 256.0, 0.0, 3.447),
+    # Compute optimised.
+    ("c1.medium", 2, 1.7, 350.0, 0.130),
+    ("c1.xlarge", 8, 7.0, 1680.0, 0.520),
+    ("c3.large", 2, 3.75, 32.0, 0.105),
+    ("c3.xlarge", 4, 7.5, 80.0, 0.210),
+    ("c3.2xlarge", 8, 15.0, 160.0, 0.420),
+    ("c3.4xlarge", 16, 30.0, 320.0, 0.840),
+    ("c3.8xlarge", 32, 60.0, 640.0, 1.680),
+    ("c4.large", 2, 3.75, 0.0, 0.100),
+    ("c4.xlarge", 4, 7.5, 0.0, 0.199),
+    ("c4.2xlarge", 8, 15.0, 0.0, 0.398),
+    ("c4.4xlarge", 16, 30.0, 0.0, 0.796),
+    ("c4.8xlarge", 36, 60.0, 0.0, 1.591),
+    # Memory optimised.
+    ("r3.large", 2, 15.25, 32.0, 0.166),
+    ("r3.xlarge", 4, 30.5, 80.0, 0.333),
+    ("r3.2xlarge", 8, 61.0, 160.0, 0.665),
+    ("r3.4xlarge", 16, 122.0, 320.0, 1.330),
+    ("r3.8xlarge", 32, 244.0, 640.0, 2.660),
+    ("r4.large", 2, 15.25, 0.0, 0.133),
+    ("r4.xlarge", 4, 30.5, 0.0, 0.266),
+    ("r4.2xlarge", 8, 61.0, 0.0, 0.532),
+    ("r4.4xlarge", 16, 122.0, 0.0, 1.064),
+    ("r4.8xlarge", 32, 244.0, 0.0, 2.128),
+    ("r4.16xlarge", 64, 488.0, 0.0, 4.256),
+    # Storage optimised.
+    ("i2.xlarge", 4, 30.5, 800.0, 0.853),
+    ("i2.2xlarge", 8, 61.0, 1600.0, 1.705),
+    ("i2.4xlarge", 16, 122.0, 3200.0, 3.410),
+    ("i2.8xlarge", 32, 244.0, 6400.0, 6.820),
+    ("d2.xlarge", 4, 30.5, 6000.0, 0.690),
+    ("d2.2xlarge", 8, 61.0, 12000.0, 1.380),
+    ("d2.4xlarge", 16, 122.0, 24000.0, 2.760),
+    ("d2.8xlarge", 36, 244.0, 48000.0, 5.520),
+    # Accelerated.
+    ("g2.2xlarge", 8, 15.0, 60.0, 0.650),
+    ("g2.8xlarge", 32, 60.0, 240.0, 2.600),
+    ("p2.xlarge", 4, 61.0, 0.0, 0.900),
+    # The paper's premium-priced example (§4.1.2).
+    ("cg1.4xlarge", 16, 22.5, 1680.0, 2.100),
+)
+
+#: All 53 instance types, keyed by name.
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    name: InstanceType(name, vcpus, mem, store, price)
+    for name, vcpus, mem, store, price in _CATALOG
+}
+
+# (type, AZ) combinations *not* offered — 25 exclusions bring the offered
+# count from 9 x 53 = 477 down to the paper's 452.
+_EXCLUSIONS: frozenset[tuple[str, str]] = frozenset(
+    [
+        # cg1.4xlarge survives only in two us-east-1 AZs.
+        ("cg1.4xlarge", "us-east-1d"),
+        ("cg1.4xlarge", "us-east-1e"),
+        ("cg1.4xlarge", "us-west-1a"),
+        ("cg1.4xlarge", "us-west-1b"),
+        ("cg1.4xlarge", "us-west-2a"),
+        ("cg1.4xlarge", "us-west-2b"),
+        ("cg1.4xlarge", "us-west-2c"),
+        # GPU capacity absent from us-west-1.
+        ("g2.8xlarge", "us-west-1a"),
+        ("g2.8xlarge", "us-west-1b"),
+        ("g2.2xlarge", "us-west-1b"),
+        # Legacy compute family missing from the newest us-east-1 AZ.
+        ("c1.medium", "us-east-1e"),
+        ("c1.xlarge", "us-east-1e"),
+        # m1 family retired from newer AZs.
+        ("m1.small", "us-east-1e"),
+        ("m1.medium", "us-east-1e"),
+        ("m1.large", "us-east-1e"),
+        ("m1.xlarge", "us-east-1e"),
+        # (m1.large stays offered in us-west-2c — it is the paper's §4.4
+        # cheap-bid example there.)
+        ("m1.small", "us-west-2c"),
+        ("m1.medium", "us-west-2c"),
+        ("m1.xlarge", "us-west-2c"),
+        ("t1.micro", "us-east-1e"),
+        # m2 family likewise.
+        ("m2.xlarge", "us-east-1e"),
+        ("m2.2xlarge", "us-east-1e"),
+        ("m2.4xlarge", "us-east-1e"),
+        ("m2.xlarge", "us-west-1b"),
+        ("m2.2xlarge", "us-west-1b"),
+    ]
+)
+
+
+def all_zones() -> tuple[AvailabilityZone, ...]:
+    """Every AZ across the three study regions (9 total)."""
+    zones: list[AvailabilityZone] = []
+    for region in REGIONS:
+        zones.extend(region.zones)
+    return tuple(zones)
+
+
+def instance_type(name: str) -> InstanceType:
+    """Look up an instance type by API name."""
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError:
+        raise KeyError(f"unknown instance type {name!r}") from None
+
+
+def ondemand_price(type_name: str, region: str) -> float:
+    """Regional On-demand price for ``type_name`` (§2: fixed per region)."""
+    try:
+        factor = REGION_PRICE_FACTOR[region]
+    except KeyError:
+        raise KeyError(f"unknown region {region!r}") from None
+    return round(instance_type(type_name).ondemand_price * factor, 4)
+
+
+def is_offered(type_name: str, zone: str) -> bool:
+    """Whether ``type_name`` is offered in AZ ``zone``."""
+    if type_name not in INSTANCE_TYPES:
+        raise KeyError(f"unknown instance type {type_name!r}")
+    return (type_name, zone) not in _EXCLUSIONS
+
+
+def offered_combinations() -> tuple[tuple[str, AvailabilityZone], ...]:
+    """All offered (instance type, AZ) pairs — 452, matching §4.1."""
+    combos: list[tuple[str, AvailabilityZone]] = []
+    for zone in all_zones():
+        for name in INSTANCE_TYPES:
+            if is_offered(name, zone.name):
+                combos.append((name, zone))
+    return tuple(combos)

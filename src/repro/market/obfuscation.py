@@ -1,0 +1,140 @@
+"""Per-account AZ-name obfuscation and trace-correlation deobfuscation.
+
+Amazon prevents herding by remapping AZ names on a per-account basis (§2.2):
+two accounts both asking for ``us-east-1a`` may reach different physical
+zones. DrAFTS itself does not need the true mapping, but operating DrAFTS
+*as a service* does — the service's predictions are computed under its own
+account's names and must be translated for each client. The paper performed
+this deobfuscation manually by comparing price histories; this module
+implements it: within a region, the per-account permutation is recovered by
+matching each locally named trace to the service-side trace with the most
+similar price series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.traces import PriceTrace
+from repro.util.rng import rng_from
+
+__all__ = ["AccountView", "deobfuscate", "trace_similarity"]
+
+
+@dataclass(frozen=True)
+class AccountView:
+    """A per-account permutation of the zone letters of one region.
+
+    ``mapping[local_letter] == physical_letter``.
+    """
+
+    region: str
+    mapping: dict[str, str]
+
+    def __post_init__(self) -> None:
+        locals_, physicals = set(self.mapping), set(self.mapping.values())
+        if locals_ != physicals:
+            raise ValueError(
+                "mapping must be a permutation of the zone letters; "
+                f"got {self.mapping}"
+            )
+
+    def to_physical(self, local_zone: str) -> str:
+        """Translate a local AZ name (e.g. ``us-east-1a``) to physical."""
+        letter = local_zone[-1]
+        if not local_zone.startswith(self.region) or letter not in self.mapping:
+            raise KeyError(f"{local_zone!r} not in this view of {self.region}")
+        return f"{self.region}{self.mapping[letter]}"
+
+    def to_local(self, physical_zone: str) -> str:
+        """Translate a physical AZ name to this account's local name."""
+        letter = physical_zone[-1]
+        inverse = {v: k for k, v in self.mapping.items()}
+        if not physical_zone.startswith(self.region) or letter not in inverse:
+            raise KeyError(f"{physical_zone!r} not in this view of {self.region}")
+        return f"{self.region}{inverse[letter]}"
+
+    @classmethod
+    def random(
+        cls,
+        region: str,
+        letters: tuple[str, ...],
+        rng: np.random.Generator | int | None = None,
+    ) -> "AccountView":
+        """A uniformly random per-account permutation."""
+        gen = rng_from(rng)
+        shuffled = list(letters)
+        gen.shuffle(shuffled)
+        return cls(region=region, mapping=dict(zip(letters, shuffled)))
+
+
+def trace_similarity(a: PriceTrace, b: PriceTrace) -> float:
+    """Similarity of two price traces on their overlapping time span.
+
+    Both traces are sampled on a common 5-minute grid over the overlap and
+    compared with the negative mean absolute log-price difference, mapped to
+    ``(0, 1]`` (1.0 for identical series). Log space makes the measure
+    scale-free, so a cheap and an expensive market are still comparable.
+    """
+    start = max(a.start, b.start)
+    end = min(a.end, b.end)
+    if end <= start:
+        raise ValueError("traces do not overlap in time")
+    grid = np.arange(start, end, 300.0)
+    if grid.size == 0:
+        grid = np.array([start])
+    pa = a.prices_at(grid)
+    pb = b.prices_at(grid)
+    mad = float(np.mean(np.abs(np.log(pa) - np.log(pb))))
+    return 1.0 / (1.0 + mad)
+
+
+def deobfuscate(
+    local_traces: dict[str, PriceTrace],
+    service_traces: dict[str, PriceTrace],
+) -> dict[str, str]:
+    """Recover the local→service zone-name mapping within one region.
+
+    Greedy maximum-similarity assignment: repeatedly match the globally most
+    similar (local, service) pair. Exact for the realistic case where each
+    zone's price series is most similar to itself; the greedy rule also
+    guarantees a *bijection*, which per-row argmax would not.
+
+    Parameters
+    ----------
+    local_traces / service_traces:
+        Zone name → price trace for each account. The two dicts must have
+        the same number of zones.
+    """
+    if len(local_traces) != len(service_traces):
+        raise ValueError(
+            "both accounts must observe the same number of zones; got "
+            f"{len(local_traces)} vs {len(service_traces)}"
+        )
+    local_names = sorted(local_traces)
+    service_names = sorted(service_traces)
+    sims = np.array(
+        [
+            [
+                trace_similarity(local_traces[ln], service_traces[sn])
+                for sn in service_names
+            ]
+            for ln in local_names
+        ]
+    )
+    mapping: dict[str, str] = {}
+    available_l = set(range(len(local_names)))
+    available_s = set(range(len(service_names)))
+    while available_l:
+        best = None
+        for i in available_l:
+            for j in available_s:
+                if best is None or sims[i, j] > sims[best]:
+                    best = (i, j)
+        i, j = best  # type: ignore[misc]
+        mapping[local_names[i]] = service_names[j]
+        available_l.remove(i)
+        available_s.remove(j)
+    return mapping

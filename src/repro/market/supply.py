@@ -1,0 +1,109 @@
+"""Hidden supply processes for the mechanistic market simulator.
+
+Amazon never reveals how many resources back a Spot pool (§2); price moves
+are driven jointly by demand and by supply the provider adds or withdraws
+(e.g. reclaiming capacity for the On-demand tier). These processes model
+that hidden side of the market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConstantSupply", "RandomWalkSupply", "ShockSupply", "SupplyProcess"]
+
+
+class SupplyProcess:
+    """Interface: per-epoch available capacity of one Spot pool."""
+
+    def capacity(self, epoch: int, rng: np.random.Generator) -> int:
+        """Capacity available during ``epoch`` (non-negative)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantSupply(SupplyProcess):
+    """Fixed capacity — demand alone moves the price."""
+
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError("supply must be >= 1")
+
+    def capacity(self, epoch: int, rng: np.random.Generator) -> int:
+        return self.units
+
+
+@dataclass(frozen=True)
+class RandomWalkSupply(SupplyProcess):
+    """Capacity drifting as a reflected lazy random walk.
+
+    Each epoch, with probability ``move_prob``, capacity steps by ±``step``;
+    it is reflected into ``[minimum, maximum]``. Models gradual capacity
+    re-allocation by the provider.
+    """
+
+    initial: int
+    minimum: int
+    maximum: int
+    step: int = 1
+    move_prob: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.initial <= self.maximum:
+            raise ValueError("need minimum <= initial <= maximum")
+        if self.minimum < 1:
+            raise ValueError("minimum supply must be >= 1")
+        if not 0.0 <= self.move_prob <= 1.0:
+            raise ValueError("move_prob must be in [0, 1]")
+        # The walk state lives outside the frozen dataclass.
+        object.__setattr__(self, "_state", {"level": self.initial})
+
+    def capacity(self, epoch: int, rng: np.random.Generator) -> int:
+        state = self._state  # type: ignore[attr-defined]
+        if rng.random() < self.move_prob:
+            delta = self.step if rng.random() < 0.5 else -self.step
+            level = state["level"] + delta
+            level = min(max(level, self.minimum), self.maximum)
+            state["level"] = level
+        return state["level"]
+
+
+@dataclass(frozen=True)
+class ShockSupply(SupplyProcess):
+    """Baseline capacity with occasional multi-epoch withdrawals.
+
+    With probability ``shock_prob`` per epoch a shock begins: capacity drops
+    to ``floor`` for a geometric number of epochs (mean ``mean_length``).
+    Shocks are what create the spike-above-On-demand behaviour the paper
+    observes for some combinations (§4.1.2).
+    """
+
+    baseline: int
+    floor: int
+    shock_prob: float = 0.002
+    mean_length: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.baseline < 1 or self.floor < 1:
+            raise ValueError("capacities must be >= 1")
+        if self.floor > self.baseline:
+            raise ValueError("floor cannot exceed baseline")
+        if not 0.0 <= self.shock_prob <= 1.0:
+            raise ValueError("shock_prob must be in [0, 1]")
+        if self.mean_length < 1.0:
+            raise ValueError("mean_length must be >= 1")
+        object.__setattr__(self, "_state", {"remaining": 0})
+
+    def capacity(self, epoch: int, rng: np.random.Generator) -> int:
+        state = self._state  # type: ignore[attr-defined]
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            return self.floor
+        if rng.random() < self.shock_prob:
+            state["remaining"] = int(rng.geometric(1.0 / self.mean_length))
+            return self.floor
+        return self.baseline

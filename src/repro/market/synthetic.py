@@ -1,0 +1,351 @@
+"""Synthetic Spot price-trace generators (the archival-data substitute).
+
+The paper's raw input — 18 months of real Spot price history — is no longer
+obtainable (dead archive URL, retired pricing mechanism, no network), so the
+reproduction generates traces that exhibit the stylised facts the paper
+itself reports, organised into *volatility classes*. Each (AZ, instance
+type) combination in the study universe is assigned one class
+(:mod:`repro.market.universe`), with the class mix chosen so every
+behaviour the evaluation depends on is present:
+
+``calm``
+    Low mean-reverting price far below On-demand — the paper's
+    ``m1.large``/us-west-2c example whose DrAFTS bid stayed under 57 % of
+    On-demand (§4.4).
+``diurnal``
+    Calm plus a 24-hour demand swing.
+``spiky``
+    Calm base with rare short spike episodes reaching a multiple of the
+    On-demand price — the behaviour that makes naive bids fail (§4.1.2).
+``volatile``
+    Wide heavy-tailed excursions spanning up to two orders of magnitude —
+    the ``c4.4xlarge``/us-east-1e example ($0.13–$9.5, §4.4).
+``regime``
+    Piecewise-stationary level shifts (change points) with heavy-tailed
+    within-regime noise — the series for which a fitted AR(1) under-covers
+    (§4.1.3).
+``premium``
+    Market price pinned just *above* the On-demand price at all times — the
+    ``cg1.4xlarge``/us-east-1c example where the On-demand bid never once
+    sufficed (§4.1.2).
+
+All prices are generated on the 5-minute epoch grid, quantised to the Spot
+tier's $0.0001 tick, and strictly positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal
+
+from repro.market.traces import PriceTrace
+from repro.util.rng import rng_from
+from repro.util.timeutils import EPOCH_SECONDS
+
+__all__ = [
+    "ClassParams",
+    "VOLATILITY_CLASSES",
+    "generate_trace",
+    "synthetic_trace",
+]
+
+#: Epochs per simulated day.
+_EPOCHS_PER_DAY = 288
+
+#: Default trace length — three months of 5-minute epochs, the paper's
+#: training-window length (§3.3).
+DEFAULT_EPOCHS = 90 * _EPOCHS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ClassParams:
+    """Parameters of one volatility class.
+
+    All levels are expressed relative to the combination's On-demand price,
+    so one class specification covers every instance type.
+
+    Attributes
+    ----------
+    base_level:
+        Central price as a fraction of On-demand.
+    ar_phi:
+        AR(1) coefficient of the log-price fluctuation (price stickiness /
+        autocorrelation).
+    ar_sigma:
+        Innovation standard deviation of the log-price fluctuation.
+    heavy_tail_df:
+        Student-t degrees of freedom for innovations; ``0`` means Gaussian.
+        Low values create the heavy tails that break parametric baselines.
+    diurnal_amplitude:
+        Relative amplitude of a 24-hour sinusoidal modulation.
+    spike_rate:
+        Poisson rate (per epoch) of spike-episode onsets.
+    spike_level / spike_level_sigma:
+        Episode price as a (lognormally dispersed) multiple of On-demand.
+    spike_mean_epochs:
+        Mean episode length (geometric).
+    regime_mean_epochs:
+        Mean length of a stationary regime; ``0`` disables regime shifts.
+    regime_level_sigma:
+        Lognormal sigma of per-regime level multipliers.
+    floor_level:
+        Hard price floor as a fraction of On-demand (the ``premium`` class
+        sets this above 1.0).
+    cap_level:
+        Hard price ceiling as a fraction of On-demand; ``0`` disables.
+        Models the (real, historical) cap of 10x the On-demand price that
+        bounded Spot prices in the study era — without it a heavy-tailed
+        market would keep producing unprecedented maxima no finite bid
+        ladder could cover.
+    """
+
+    base_level: float
+    ar_phi: float = 0.95
+    ar_sigma: float = 0.02
+    heavy_tail_df: float = 0.0
+    diurnal_amplitude: float = 0.0
+    spike_rate: float = 0.0
+    spike_level: float = 1.5
+    spike_level_sigma: float = 0.2
+    spike_mean_epochs: float = 4.0
+    regime_mean_epochs: float = 0.0
+    regime_level_sigma: float = 0.0
+    floor_level: float = 0.0
+    cap_level: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_level <= 0:
+            raise ValueError("base_level must be positive")
+        if not 0.0 <= self.ar_phi < 1.0:
+            raise ValueError("ar_phi must be in [0, 1)")
+        if self.ar_sigma < 0:
+            raise ValueError("ar_sigma must be non-negative")
+        if self.spike_rate < 0:
+            raise ValueError("spike_rate must be non-negative")
+        if self.spike_mean_epochs < 1 and self.spike_rate > 0:
+            raise ValueError("spike_mean_epochs must be >= 1")
+
+
+#: The six volatility classes. Rates are calibrated so that, over the
+#: paper's 0–12 h request horizon, ``calm``/``diurnal`` combinations almost
+#: never terminate a sensibly-priced bid, ``spiky`` combinations defeat
+#: static quantile bids roughly 1–5 % of the time, and ``volatile`` ones do
+#: so frequently (see tests/test_synthetic.py for the enforced facts).
+# Calibration notes (the facts below are enforced by tests/test_synthetic.py
+# and exercised end-to-end by the Table 1 calibration test):
+#
+# * High-price excursions are modelled as *plateaus* — episodes lasting
+#   hours to a day — not instantaneous spikes. This is both what 2016-era
+#   Spot traces look like and what the Table 1 arithmetic requires: if the
+#   top 1 % of price mass were scattered in minute-scale spikes, *any*
+#   static quantile bid (including the paper's Empirical-CDF baseline at
+#   its reported success rate) would be crossed within a 12-hour window far
+#   more than 1 % of the time.
+# * ``spiky``/``volatile`` plateaus exceed the On-demand price — defeating
+#   the On-demand bid (§4.1.2) — but stay within reach of the DrAFTS bid
+#   ladder (4x a base-anchored minimum), so DrAFTS can buy its way above
+#   them. Plateau mass is ~1 % of epochs for ``spiky``: above the p=0.95
+#   price quantile (q = 0.975) but below the p=0.99 one (q = 0.995), which
+#   reproduces both Figure 3's occasional 0.95-level failures and Table 1's
+#   universal 0.99 coverage.
+# * ``calm`` sits pinned at a reserve floor with tick-scale jitter and rare
+#   sub-On-demand plateaus: every strategy passes, as in the paper's
+#   majority of combinations.
+VOLATILITY_CLASSES: dict[str, ClassParams] = {
+    "calm": ClassParams(
+        base_level=0.15,
+        ar_phi=0.90,
+        ar_sigma=0.01,
+        floor_level=0.15,
+        spike_rate=1.0 / (10 * _EPOCHS_PER_DAY),
+        spike_level=0.25,
+        spike_level_sigma=0.05,
+        spike_mean_epochs=float(_EPOCHS_PER_DAY),
+    ),
+    # Plateau-free Gaussian seasonality: the class AR(1) models fit well
+    # (the Ben-Yehuda-style combinations on which the paper's AR(1)
+    # baseline *does* meet its target, §4.1.3).
+    "diurnal": ClassParams(
+        base_level=0.20,
+        ar_phi=0.95,
+        ar_sigma=0.004,
+        diurnal_amplitude=0.20,
+    ),
+    "spiky": ClassParams(
+        base_level=0.30,
+        ar_phi=0.95,
+        ar_sigma=0.02,
+        heavy_tail_df=4.0,
+        spike_rate=1.0 / 6000.0,  # ~4 plateaus per 90 days
+        spike_level=1.25,
+        spike_level_sigma=0.15,
+        spike_mean_epochs=72.0,  # ~6-hour plateaus, ~1.2 % of epochs
+    ),
+    "volatile": ClassParams(
+        base_level=0.30,
+        ar_phi=0.90,
+        ar_sigma=0.18,
+        heavy_tail_df=3.0,
+        spike_rate=1.0 / (2 * _EPOCHS_PER_DAY),  # every ~2 days
+        spike_level=2.5,
+        spike_level_sigma=0.8,
+        spike_mean_epochs=24.0,
+        cap_level=10.0,
+    ),
+    # Gaussian within regimes; what breaks baselines here is purely the
+    # level shifts, i.e. the change points themselves.
+    "regime": ClassParams(
+        base_level=0.22,
+        ar_phi=0.93,
+        ar_sigma=0.04,
+        regime_mean_epochs=10 * _EPOCHS_PER_DAY,
+        regime_level_sigma=0.55,
+    ),
+    # Slow drift (correlation time ~ a day) in a narrow band pinned one
+    # tick above On-demand, as the paper's cg1.4xlarge example (§4.1.2).
+    "premium": ClassParams(
+        base_level=1.0,
+        ar_phi=0.995,
+        ar_sigma=0.002,
+        floor_level=1.0000477,  # one tick above OD at the paper's $2.10 example
+    ),
+}
+
+
+def _innovations(
+    rng: np.random.Generator, n: int, sigma: float, df: float
+) -> np.ndarray:
+    """Gaussian or (variance-normalised) Student-t innovations."""
+    if df and df > 2.0:
+        raw = rng.standard_t(df, size=n)
+        raw /= np.sqrt(df / (df - 2.0))
+    else:
+        raw = rng.standard_normal(n)
+    return sigma * raw
+
+
+def _ar1(rng: np.random.Generator, n: int, params: ClassParams) -> np.ndarray:
+    """Stationary AR(1) log-fluctuation via a vectorised linear filter."""
+    eps = _innovations(rng, n, params.ar_sigma, params.heavy_tail_df)
+    x = signal.lfilter([1.0], [1.0, -params.ar_phi], eps)
+    # Warm start: scale the transient toward the stationary distribution by
+    # seeding with a stationary draw instead of zero.
+    stat_sd = params.ar_sigma / np.sqrt(1.0 - params.ar_phi**2)
+    x += params.ar_phi ** np.arange(1, n + 1) * rng.normal(0.0, stat_sd)
+    return x
+
+
+def _regime_levels(
+    rng: np.random.Generator, n: int, params: ClassParams
+) -> np.ndarray:
+    """Piecewise-constant per-epoch level multipliers."""
+    if params.regime_mean_epochs <= 0:
+        return np.ones(n)
+    levels = np.ones(n)
+    pos = 0
+    while pos < n:
+        length = int(rng.geometric(1.0 / params.regime_mean_epochs))
+        multiplier = float(rng.lognormal(0.0, params.regime_level_sigma))
+        levels[pos : pos + length] = multiplier
+        pos += length
+    return levels
+
+
+def _episode_levels(
+    rng: np.random.Generator, n: int, params: ClassParams
+) -> np.ndarray:
+    """Per-epoch plateau/spike price levels (relative to On-demand).
+
+    Zero outside episodes; inside an episode, the episode's own lognormally
+    dispersed level (overlapping episodes keep the higher level).
+    """
+    levels = np.zeros(n)
+    if params.spike_rate <= 0:
+        return levels
+    onsets = np.flatnonzero(rng.random(n) < params.spike_rate)
+    for start in onsets:
+        length = int(rng.geometric(1.0 / params.spike_mean_epochs))
+        level = params.spike_level * float(
+            rng.lognormal(0.0, params.spike_level_sigma)
+        )
+        end = min(start + length, n)
+        levels[start:end] = np.maximum(levels[start:end], level)
+    return levels
+
+
+def generate_trace(
+    class_name: str,
+    ondemand_price: float,
+    n_epochs: int = DEFAULT_EPOCHS,
+    rng: np.random.Generator | int | None = None,
+    start_time: float = 0.0,
+    instance_type: str = "",
+    zone: str = "",
+) -> PriceTrace:
+    """Generate one synthetic price trace.
+
+    Parameters
+    ----------
+    class_name:
+        Key into :data:`VOLATILITY_CLASSES`.
+    ondemand_price:
+        The combination's On-demand price; all class levels scale with it.
+    n_epochs:
+        Trace length in 5-minute epochs.
+    rng:
+        Generator or seed.
+    """
+    if class_name not in VOLATILITY_CLASSES:
+        raise KeyError(
+            f"unknown volatility class {class_name!r}; "
+            f"choose from {sorted(VOLATILITY_CLASSES)}"
+        )
+    if ondemand_price <= 0:
+        raise ValueError("ondemand_price must be positive")
+    if n_epochs < 2:
+        raise ValueError("n_epochs must be >= 2")
+    params = VOLATILITY_CLASSES[class_name]
+    gen = rng_from(rng)
+
+    fluct = _ar1(gen, n_epochs, params)
+    base = params.base_level * _regime_levels(gen, n_epochs, params)
+    if params.diurnal_amplitude > 0.0:
+        phase = (
+            2.0
+            * np.pi
+            * (np.arange(n_epochs) % _EPOCHS_PER_DAY)
+            / _EPOCHS_PER_DAY
+        )
+        base = base * (1.0 + params.diurnal_amplitude * np.sin(phase))
+
+    rel_price = base * np.exp(fluct)
+    rel_price = np.maximum(rel_price, _episode_levels(gen, n_epochs, params))
+    if params.floor_level > 0.0:
+        rel_price = np.maximum(rel_price, params.floor_level)
+    if params.cap_level > 0.0:
+        rel_price = np.minimum(rel_price, params.cap_level)
+
+    prices = np.round(rel_price * ondemand_price, 4)
+    prices = np.maximum(prices, 1e-4)
+    if params.floor_level >= 1.0:
+        # "Premium" semantics: the paper's cg1.4xlarge sat at least one
+        # $0.0001 tick above On-demand at all times (§4.1.2). A relative
+        # floor cannot express "one tick" for cheap types once prices are
+        # quantised, so enforce it absolutely.
+        prices = np.maximum(prices, np.round(ondemand_price, 4) + 1e-4)
+    times = start_time + EPOCH_SECONDS * np.arange(n_epochs)
+    return PriceTrace(times, prices, instance_type, zone)
+
+
+def synthetic_trace(
+    class_name: str,
+    seed: int = 0,
+    n_epochs: int = DEFAULT_EPOCHS,
+    ondemand_price: float = 0.1,
+) -> PriceTrace:
+    """Convenience wrapper used in docs and examples."""
+    return generate_trace(
+        class_name, ondemand_price, n_epochs=n_epochs, rng=seed
+    )

@@ -1,0 +1,204 @@
+"""Spot price trace container.
+
+A :class:`PriceTrace` is the fundamental data object of the reproduction:
+the sequence of (timestamp, market price) announcements for one
+(instance type, availability zone) combination, equivalent to what Amazon's
+``describe_spot_price_history`` API returned (§2.2). Prices are a
+right-continuous step function: the price announced at ``times[i]`` holds
+until ``times[i+1]``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PriceTrace"]
+
+
+@dataclass(frozen=True)
+class PriceTrace:
+    """Immutable (timestamps, prices) step series for one spot market.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing announcement timestamps in seconds.
+    prices:
+        Announced market prices in dollars/hour, strictly positive.
+    instance_type / zone:
+        Identity labels (optional; carried through slices).
+    """
+
+    times: np.ndarray
+    prices: np.ndarray
+    instance_type: str = ""
+    zone: str = ""
+
+    def __post_init__(self) -> None:
+        t = np.ascontiguousarray(self.times, dtype=np.float64)
+        p = np.ascontiguousarray(self.prices, dtype=np.float64)
+        if t.ndim != 1 or p.ndim != 1:
+            raise ValueError("times and prices must be 1-D")
+        if t.shape != p.shape:
+            raise ValueError(
+                f"times ({t.shape}) and prices ({p.shape}) must align"
+            )
+        if t.size == 0:
+            raise ValueError("a trace must contain at least one announcement")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(p <= 0):
+            raise ValueError("prices must be strictly positive")
+        if np.any(~np.isfinite(p)):
+            raise ValueError("prices must be finite")
+        t.flags.writeable = False
+        p.flags.writeable = False
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "prices", p)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first announcement."""
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last announcement."""
+        return float(self.times[-1])
+
+    @property
+    def span(self) -> float:
+        """Seconds between first and last announcement."""
+        return self.end - self.start
+
+    def index_at(self, t: float) -> int:
+        """Index of the announcement in force at time ``t``.
+
+        Raises ``ValueError`` for ``t`` before the first announcement.
+        """
+        i = int(np.searchsorted(self.times, t, side="right")) - 1
+        if i < 0:
+            raise ValueError(
+                f"t={t} precedes the first announcement at {self.start}"
+            )
+        return i
+
+    def price_at(self, t: float) -> float:
+        """Market price in force at time ``t`` (step-function evaluation)."""
+        return float(self.prices[self.index_at(t)])
+
+    def prices_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`price_at`."""
+        ts = np.asarray(ts, dtype=np.float64)
+        idx = np.searchsorted(self.times, ts, side="right") - 1
+        if np.any(idx < 0):
+            raise ValueError("a query precedes the first announcement")
+        return self.prices[idx]
+
+    def first_reach_after(self, t: float, level: float) -> float:
+        """First instant ``>= t`` at which the price is ``>= level``.
+
+        This is the post-facto ground truth for "when would a bid of
+        ``level`` become eligible for termination" (§4.1's backtest check).
+        Returns ``inf`` when the level is never reached within the trace.
+        """
+        i = self.index_at(t)
+        if self.prices[i] >= level:
+            return float(t)
+        hits = np.flatnonzero(self.prices[i + 1 :] >= level)
+        if hits.size == 0:
+            return float("inf")
+        return float(self.times[i + 1 + int(hits[0])])
+
+    def slice(self, start: float, end: float) -> "PriceTrace":
+        """Announcements with ``start <= time < end``.
+
+        The announcement in force at ``start`` is included (re-stamped at
+        ``start``) so the slice is a complete step function on
+        ``[start, end)``.
+        """
+        if end <= start:
+            raise ValueError("end must exceed start")
+        i = self.index_at(start)
+        j = int(np.searchsorted(self.times, end, side="left"))
+        t = self.times[i:j].copy()
+        p = self.prices[i:j].copy()
+        t[0] = start
+        return PriceTrace(t, p, self.instance_type, self.zone)
+
+    def window_before(self, t: float, span: float) -> "PriceTrace":
+        """The trailing ``span`` seconds of history strictly before ``t``.
+
+        Mirrors the 90-day availability limit of the price-history API
+        (§2.2) and the paper's 3-month training windows (§3.3).
+        """
+        start = max(self.start, t - span)
+        if t <= self.start:
+            raise ValueError("no history available before t")
+        return self.slice(start, t)
+
+    def mean_price(self) -> float:
+        """Time-weighted average price over the trace span."""
+        if len(self) == 1:
+            return float(self.prices[0])
+        widths = np.diff(self.times)
+        return float(np.dot(self.prices[:-1], widths) / widths.sum())
+
+    def with_labels(self, instance_type: str, zone: str) -> "PriceTrace":
+        """Copy with new identity labels."""
+        return PriceTrace(self.times, self.prices, instance_type, zone)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise as ``time,price`` CSV (header included)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["time", "price"])
+        for t, p in zip(self.times, self.prices):
+            writer.writerow([repr(float(t)), repr(float(p))])
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(
+        cls, payload: str, instance_type: str = "", zone: str = ""
+    ) -> "PriceTrace":
+        """Parse a trace serialised with :meth:`to_csv`."""
+        reader = csv.reader(io.StringIO(payload))
+        header = next(reader)
+        if header[:2] != ["time", "price"]:
+            raise ValueError(f"unexpected CSV header: {header}")
+        rows = [(float(r[0]), float(r[1])) for r in reader if r]
+        times = np.array([r[0] for r in rows])
+        prices = np.array([r[1] for r in rows])
+        return cls(times, prices, instance_type, zone)
+
+    def to_json(self) -> str:
+        """Serialise to JSON (labels included)."""
+        return json.dumps(
+            {
+                "instance_type": self.instance_type,
+                "zone": self.zone,
+                "times": self.times.tolist(),
+                "prices": self.prices.tolist(),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PriceTrace":
+        """Parse a trace serialised with :meth:`to_json`."""
+        data = json.loads(payload)
+        return cls(
+            np.asarray(data["times"], dtype=np.float64),
+            np.asarray(data["prices"], dtype=np.float64),
+            str(data.get("instance_type", "")),
+            str(data.get("zone", "")),
+        )

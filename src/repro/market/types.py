@@ -1,0 +1,146 @@
+"""EC2 resource model: regions, availability zones, instance types.
+
+Mirrors §2 of the paper: EC2 is organised into independent *Regions*, each
+divided into *Availability Zones* (AZs, named ``<region><letter>``); an
+*instance type* fixes the nominal vCPU/memory/storage capability, and the
+Spot request tuple is ``(Region, AZ, InstanceType, MaxBid)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AvailabilityZone", "InstanceType", "Region", "SpotRequestSpec"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An EC2 region — an independent instantiation of the service.
+
+    Attributes
+    ----------
+    name:
+        API name, e.g. ``us-east-1``.
+    zone_letters:
+        Letters of the AZs this region advertises to the experiment account
+        (the paper's account saw 4 in us-east-1, 2 in us-west-1, 3 in
+        us-west-2).
+    """
+
+    name: str
+    zone_letters: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        if not self.zone_letters:
+            raise ValueError(f"region {self.name} must have at least one AZ")
+        if len(set(self.zone_letters)) != len(self.zone_letters):
+            raise ValueError(f"duplicate zone letters in {self.name}")
+
+    @property
+    def zones(self) -> tuple["AvailabilityZone", ...]:
+        """The region's availability zones."""
+        return tuple(
+            AvailabilityZone(region=self.name, letter=lt)
+            for lt in self.zone_letters
+        )
+
+
+@dataclass(frozen=True)
+class AvailabilityZone:
+    """One availability zone; the region name is carried in the AZ name (§2)."""
+
+    region: str
+    letter: str
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("region must be non-empty")
+        if len(self.letter) != 1 or not self.letter.isalpha():
+            raise ValueError(f"zone letter must be one letter, got {self.letter!r}")
+
+    @property
+    def name(self) -> str:
+        """Full AZ name, e.g. ``us-east-1a``."""
+        return f"{self.region}{self.letter}"
+
+    def __str__(self) -> str:
+        return self.name
+
+    @classmethod
+    def parse(cls, name: str) -> "AvailabilityZone":
+        """Parse ``us-east-1a`` style names."""
+        if len(name) < 2 or not name[-1].isalpha():
+            raise ValueError(f"not an AZ name: {name!r}")
+        return cls(region=name[:-1], letter=name[-1])
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2 instance type and its nominal capabilities (§2).
+
+    Attributes
+    ----------
+    name:
+        API name, e.g. ``m3.medium``.
+    vcpus:
+        Number of virtual CPUs.
+    memory_gb:
+        Memory in gigabytes.
+    storage_gb:
+        Local instance storage in gigabytes (0 for EBS-only types).
+    ondemand_price:
+        Hourly On-demand price in dollars. The paper notes On-demand prices
+        are set per *Region*; our catalogue stores the us-* price and the
+        universe applies small per-region adjustments.
+    family:
+        Family prefix (``m3``, ``c4``, ...), derived, used for workload
+        profile matching.
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    storage_gb: float
+    ondemand_price: float
+
+    def __post_init__(self) -> None:
+        if not self.name or "." not in self.name:
+            raise ValueError(f"instance type name must look like 'm3.medium', got {self.name!r}")
+        if self.vcpus < 1:
+            raise ValueError(f"{self.name}: vcpus must be >= 1")
+        if self.memory_gb <= 0:
+            raise ValueError(f"{self.name}: memory must be positive")
+        if self.storage_gb < 0:
+            raise ValueError(f"{self.name}: storage must be non-negative")
+        if self.ondemand_price <= 0:
+            raise ValueError(f"{self.name}: on-demand price must be positive")
+
+    @property
+    def family(self) -> str:
+        """Family prefix of the type name."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def size(self) -> str:
+        """Size suffix of the type name."""
+        return self.name.split(".", 1)[1]
+
+
+@dataclass(frozen=True)
+class SpotRequestSpec:
+    """The user-visible Spot request 4-tuple of Equation (1) in the paper."""
+
+    region: str
+    zone: str
+    instance_type: str
+    max_bid: float
+
+    def __post_init__(self) -> None:
+        if self.max_bid <= 0:
+            raise ValueError("max_bid must be positive")
+        if not self.zone.startswith(self.region):
+            raise ValueError(
+                f"zone {self.zone!r} does not belong to region {self.region!r}"
+            )

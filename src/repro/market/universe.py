@@ -1,0 +1,256 @@
+"""The study universe: every offered (instance type, AZ) combination.
+
+Builds the paper's 452-combination universe (§4.1) over three regions and
+nine AZs, assigns each combination a volatility class (DESIGN.md §1) and
+generates its price trace deterministically from a root seed. Combinations
+the paper discusses by name are pinned to the class that reproduces their
+reported behaviour; the rest are assigned by a seeded draw from the class
+mix.
+
+Traces are generated lazily and cached, so experiments that touch a handful
+of combinations never pay for the full universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.market import catalog
+from repro.market.synthetic import DEFAULT_EPOCHS, generate_trace
+from repro.market.traces import PriceTrace
+from repro.market.types import AvailabilityZone
+from repro.util.rng import RngFactory
+
+__all__ = ["CLASS_WEIGHTS", "Combo", "Universe", "UniverseConfig"]
+
+#: Fraction of combinations assigned to each volatility class. Chosen so
+#: the Table 1 failure modes all occur with roughly the paper's prevalence:
+#: naive On-demand bids fail on spiky + volatile + premium (+ part of
+#: regime) combinations — about a third of the universe — while most
+#: combinations stay benign.
+CLASS_WEIGHTS: dict[str, float] = {
+    "calm": 0.38,
+    "diurnal": 0.12,
+    "spiky": 0.16,
+    "volatile": 0.12,
+    "regime": 0.15,
+    "premium": 0.07,
+}
+
+#: Combinations the paper names, pinned to the matching behaviour.
+_PINNED: dict[tuple[str, str], str] = {
+    # §4.1.2: spot always at least one tick above On-demand.
+    ("cg1.4xlarge", "us-east-1b"): "premium",
+    ("cg1.4xlarge", "us-east-1c"): "premium",
+    # §4.4: two-orders-of-magnitude volatility.
+    ("c4.4xlarge", "us-east-1e"): "volatile",
+    # §4.4: bid always below On-demand.
+    ("m1.large", "us-west-2c"): "calm",
+    # Figure 2: a week of launches with zero failures at p = 0.95.
+    ("c4.large", "us-east-1b"): "calm",
+    ("c4.large", "us-east-1c"): "calm",
+    ("c4.large", "us-east-1d"): "calm",
+    ("c4.large", "us-east-1e"): "diurnal",
+    # Figure 3: the week with four back-to-back failures at p = 0.95.
+    ("c3.2xlarge", "us-west-1a"): "spiky",
+    ("c3.2xlarge", "us-west-1b"): "spiky",
+    # Figure 4: a combination with a non-trivial bid-duration trade-off
+    # (raising the bid genuinely buys duration).
+    ("c3.4xlarge", "us-east-1b"): "volatile",
+}
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One offered (instance type, AZ) combination of the universe."""
+
+    instance_type: str
+    zone: AvailabilityZone
+    volatility_class: str
+    ondemand_price: float
+
+    @property
+    def key(self) -> str:
+        """Stable string identity, e.g. ``c4.large@us-east-1b``."""
+        return f"{self.instance_type}@{self.zone.name}"
+
+    @property
+    def region(self) -> str:
+        """Region the combination lives in."""
+        return self.zone.region
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """Parameters of a universe build.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; everything (class draws, traces) derives from it.
+    n_epochs:
+        Length of every combination's trace, in 5-minute epochs. The
+        default covers the paper's 3-month training window plus its 2-month
+        backtest window.
+    class_weights:
+        Class mix for non-pinned combinations.
+    """
+
+    seed: int = 20170101
+    n_epochs: int = DEFAULT_EPOCHS + 60 * 288
+    class_weights: tuple[tuple[str, float], ...] = tuple(
+        sorted(CLASS_WEIGHTS.items())
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 2:
+            raise ValueError("n_epochs must be >= 2")
+        total = sum(w for _, w in self.class_weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"class weights must sum to 1, got {total}")
+
+
+class Universe:
+    """Lazily materialised set of combinations and their price traces."""
+
+    def __init__(self, config: UniverseConfig | None = None) -> None:
+        self._cfg = config or UniverseConfig()
+        self._rng_factory = RngFactory(self._cfg.seed)
+        self._combos = self._assign_classes()
+        self._traces: dict[str, PriceTrace] = {}
+
+    def _assign_classes(self) -> dict[str, Combo]:
+        names = [name for name, _ in self._cfg.class_weights]
+        weights = [w for _, w in self._cfg.class_weights]
+        cumulative: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cumulative.append(acc)
+
+        combos: dict[str, Combo] = {}
+        for type_name, zone in catalog.offered_combinations():
+            pin = _PINNED.get((type_name, zone.name))
+            if pin is not None:
+                cls = pin
+            else:
+                u = float(
+                    self._rng_factory.generator(
+                        f"class/{type_name}@{zone.name}"
+                    ).random()
+                )
+                cls = names[-1]
+                for name, edge in zip(names, cumulative):
+                    if u < edge:
+                        cls = name
+                        break
+            combo = Combo(
+                instance_type=type_name,
+                zone=zone,
+                volatility_class=cls,
+                ondemand_price=catalog.ondemand_price(type_name, zone.region),
+            )
+            combos[combo.key] = combo
+        return combos
+
+    @property
+    def config(self) -> UniverseConfig:
+        """The universe's configuration."""
+        return self._cfg
+
+    def combos(self) -> tuple[Combo, ...]:
+        """All offered combinations (452 at full scale)."""
+        return tuple(self._combos.values())
+
+    def combo(self, instance_type: str, zone: str) -> Combo:
+        """Look up one combination by type and AZ name."""
+        key = f"{instance_type}@{zone}"
+        try:
+            return self._combos[key]
+        except KeyError:
+            raise KeyError(f"combination {key!r} is not offered") from None
+
+    def trace(self, combo: Combo) -> PriceTrace:
+        """The (cached) price trace of ``combo``."""
+        cached = self._traces.get(combo.key)
+        if cached is None:
+            cached = generate_trace(
+                combo.volatility_class,
+                combo.ondemand_price,
+                n_epochs=self._cfg.n_epochs,
+                rng=self._rng_factory.generator(f"trace/{combo.key}"),
+                instance_type=combo.instance_type,
+                zone=combo.zone.name,
+            )
+            self._traces[combo.key] = cached
+        return cached
+
+    def zones(self, region: str | None = None) -> tuple[AvailabilityZone, ...]:
+        """All AZs, optionally restricted to one region."""
+        zones = catalog.all_zones()
+        if region is None:
+            return zones
+        return tuple(z for z in zones if z.region == region)
+
+    def combos_in_zone(self, zone: str) -> tuple[Combo, ...]:
+        """Combinations offered in AZ ``zone``."""
+        return tuple(c for c in self._combos.values() if c.zone.name == zone)
+
+    def combos_for_type(self, instance_type: str) -> tuple[Combo, ...]:
+        """Combinations of one instance type across all AZs."""
+        return tuple(
+            c
+            for c in self._combos.values()
+            if c.instance_type == instance_type
+        )
+
+    def subsample(self, per_class: int, seed: int = 0) -> tuple[Combo, ...]:
+        """Class-stratified subsample for scaled-down (bench) runs.
+
+        Picks up to ``per_class`` combinations of every volatility class,
+        deterministically, preferring pinned combinations first so the
+        paper's named examples always survive scaling.
+        """
+        if per_class < 1:
+            raise ValueError("per_class must be >= 1")
+        by_class: dict[str, list[Combo]] = {}
+        for combo in self._combos.values():
+            by_class.setdefault(combo.volatility_class, []).append(combo)
+        picked: list[Combo] = []
+        rng = RngFactory(self._cfg.seed + seed).generator("subsample")
+        for cls in sorted(by_class):
+            pool = by_class[cls]
+            pinned = [
+                c for c in pool if (c.instance_type, c.zone.name) in _PINNED
+            ]
+            rest = [
+                c for c in pool if (c.instance_type, c.zone.name) not in _PINNED
+            ]
+            take = pinned[:per_class]
+            remaining = per_class - len(take)
+            if remaining > 0 and rest:
+                idx = rng.permutation(len(rest))[:remaining]
+                take.extend(rest[i] for i in idx)
+            picked.extend(take)
+        return tuple(sorted(picked, key=lambda c: c.key))
+
+    def sample_per_zone(self, per_zone: int, seed: int = 0) -> tuple[Combo, ...]:
+        """Unstratified per-AZ subsample preserving the natural class mix.
+
+        The cost tables (paper Tables 4-5) aggregate dollars per AZ, so a
+        scaled run must sample combinations with the *universe's own* class
+        weights — a class-stratified sample would over-weight the expensive
+        premium/volatile pools and distort the savings.
+        """
+        if per_zone < 1:
+            raise ValueError("per_zone must be >= 1")
+        rng = RngFactory(self._cfg.seed + seed).generator("sample-per-zone")
+        picked: list[Combo] = []
+        by_zone: dict[str, list[Combo]] = {}
+        for combo in self._combos.values():
+            by_zone.setdefault(combo.zone.name, []).append(combo)
+        for zone in sorted(by_zone):
+            pool = by_zone[zone]
+            idx = rng.permutation(len(pool))[:per_zone]
+            picked.extend(pool[i] for i in idx)
+        return tuple(sorted(picked, key=lambda c: c.key))

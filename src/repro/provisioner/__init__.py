@@ -1,0 +1,45 @@
+"""The Globus-Galaxies-style provisioning platform (§4.3): job model,
+workload generator, computational profiles, bidding policies, and the
+discrete-event workload replayer behind Tables 2–3."""
+
+from repro.provisioner.events import EventLoop, ScheduledEvent
+from repro.provisioner.jobs import Job, JobQueue
+from repro.provisioner.profiles import (
+    DEFAULT_PROFILES,
+    AppProfile,
+    estimate_runtime,
+    profile_for,
+)
+from repro.provisioner.provisioner import (
+    DraftsPolicy,
+    LaunchPlan,
+    OriginalPolicy,
+    ProvisioningPolicy,
+)
+from repro.provisioner.replay import ReplayConfig, ReplayResult, run_replay
+from repro.provisioner.workload import (
+    WorkloadConfig,
+    generate_workload,
+    paper_replay_workload,
+)
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "AppProfile",
+    "DraftsPolicy",
+    "EventLoop",
+    "Job",
+    "JobQueue",
+    "LaunchPlan",
+    "OriginalPolicy",
+    "ProvisioningPolicy",
+    "ReplayConfig",
+    "ReplayResult",
+    "ScheduledEvent",
+    "WorkloadConfig",
+    "estimate_runtime",
+    "generate_workload",
+    "paper_replay_workload",
+    "profile_for",
+    "run_replay",
+]

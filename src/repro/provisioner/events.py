@@ -1,0 +1,122 @@
+"""A minimal discrete-event simulation kernel.
+
+The application-driven experiments (§4.3) replay a production workload
+against the simulated Spot tier; the replay is a classic discrete-event
+simulation (job arrivals, instance startups, job completions, billing-hour
+boundaries, price terminations). This kernel provides the event loop: a
+time-ordered heap of callbacks with stable FIFO ordering for simultaneous
+events and support for event cancellation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["EventLoop", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class _HeapItem:
+    time: float
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+@dataclass
+class ScheduledEvent:
+    """Handle to a scheduled callback; ``cancel()`` prevents execution."""
+
+    time: float
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Time-ordered event dispatcher.
+
+    Events scheduled for the same instant fire in scheduling order (stable
+    FIFO), which keeps replays deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_HeapItem] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` at ``time`` (>= now) and return its handle."""
+        if time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = ScheduledEvent(time=float(time), action=action, label=label)
+        heapq.heappush(
+            self._heap, _HeapItem(float(time), next(self._seq), event)
+        )
+        return event
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, action, label)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event; False when none remain."""
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            if item.event.cancelled:
+                continue
+            self._now = item.time
+            self._processed += 1
+            item.event.action()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains, ``until`` passes, or the cap trips.
+
+        The event cap is a guard against accidental event storms (e.g. a
+        policy re-scheduling itself at the current instant); hitting it
+        raises ``RuntimeError`` rather than hanging the replay.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"event cap of {max_events} reached at t={self._now}"
+                )

@@ -1,0 +1,96 @@
+"""Job model and per-instance-type queues (§4.3's platform model).
+
+Executed workflows on the Globus Galaxies platform decompose into
+individual *jobs*, queued for execution and dispatched to instances; jobs
+are delay-tolerant — users accept resubmission after an instance revocation
+in exchange for Spot-tier prices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobQueue"]
+
+
+@dataclass
+class Job:
+    """One analysis job.
+
+    Attributes
+    ----------
+    job_id:
+        Stable identity.
+    app:
+        Application name (selects the computational profile).
+    submit_time:
+        Relative submission time in seconds (the paper transforms recorded
+        submission times into relative offsets for replay, §4.3).
+    runtime:
+        True execution time in seconds — unknown to the provisioner.
+    estimated_runtime:
+        The profile's runtime estimate (what DrAFTS-with-profiles uses).
+    attempts:
+        How many times the job has been started (resubmissions increment).
+    finished_at:
+        Completion timestamp, or ``None`` while pending/running.
+    """
+
+    job_id: int
+    app: str
+    submit_time: float
+    runtime: float
+    estimated_runtime: float
+    attempts: int = 0
+    finished_at: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ValueError("runtime must be positive")
+        if self.estimated_runtime <= 0:
+            raise ValueError("estimated_runtime must be positive")
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has completed."""
+        return self.finished_at is not None
+
+
+class JobQueue:
+    """FIFO queues of pending jobs, keyed by required instance type.
+
+    Revoked jobs are requeued at the *front* (they have already waited
+    their turn once).
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[Job]] = {}
+
+    def push(self, instance_type: str, job: Job) -> None:
+        """Enqueue a new job at the back."""
+        self._queues.setdefault(instance_type, deque()).append(job)
+
+    def push_front(self, instance_type: str, job: Job) -> None:
+        """Requeue a revoked job at the front."""
+        self._queues.setdefault(instance_type, deque()).appendleft(job)
+
+    def pop(self, instance_type: str) -> Job | None:
+        """Dequeue the next job for ``instance_type`` (None if empty)."""
+        queue = self._queues.get(instance_type)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def depth(self, instance_type: str) -> int:
+        """Pending jobs for ``instance_type``."""
+        queue = self._queues.get(instance_type)
+        return len(queue) if queue else 0
+
+    def total_depth(self) -> int:
+        """Pending jobs across all types."""
+        return sum(len(q) for q in self._queues.values())
+
+    def instance_types(self) -> tuple[str, ...]:
+        """Types with at least one pending job."""
+        return tuple(t for t, q in self._queues.items() if q)

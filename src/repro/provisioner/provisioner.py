@@ -1,0 +1,226 @@
+"""The cost-aware provisioner and its bidding policies (§4.3).
+
+The platform's provisioner monitors the job queue and provisions Spot
+instances to execute jobs. Three policies, matching Tables 2–3:
+
+``original``
+    The platform's pre-DrAFTS rule: bid 80 % of the On-demand price, AZs
+    rotated without price awareness. When a Spot request is rejected
+    (bid not above the market price — permanently the case for
+    premium-priced pools), the platform falls back to an On-demand
+    instance: work must still get done.
+
+``drafts-1hr``
+    Ask the DrAFTS service for the cheapest AZ and the minimum bid
+    guaranteeing **one hour** at the target probability (the baseline §4.3
+    experiment "using a required duration of one hour", for when accurate
+    profiles are unavailable).
+
+``drafts-profiles``
+    Same, but the guaranteed duration is the job's *profile-estimated*
+    runtime — tighter bids, slightly lower risk, slightly more
+    terminations (Table 3's third row).
+
+Both DrAFTS policies apply the §4.4 comparison: if even the DrAFTS bid
+meets or exceeds the On-demand price, provision On-demand instead.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.cloud.api import EC2Api
+from repro.service.client import DraftsClient
+from repro.util.timeutils import HOUR_SECONDS
+
+__all__ = [
+    "DraftsPolicy",
+    "LaunchPlan",
+    "OriginalPolicy",
+    "ProvisioningPolicy",
+]
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """A policy's decision for one instance launch.
+
+    Attributes
+    ----------
+    zone:
+        Target AZ.
+    tier:
+        ``"spot"`` or ``"ondemand"``.
+    bid:
+        Maximum bid (Spot) or the On-demand price (On-demand — the "bid"
+        is then also the exact worst-case hourly cost).
+    instance_type:
+        The type actually provisioned. DrAFTS policies may choose an
+        acceptable *alternate* of the requested type when it is cheaper
+        to make durable (§4.3's candidate-type selection); empty means
+        "the requested type".
+    """
+
+    zone: str
+    tier: str
+    bid: float
+    instance_type: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tier not in ("spot", "ondemand"):
+            raise ValueError(f"unknown tier {self.tier!r}")
+        if self.bid <= 0:
+            raise ValueError("bid must be positive")
+
+
+class ProvisioningPolicy(abc.ABC):
+    """Decides where and how to launch an instance of a given type."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def plan(
+        self, instance_type: str, now: float, estimated_duration: float
+    ) -> LaunchPlan:
+        """Choose zone/tier/bid for a launch of ``instance_type`` at ``now``."""
+
+
+class OriginalPolicy(ProvisioningPolicy):
+    """The platform's original 80 %-of-On-demand rule (§4.3)."""
+
+    name = "original"
+
+    def __init__(self, api: EC2Api, region: str, factor: float = 0.8) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self._api = api
+        self._region = region
+        self._factor = factor
+        self._rotation = 0
+
+    def plan(
+        self, instance_type: str, now: float, estimated_duration: float
+    ) -> LaunchPlan:
+        zones = [
+            z
+            for z in self._api.describe_availability_zones(self._region)
+            if self._offered(instance_type, z, now)
+        ]
+        if not zones:
+            raise RuntimeError(
+                f"{instance_type} not offered anywhere in {self._region}"
+            )
+        zone = zones[self._rotation % len(zones)]
+        self._rotation += 1
+        od = self._api.ondemand_price(instance_type, self._region)
+        return LaunchPlan(
+            zone=zone,
+            tier="spot",
+            bid=round(od * self._factor, 4),
+            instance_type=instance_type,
+        )
+
+    def _offered(self, instance_type: str, zone: str, now: float) -> bool:
+        try:
+            self._api.current_spot_price(instance_type, zone, now)
+        except KeyError:
+            return False
+        return True
+
+
+class DraftsPolicy(ProvisioningPolicy):
+    """DrAFTS-driven AZ selection and bidding (§4.3, Tables 2–3)."""
+
+    def __init__(
+        self,
+        api: EC2Api,
+        client: DraftsClient,
+        region: str,
+        probability: float = 0.99,
+        use_profiles: bool = False,
+        type_alternates: dict[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        self._api = api
+        self._client = client
+        self._region = region
+        self._probability = probability
+        self._use_profiles = use_profiles
+        self._alternates = type_alternates or {}
+        self.name = "drafts-profiles" if use_profiles else "drafts-1hr"
+
+    def _quote(
+        self, instance_type: str, now: float, duration: float
+    ) -> tuple[str, float] | None:
+        """Cheapest durable (zone, bid) for one candidate type, or None."""
+        choice = self._client.cheapest_zone(
+            instance_type, self._region, self._probability, now
+        )
+        if choice is None:
+            return None
+        zone, _ = choice
+        bid = self._client.bid_for(
+            instance_type, zone, self._probability, duration, now
+        )
+        if math.isnan(bid):
+            # No published rung certifies the duration; take the ladder top
+            # (the most the service would ever suggest) if it is published.
+            curve = self._client.fetch_curve(
+                instance_type, zone, self._probability, now
+            )
+            if curve is not None:
+                bid = curve.bids[-1]
+        if math.isnan(bid):
+            return None
+        return zone, bid
+
+    def plan(
+        self, instance_type: str, now: float, estimated_duration: float
+    ) -> LaunchPlan:
+        od = self._api.ondemand_price(instance_type, self._region)
+        duration = (
+            max(estimated_duration, 300.0)
+            if self._use_profiles
+            else HOUR_SECONDS
+        )
+        # §4.3: quote every candidate (type, AZ) and take the smallest
+        # maximum bid.
+        candidates = (instance_type, *self._alternates.get(instance_type, ()))
+        best: tuple[str, str, float] | None = None  # (type, zone, bid)
+        for candidate in candidates:
+            quote = self._quote(candidate, now, duration)
+            if quote is None:
+                continue
+            zone, bid = quote
+            if best is None or bid < best[2]:
+                best = (candidate, zone, bid)
+        if best is None:
+            # Nothing quotable yet: the only durable option is On-demand.
+            return LaunchPlan(
+                zone=self._fallback_zone(instance_type, now),
+                tier="ondemand",
+                bid=od,
+                instance_type=instance_type,
+            )
+        chosen_type, zone, bid = best
+        if bid >= od:
+            # §4.4: the durable Spot bid is no cheaper than the reliable
+            # tier — buy the reliable tier (at the requested type).
+            return LaunchPlan(
+                zone=zone, tier="ondemand", bid=od, instance_type=instance_type
+            )
+        return LaunchPlan(
+            zone=zone, tier="spot", bid=bid, instance_type=chosen_type
+        )
+
+    def _fallback_zone(self, instance_type: str, now: float) -> str:
+        for zone in self._api.describe_availability_zones(self._region):
+            try:
+                self._api.current_spot_price(instance_type, zone, now)
+                return zone
+            except KeyError:
+                continue
+        raise RuntimeError(
+            f"{instance_type} not offered anywhere in {self._region}"
+        )

@@ -1,0 +1,412 @@
+"""Workload replay against the simulated Spot tier (§4.3, Tables 2–3).
+
+A discrete-event simulation of the platform: jobs arrive per the recorded
+(here: generated) submission trace; the provisioner keeps one queue per
+required instance type, dispatches jobs to idle instances, launches new
+instances through the configured policy when queues outgrow capacity,
+retires idle instances at their billing-hour boundaries, and resubmits jobs
+whose instance was revoked by price. Startup delays and dispatch overheads
+are drawn from calibrated-looking distributions, as in the paper's
+simulator plugin [SCRIMP].
+
+Accounting matches Tables 2–3: instances provisioned, actual cost, maximum
+bid ("risked") cost, and provider terminations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.api import EC2Api
+from repro.cloud.billing import charge_ondemand, charge_spot_run
+from repro.market.universe import Universe
+from repro.provisioner.events import EventLoop
+from repro.provisioner.jobs import Job, JobQueue
+from repro.provisioner.provisioner import (
+    DraftsPolicy,
+    LaunchPlan,
+    OriginalPolicy,
+    ProvisioningPolicy,
+)
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import RestRouter
+from repro.util.rng import RngFactory
+from repro.util.timeutils import HOUR_SECONDS, billable_hours
+
+__all__ = ["ReplayConfig", "ReplayResult", "run_replay"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay parameters.
+
+    Attributes
+    ----------
+    region:
+        Region the platform provisions in.
+    probability:
+        Durability target for the DrAFTS policies.
+    start_after_days:
+        Replay start relative to trace start (leaves the DrAFTS training
+        window before the experiment).
+    startup_mean / startup_sigma:
+        Lognormal instance-startup delay parameters, seconds.
+    service_refresh_seconds:
+        DrAFTS service recompute interval for the replay.
+    seed:
+        Seed for startup-delay draws.
+    """
+
+    region: str = "us-east-1"
+    probability: float = 0.99
+    start_after_days: float = 95.0
+    startup_mean: float = 100.0
+    startup_sigma: float = 0.35
+    service_refresh_seconds: float = 6 * 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.startup_mean <= 0:
+            raise ValueError("startup_mean must be positive")
+
+
+@dataclass
+class _Instance:
+    uid: int
+    instance_type: str  # the job queue this instance serves
+    physical_type: str  # the type actually provisioned (may be an alternate)
+    zone: str
+    tier: str
+    bid: float
+    launch_time: float
+    alive: bool = True
+    ready: bool = False
+    busy: Job | None = None
+    killed_by_price: bool = False
+    end_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Aggregate outcome of one replay (one row-cell of Tables 2–3)."""
+
+    policy: str
+    instances: int
+    cost: float
+    max_bid_cost: float
+    terminations: int
+    spot_rejections: int
+    ondemand_instances: int
+    resubmissions: int
+    jobs_completed: int
+    makespan_seconds: float
+
+
+class _Replay:
+    """One replay run; see :func:`run_replay`."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        jobs: list[Job],
+        policy: ProvisioningPolicy,
+        api: EC2Api,
+        config: ReplayConfig,
+    ) -> None:
+        self._universe = universe
+        self._api = api
+        self._policy = policy
+        self._cfg = config
+        self._rng = RngFactory(config.seed).generator(f"replay/{policy.name}")
+        any_combo = universe.combos()[0]
+        trace_start = universe.trace(any_combo).start
+        self._t0 = trace_start + config.start_after_days * 86400.0
+        self._loop = EventLoop(self._t0)
+        self._queue = JobQueue()
+        self._jobs = jobs
+        self._instances: list[_Instance] = []
+        self._starting: dict[str, int] = {}
+        self._uid = 0
+        self._rejections = 0
+        self._resubmissions = 0
+        self._completed = 0
+        self._last_finish = self._t0
+        self._app_types = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _idle_instances(self, instance_type: str) -> list[_Instance]:
+        return [
+            inst
+            for inst in self._instances
+            if inst.alive
+            and inst.ready
+            and inst.busy is None
+            and inst.instance_type == instance_type
+        ]
+
+    def _required_type(self, job: Job) -> str:
+        from repro.provisioner.profiles import profile_for
+
+        cached = self._app_types.get(job.app)
+        if cached is None:
+            cached = profile_for(job.app).instance_type
+            self._app_types[job.app] = cached
+        return cached
+
+    # -- events ------------------------------------------------------------
+
+    def _on_arrival(self, job: Job) -> None:
+        itype = self._required_type(job)
+        self._queue.push(itype, job)
+        self._assign_or_grow(itype)
+
+    def _assign_or_grow(self, itype: str) -> None:
+        for inst in self._idle_instances(itype):
+            if self._queue.depth(itype) == 0:
+                break
+            self._dispatch(inst)
+        deficit = (
+            self._queue.depth(itype) - self._starting.get(itype, 0)
+        )
+        for _ in range(max(deficit, 0)):
+            self._launch(itype)
+
+    def _launch(self, itype: str) -> None:
+        now = self._loop.now
+        est = HOUR_SECONDS
+        # The queue head's estimate is what the profile policy would see.
+        head = self._queue._queues.get(itype)  # noqa: SLF001 - peek only
+        if head:
+            est = head[0].estimated_runtime
+        plan = self._policy.plan(itype, now, est)
+        physical = plan.instance_type or itype
+        plan = self._admit(plan, physical, now)
+        self._starting[itype] = self._starting.get(itype, 0) + 1
+        uid = self._uid
+        self._uid += 1
+        delay = float(
+            self._rng.lognormal(
+                math.log(self._cfg.startup_mean), self._cfg.startup_sigma
+            )
+        )
+        inst = _Instance(
+            uid=uid,
+            instance_type=itype,
+            physical_type=physical,
+            zone=plan.zone,
+            tier=plan.tier,
+            bid=plan.bid,
+            launch_time=now + delay,
+        )
+        self._instances.append(inst)
+        self._loop.schedule(now + delay, lambda: self._on_ready(inst), "ready")
+        if plan.tier == "spot":
+            tier = self._api.spot_tier(physical, plan.zone)
+            kill = tier.termination_time(now + delay, plan.bid)
+            if math.isfinite(kill):
+                self._loop.schedule(
+                    max(kill, now + delay),
+                    lambda: self._on_price_kill(inst),
+                    "kill",
+                )
+
+    def _admit(self, plan: LaunchPlan, physical: str, now: float) -> LaunchPlan:
+        """Check Spot admission; rejected requests fall back to On-demand."""
+        if plan.tier != "spot":
+            return plan
+        tier = self._api.spot_tier(physical, plan.zone)
+        if plan.bid > tier.current_price(now):
+            return plan
+        self._rejections += 1
+        od = self._api.ondemand_price(physical, self._cfg.region)
+        return LaunchPlan(
+            zone=plan.zone, tier="ondemand", bid=od, instance_type=physical
+        )
+
+    def _on_ready(self, inst: _Instance) -> None:
+        self._starting[inst.instance_type] -= 1
+        inst.ready = True
+        if not inst.alive:
+            return
+        self._dispatch(inst)
+
+    def _dispatch(self, inst: _Instance) -> None:
+        if inst.busy is not None:
+            raise RuntimeError(
+                f"instance {inst.uid} dispatched while running job "
+                f"{inst.busy.job_id}"
+            )
+        job = self._queue.pop(inst.instance_type)
+        if job is None:
+            self._schedule_boundary_check(inst)
+            return
+        job.attempts += 1
+        inst.busy = job
+        self._loop.schedule_in(
+            job.runtime + 2.0, lambda: self._on_finish(inst, job), "finish"
+        )
+
+    def _on_finish(self, inst: _Instance, job: Job) -> None:
+        if not inst.alive or inst.busy is not job:
+            return  # the instance died mid-run; the kill handler requeued it
+        job.finished_at = self._loop.now
+        self._completed += 1
+        self._last_finish = self._loop.now
+        inst.busy = None
+        self._dispatch(inst)
+
+    def _schedule_boundary_check(self, inst: _Instance) -> None:
+        now = self._loop.now
+        elapsed = now - inst.launch_time
+        k = max(int(math.ceil(elapsed / HOUR_SECONDS)), 1)
+        boundary = inst.launch_time + k * HOUR_SECONDS
+        if abs(boundary - now) < 1e-6:
+            boundary += HOUR_SECONDS
+        self._loop.schedule(
+            boundary, lambda: self._on_boundary(inst), "boundary"
+        )
+
+    def _on_boundary(self, inst: _Instance) -> None:
+        if not inst.alive or inst.busy is not None:
+            return
+        job = self._queue.pop(inst.instance_type)
+        if job is None:
+            self._retire(inst)
+            return
+        job.attempts += 1
+        inst.busy = job
+        self._loop.schedule_in(
+            job.runtime + 2.0, lambda: self._on_finish(inst, job), "finish"
+        )
+
+    def _retire(self, inst: _Instance) -> None:
+        inst.alive = False
+        inst.end_time = self._loop.now
+
+    def _on_price_kill(self, inst: _Instance) -> None:
+        if not inst.alive:
+            return
+        inst.alive = False
+        inst.killed_by_price = True
+        inst.end_time = self._loop.now
+        if inst.busy is not None:
+            self._queue.push_front(inst.instance_type, inst.busy)
+            self._resubmissions += 1
+            inst.busy = None
+        self._assign_or_grow(inst.instance_type)
+
+    # -- accounting ---------------------------------------------------------
+
+    def _bill(self) -> tuple[float, float]:
+        cost = 0.0
+        risk = 0.0
+        for inst in self._instances:
+            ran = max(inst.end_time - inst.launch_time, 1.0)
+            if inst.tier == "ondemand":
+                od = self._api.ondemand_price(
+                    inst.physical_type, self._cfg.region
+                )
+                cost += charge_ondemand(od, ran).cost
+                risk += od * billable_hours(ran)
+            else:
+                trace = self._api.spot_tier(
+                    inst.physical_type, inst.zone
+                ).trace
+                cost += charge_spot_run(trace, inst.launch_time, ran).cost
+                risk += inst.bid * billable_hours(ran)
+        return cost, risk
+
+    def run(self) -> ReplayResult:
+        """Execute the replay and return the Tables 2–3 aggregates."""
+        for job in self._jobs:
+            self._loop.schedule(
+                self._t0 + job.submit_time,
+                lambda j=job: self._on_arrival(j),
+                "arrival",
+            )
+        self._loop.run()
+        if self._completed != len(self._jobs):
+            raise RuntimeError(
+                f"replay finished with {self._completed}/{len(self._jobs)} "
+                "jobs completed"
+            )
+        for inst in self._instances:
+            if inst.alive:  # retire stragglers at the end of the replay
+                self._retire(inst)
+        cost, risk = self._bill()
+        return ReplayResult(
+            policy=self._policy.name,
+            instances=len(self._instances),
+            cost=round(cost, 2),
+            max_bid_cost=round(risk, 2),
+            terminations=sum(
+                1 for i in self._instances if i.killed_by_price
+            ),
+            spot_rejections=self._rejections,
+            ondemand_instances=sum(
+                1 for i in self._instances if i.tier == "ondemand"
+            ),
+            resubmissions=self._resubmissions,
+            jobs_completed=self._completed,
+            makespan_seconds=self._last_finish - self._t0,
+        )
+
+
+def run_replay(
+    universe: Universe,
+    jobs: list[Job],
+    policy_name: str,
+    config: ReplayConfig | None = None,
+) -> ReplayResult:
+    """Replay ``jobs`` under one of the three §4.3 policies.
+
+    ``policy_name`` is ``"original"``, ``"drafts-1hr"`` or
+    ``"drafts-profiles"``.
+    """
+    cfg = config or ReplayConfig()
+    api = EC2Api(universe)
+    if policy_name == "original":
+        policy: ProvisioningPolicy = OriginalPolicy(api, cfg.region)
+    elif policy_name in ("drafts-1hr", "drafts-profiles"):
+        service = DraftsService(
+            api,
+            ServiceConfig(
+                probabilities=(cfg.probability,),
+                refresh_seconds=cfg.service_refresh_seconds,
+            ),
+        )
+        client = DraftsClient(RestRouter(service))
+        from repro.provisioner.profiles import DEFAULT_PROFILES
+
+        alternates = {
+            p.instance_type: p.alternate_types
+            for p in DEFAULT_PROFILES
+            if p.alternate_types
+        }
+        policy = DraftsPolicy(
+            api,
+            client,
+            cfg.region,
+            probability=cfg.probability,
+            use_profiles=policy_name == "drafts-profiles",
+            type_alternates=alternates,
+        )
+    else:
+        raise ValueError(f"unknown policy {policy_name!r}")
+    # Deep-copy jobs so repeated replays of the same workload are isolated.
+    fresh = [
+        Job(
+            job_id=j.job_id,
+            app=j.app,
+            submit_time=j.submit_time,
+            runtime=j.runtime,
+            estimated_runtime=j.estimated_runtime,
+        )
+        for j in jobs
+    ]
+    return _Replay(universe, fresh, policy, api, cfg).run()

@@ -1,0 +1,14 @@
+"""The DrAFTS decision-support service (§3.3): curve cache, REST layer,
+client wrapper."""
+
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import Response, RestRouter
+
+__all__ = [
+    "DraftsClient",
+    "DraftsService",
+    "Response",
+    "RestRouter",
+    "ServiceConfig",
+]

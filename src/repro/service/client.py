@@ -1,0 +1,73 @@
+"""Client-side wrapper over the service's REST interface.
+
+The provisioner (§4.3) consumes DrAFTS through this client exactly as the
+Globus Galaxies platform consumed the production prototype: fetch the graph
+(or a point query) over REST, parse JSON, decide. Keeping the provisioner on
+the client rather than on the service object means the reproduction
+exercises the full serialisation path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.curves import BidDurationCurve
+from repro.service.rest import RestRouter
+
+__all__ = ["DraftsClient"]
+
+
+class DraftsClient:
+    """Typed access to a :class:`~repro.service.rest.RestRouter`."""
+
+    def __init__(self, router: RestRouter) -> None:
+        self._router = router
+
+    def health(self) -> bool:
+        """Liveness probe."""
+        return self._router.get("/health").ok
+
+    def fetch_curve(
+        self, instance_type: str, zone: str, probability: float, now: float
+    ) -> BidDurationCurve | None:
+        """GET the bid–duration graph; ``None`` when not yet predictable."""
+        response = self._router.get(
+            f"/predictions/{instance_type}/{zone}"
+            f"?probability={probability}&now={now}"
+        )
+        if response.status == 503:
+            return None
+        if not response.ok:
+            raise RuntimeError(response.body.get("error", "request failed"))
+        return BidDurationCurve.from_dict(response.body)
+
+    def bid_for(
+        self,
+        instance_type: str,
+        zone: str,
+        probability: float,
+        duration_seconds: float,
+        now: float,
+    ) -> float:
+        """Minimum bid guaranteeing a duration; ``nan`` when impossible."""
+        response = self._router.get(
+            f"/bid/{instance_type}/{zone}?probability={probability}"
+            f"&duration={duration_seconds}&now={now}"
+        )
+        if response.status == 404:
+            return math.nan
+        if not response.ok:
+            raise RuntimeError(response.body.get("error", "request failed"))
+        return float(response.body["bid"])
+
+    def cheapest_zone(
+        self, instance_type: str, region: str, probability: float, now: float
+    ) -> tuple[str, float] | None:
+        """AZ with the lowest minimum bid, or ``None`` if none can quote."""
+        response = self._router.get(
+            f"/cheapest/{instance_type}/{region}"
+            f"?probability={probability}&now={now}"
+        )
+        if not response.ok:
+            return None
+        return str(response.body["zone"]), float(response.body["minimum_bid"])

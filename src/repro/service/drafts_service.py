@@ -1,0 +1,167 @@
+"""The DrAFTS decision-support service (§3.3 of the paper).
+
+The production prototype (predictspotprice.cs.ucsb.edu) operates
+asynchronously: it periodically queries the price-history API, recomputes a
+set of maximum-bid predictions for every instance type and AZ — bid ladders
+in 5 % increments from the smallest bid that can guarantee *any* duration
+up to 4x that minimum, at both the 0.95 and 0.99 probability levels — and
+serves them to clients over REST. It recomputes every 15 minutes.
+
+This module is that service against the simulated EC2: a curve cache with
+the same refresh policy, exposed through the in-process REST router in
+:mod:`repro.service.rest`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.api import EC2Api
+from repro.core.curves import BidDurationCurve
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+
+__all__ = ["DraftsService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service parameters (§3.3 defaults).
+
+    Attributes
+    ----------
+    probabilities:
+        Probability levels curves are published at.
+    refresh_seconds:
+        Recompute interval (15 minutes in the prototype).
+    ladder_increment / ladder_span:
+        Bid ladder geometry (5 % rungs up to 4x the minimum).
+    """
+
+    probabilities: tuple[float, ...] = (0.95, 0.99)
+    refresh_seconds: float = 900.0
+    ladder_increment: float = 0.05
+    ladder_span: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.probabilities:
+            raise ValueError("at least one probability level required")
+        for p in self.probabilities:
+            if not 0.0 < p < 1.0:
+                raise ValueError(f"probability {p} outside (0, 1)")
+        if self.refresh_seconds <= 0:
+            raise ValueError("refresh_seconds must be positive")
+
+
+@dataclass
+class _CacheEntry:
+    computed_at: float
+    curve: BidDurationCurve | None
+
+
+class DraftsService:
+    """Periodically recomputed bid–duration curves over an EC2 account.
+
+    The service sees the market through an :class:`~repro.cloud.api.EC2Api`
+    — including its 90-day history limit and (if configured) its AZ-name
+    obfuscation, which is why production deployments need the
+    deobfuscation of :mod:`repro.market.obfuscation`.
+    """
+
+    def __init__(self, api: EC2Api, config: ServiceConfig | None = None):
+        self._api = api
+        self._cfg = config or ServiceConfig()
+        self._cache: dict[tuple[str, str, float], _CacheEntry] = {}
+        self._predictors: dict[tuple[str, str, float], DraftsPredictor] = {}
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration."""
+        return self._cfg
+
+    def _compute_curve(
+        self, instance_type: str, zone: str, probability: float, now: float
+    ) -> BidDurationCurve | None:
+        history = self._api.describe_spot_price_history(
+            instance_type, zone, now
+        )
+        config = DraftsConfig(
+            probability=probability,
+            ladder_increment=self._cfg.ladder_increment,
+            ladder_span=self._cfg.ladder_span,
+            max_price=max(100.0, float(history.prices.max()) * 8.0),
+        )
+        predictor = DraftsPredictor(history, config)
+        self._predictors[(instance_type, zone, probability)] = predictor
+        return predictor.curve_at(
+            len(history), instance_type=instance_type, zone=zone
+        )
+
+    def curve(
+        self, instance_type: str, zone: str, probability: float, now: float
+    ) -> BidDurationCurve | None:
+        """The published curve for a combination at time ``now``.
+
+        Recomputed lazily when the cached copy is older than the refresh
+        interval, exactly like the prototype's 15-minute cron. ``None``
+        means the history is still too short to guarantee anything.
+        """
+        if probability not in self._cfg.probabilities:
+            raise ValueError(
+                f"service does not publish probability {probability}; "
+                f"levels: {self._cfg.probabilities}"
+            )
+        key = (instance_type, zone, probability)
+        entry = self._cache.get(key)
+        stale = entry is not None and (
+            now - entry.computed_at >= self._cfg.refresh_seconds
+            or now < entry.computed_at  # backtests may query past instants
+        )
+        if entry is None or stale:
+            curve = self._compute_curve(instance_type, zone, probability, now)
+            entry = _CacheEntry(computed_at=now, curve=curve)
+            self._cache[key] = entry
+        return entry.curve
+
+    def bid_for_duration(
+        self,
+        instance_type: str,
+        zone: str,
+        probability: float,
+        duration_seconds: float,
+        now: float,
+    ) -> float:
+        """Smallest published bid guaranteeing ``duration_seconds``.
+
+        ``nan`` when no published rung can (clients fall back to
+        On-demand, §4.4).
+        """
+        curve = self.curve(instance_type, zone, probability, now)
+        if curve is None:
+            return float("nan")
+        return curve.bid_for_duration(duration_seconds)
+
+    def cheapest_zone(
+        self,
+        instance_type: str,
+        region: str,
+        probability: float,
+        now: float,
+    ) -> tuple[str, float]:
+        """AZ with the lowest minimum bid and that bid (§4.2's fitness rule).
+
+        Raises ``RuntimeError`` when no AZ has enough history yet.
+        """
+        best_zone, best_bid = "", math.inf
+        for zone in self._api.describe_availability_zones(region):
+            try:
+                curve = self.curve(instance_type, zone, probability, now)
+            except KeyError:
+                continue
+            if curve is not None and curve.minimum_bid < best_bid:
+                best_zone, best_bid = zone, curve.minimum_bid
+        if not best_zone:
+            raise RuntimeError(
+                f"no AZ in {region} can quote {instance_type} yet"
+            )
+        return best_zone, best_bid

@@ -1,0 +1,131 @@
+"""In-process REST layer for the DrAFTS service.
+
+The production DrAFTS prototype exposes its bid predictions through a REST
+API (§3.3); clients GET machine-readable bid–duration graphs per instance
+type and AZ. This module reproduces that interface shape — URL routing,
+query parameters, JSON-ready responses and HTTP-style status codes —
+without a network stack, so the provisioner integration (§4.3) exercises
+the same request/response path the real platform did.
+
+Routes:
+
+``GET /predictions/{instance_type}/{zone}?probability=&now=``
+    The bid–duration curve (Figure 4's machine-readable form).
+``GET /bid/{instance_type}/{zone}?probability=&duration=&now=``
+    The minimum bid guaranteeing ``duration`` seconds.
+``GET /cheapest/{instance_type}/{region}?probability=&now=``
+    The AZ-fitness selection of §4.2.
+``GET /health``
+    Liveness probe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.drafts_service import DraftsService
+
+__all__ = ["Response", "RestRouter"]
+
+
+@dataclass(frozen=True)
+class Response:
+    """An HTTP-style response: status code plus JSON-ready body."""
+
+    status: int
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is 2xx."""
+        return 200 <= self.status < 300
+
+
+class RestRouter:
+    """Routes URL strings to :class:`DraftsService` calls."""
+
+    def __init__(self, service: DraftsService) -> None:
+        self._service = service
+
+    def get(self, url: str) -> Response:
+        """Dispatch one GET request."""
+        parts = urlsplit(url)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        try:
+            if segments == ["health"]:
+                return Response(200, {"status": "ok"})
+            if len(segments) == 3 and segments[0] == "predictions":
+                return self._predictions(segments[1], segments[2], query)
+            if len(segments) == 3 and segments[0] == "bid":
+                return self._bid(segments[1], segments[2], query)
+            if len(segments) == 3 and segments[0] == "cheapest":
+                return self._cheapest(segments[1], segments[2], query)
+        except KeyError as exc:
+            return Response(404, {"error": str(exc)})
+        except (ValueError, RuntimeError) as exc:
+            return Response(400, {"error": str(exc)})
+        return Response(404, {"error": f"no route for {parts.path!r}"})
+
+    @staticmethod
+    def _floats(query: dict, *names: str) -> list[float]:
+        values = []
+        for name in names:
+            if name not in query:
+                raise ValueError(f"missing query parameter {name!r}")
+            values.append(float(query[name]))
+        return values
+
+    def _predictions(
+        self, instance_type: str, zone: str, query: dict
+    ) -> Response:
+        probability, now = self._floats(query, "probability", "now")
+        curve = self._service.curve(instance_type, zone, probability, now)
+        if curve is None:
+            return Response(
+                503, {"error": "insufficient history for a prediction"}
+            )
+        return Response(200, curve.to_dict())
+
+    def _bid(self, instance_type: str, zone: str, query: dict) -> Response:
+        probability, duration, now = self._floats(
+            query, "probability", "duration", "now"
+        )
+        bid = self._service.bid_for_duration(
+            instance_type, zone, probability, duration, now
+        )
+        if math.isnan(bid):
+            return Response(
+                404,
+                {
+                    "error": "no published bid guarantees the requested "
+                    "duration; consider the On-demand tier"
+                },
+            )
+        return Response(
+            200,
+            {
+                "instance_type": instance_type,
+                "zone": zone,
+                "probability": probability,
+                "duration": duration,
+                "bid": bid,
+            },
+        )
+
+    def _cheapest(self, instance_type: str, region: str, query: dict) -> Response:
+        probability, now = self._floats(query, "probability", "now")
+        zone, bid = self._service.cheapest_zone(
+            instance_type, region, probability, now
+        )
+        return Response(
+            200,
+            {
+                "instance_type": instance_type,
+                "region": region,
+                "zone": zone,
+                "minimum_bid": bid,
+            },
+        )

@@ -1,0 +1,40 @@
+"""Shared numerical and infrastructure helpers.
+
+Everything in :mod:`repro.util` is deliberately dependency-light: seeded RNG
+spawning, the 5-minute epoch clock used throughout the Spot-market model,
+empirical-distribution statistics, ASCII table rendering for the experiment
+drivers, and argument validation.
+"""
+
+from repro.util.rng import RngFactory, spawn_rngs
+from repro.util.stats import ecdf, empirical_quantile, summary
+from repro.util.tables import format_table
+from repro.util.timeutils import (
+    EPOCH_SECONDS,
+    HOUR_SECONDS,
+    hours_to_seconds,
+    seconds_to_epochs,
+    seconds_to_hours,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "EPOCH_SECONDS",
+    "HOUR_SECONDS",
+    "RngFactory",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "ecdf",
+    "empirical_quantile",
+    "format_table",
+    "hours_to_seconds",
+    "seconds_to_epochs",
+    "seconds_to_hours",
+    "spawn_rngs",
+    "summary",
+]

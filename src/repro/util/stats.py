@@ -1,0 +1,85 @@
+"""Empirical-distribution helpers used by experiments and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "ecdf", "empirical_quantile", "summary", "lag1_autocorr"]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F)`` such that ``F[i]`` is the empirical CDF at ``x[i]``.
+
+    ``x`` is the sorted sample; ``F`` uses the right-continuous convention
+    ``F(x_i) = i / n``. Used for Figure 1 (ECDF of sub-target correctness
+    fractions).
+    """
+    x = np.sort(np.asarray(values, dtype=np.float64))
+    if x.size == 0:
+        raise ValueError("ecdf requires at least one observation")
+    f = np.arange(1, x.size + 1, dtype=np.float64) / x.size
+    return x, f
+
+
+def empirical_quantile(values: np.ndarray, q: float) -> float:
+    """The smallest sample value whose ECDF weight reaches ``q``.
+
+    This is the "higher" order-statistic convention: the value returned is an
+    actual observation and at least a fraction ``q`` of the sample is <= it,
+    which is the convention the paper's Empirical-CDF bidding baseline
+    requires (bid an observed price, no interpolation).
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    x = np.sort(np.asarray(values, dtype=np.float64))
+    if x.size == 0:
+        raise ValueError("empirical_quantile requires at least one observation")
+    k = int(np.ceil(q * x.size)) - 1
+    return float(x[max(k, 0)])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summary(values: np.ndarray) -> Summary:
+    """Compute a :class:`Summary` for a non-empty sample."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("summary requires at least one observation")
+    return Summary(
+        n=int(x.size),
+        mean=float(np.mean(x)),
+        std=float(np.std(x)),
+        minimum=float(np.min(x)),
+        median=float(np.median(x)),
+        maximum=float(np.max(x)),
+    )
+
+
+def lag1_autocorr(values: np.ndarray) -> float:
+    """Sample lag-1 autocorrelation.
+
+    Returns 0.0 for series shorter than 3 points or with zero variance
+    (constant series carry no autocorrelation information and the QBETS
+    effective-sample-size correction should be a no-op for them).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.size < 3:
+        return 0.0
+    centered = x - x.mean()
+    denom = float(np.dot(centered, centered))
+    if denom <= 0.0:
+        return 0.0
+    num = float(np.dot(centered[:-1], centered[1:]))
+    return num / denom

@@ -1,0 +1,83 @@
+"""Time conventions shared across the reproduction.
+
+All simulation time is measured in **seconds** as ``float`` (internally the
+market moves on a discrete 5-minute epoch grid, mirroring the ~5-minute price
+update periodicity the paper observes in §2.1/§2.2). Billing happens on
+**hour** boundaries; Amazon rounds partial hours up (§2.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "EPOCH_SECONDS",
+    "HOUR_SECONDS",
+    "DAY_SECONDS",
+    "billable_hours",
+    "epochs_to_seconds",
+    "hour_starts",
+    "hours_to_seconds",
+    "seconds_to_epochs",
+    "seconds_to_hours",
+]
+
+#: Market price update period (the paper: "approximately a 5-minute
+#: periodicity", §2.1).
+EPOCH_SECONDS: float = 300.0
+
+#: One billing hour.
+HOUR_SECONDS: float = 3600.0
+
+#: One day.
+DAY_SECONDS: float = 86400.0
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return float(hours) * HOUR_SECONDS
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return float(seconds) / HOUR_SECONDS
+
+
+def seconds_to_epochs(seconds: float) -> int:
+    """Number of whole 5-minute epochs contained in ``seconds``."""
+    return int(seconds // EPOCH_SECONDS)
+
+
+def epochs_to_seconds(epochs: int) -> float:
+    """Convert an epoch count to seconds."""
+    return float(epochs) * EPOCH_SECONDS
+
+
+def billable_hours(duration_seconds: float) -> int:
+    """Hours charged for a run of ``duration_seconds``.
+
+    Amazon charges whole hours and rounds up the final partial hour when the
+    *user* terminates (§2.1). Zero-length runs are still charged one hour —
+    the paper's launch experiments (§4.2) specifically chose 3300-second
+    durations to stay inside a single billable hour.
+    """
+    if duration_seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_seconds}")
+    if duration_seconds == 0.0:
+        return 1
+    # max() guards the subnormal-float edge where the division underflows
+    # to exactly 0.0 despite a positive duration.
+    return max(int(math.ceil(duration_seconds / HOUR_SECONDS)), 1)
+
+
+def hour_starts(start: float, duration_seconds: float) -> np.ndarray:
+    """Timestamps at which each billable hour of a run begins.
+
+    The instance is charged the market price *at each of these instants*
+    (§2.1: "charged the current market price that occurs at the beginning of
+    each hour of execution").
+    """
+    n = billable_hours(duration_seconds)
+    return start + HOUR_SECONDS * np.arange(n, dtype=np.float64)

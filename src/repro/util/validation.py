@@ -1,0 +1,35 @@
+"""Argument-validation helpers.
+
+Public API entry points validate their inputs eagerly with informative
+errors; internal hot loops assume already-validated values.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_fraction", "check_positive", "check_probability"]
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Require ``value`` to lie strictly inside ``(0, 1)``."""
+    v = float(value)
+    if not 0.0 < v < 1.0:
+        raise ValueError(f"{name} must be in the open interval (0, 1), got {value}")
+    return v
+
+
+def check_fraction(value: float, name: str = "fraction") -> float:
+    """Require ``value`` to lie inside ``[0, 1]``."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Require ``value`` to be strictly positive and finite."""
+    v = float(value)
+    if not v > 0.0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    if v != v or v == float("inf"):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return v

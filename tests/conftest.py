@@ -1,0 +1,59 @@
+"""Shared fixtures: small, session-cached market universes and traces.
+
+Everything here is deterministic; session scoping keeps the expensive
+trace/QBETS computations shared across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.market.synthetic import generate_trace
+from repro.market.universe import Universe, UniverseConfig
+
+#: Epochs per day at the 5-minute epoch length.
+EPD = 288
+
+
+@pytest.fixture(scope="session")
+def small_universe() -> Universe:
+    """A 70-day universe (40-day training + 30-day test windows)."""
+    return Universe(UniverseConfig(seed=5, n_epochs=70 * EPD))
+
+
+@pytest.fixture(scope="session")
+def calm_trace():
+    """A 40-day calm trace (On-demand price $0.42)."""
+    return generate_trace("calm", 0.42, n_epochs=40 * EPD, rng=7)
+
+
+@pytest.fixture(scope="session")
+def spiky_trace():
+    """A 40-day spiky trace (plateaus above On-demand)."""
+    return generate_trace("spiky", 0.42, n_epochs=40 * EPD, rng=7)
+
+
+@pytest.fixture(scope="session")
+def volatile_trace():
+    """A 40-day heavy-tailed volatile trace."""
+    return generate_trace("volatile", 0.42, n_epochs=40 * EPD, rng=7)
+
+
+@pytest.fixture(scope="session")
+def premium_trace():
+    """A 40-day premium trace (pinned above On-demand)."""
+    return generate_trace("premium", 0.42, n_epochs=40 * EPD, rng=7)
+
+
+@pytest.fixture(scope="session")
+def spiky_predictor(spiky_trace) -> DraftsPredictor:
+    """A fitted p=0.95 DrAFTS predictor on the spiky trace."""
+    return DraftsPredictor(spiky_trace, DraftsConfig(probability=0.95))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,128 @@
+"""Unit tests for the bidder population and supply processes."""
+
+import numpy as np
+import pytest
+
+from repro.market.agents import AgentPopulation, PopulationConfig
+from repro.market.supply import ConstantSupply, RandomWalkSupply, ShockSupply
+
+
+class TestPopulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(strategic_fraction=1.5)
+        with pytest.raises(ValueError):
+            PopulationConfig(max_quantity=0)
+
+
+class TestAgentPopulation:
+    def test_population_grows_then_stabilises(self, rng):
+        pop = AgentPopulation(PopulationConfig(arrival_rate=5.0), rng)
+        sizes = []
+        for epoch in range(400):
+            bids = pop.step(epoch)
+            pop.after_clearing(0.1, ())
+            sizes.append(len(bids))
+        # Steady state around arrival_rate * mean_holding = 120.
+        assert 40 < np.mean(sizes[200:]) < 400
+
+    def test_departures_happen(self, rng):
+        cfg = PopulationConfig(arrival_rate=5.0, mean_holding_epochs=2.0)
+        pop = AgentPopulation(cfg, rng)
+        for epoch in range(100):
+            pop.step(epoch)
+            pop.after_clearing(0.1, ())
+        # Short holding times keep the pool small.
+        assert pop.active_count < 60
+
+    def test_outbid_nonstrategic_agents_leave(self, rng):
+        cfg = PopulationConfig(
+            arrival_rate=10.0, strategic_fraction=0.0,
+            mean_holding_epochs=1000.0,
+        )
+        pop = AgentPopulation(cfg, rng)
+        bids = pop.step(0)
+        rejected = tuple(b.bidder_id for b in bids)
+        pop.after_clearing(0.5, rejected)
+        assert pop.active_count == 0
+
+    def test_strategic_agents_track_price(self, rng):
+        cfg = PopulationConfig(
+            arrival_rate=10.0,
+            base_valuation=2.0,
+            strategic_fraction=1.0,
+            strategic_margin=0.10,
+            mean_holding_epochs=1000.0,
+        )
+        pop = AgentPopulation(cfg, rng)
+        pop.step(0)
+        pop.after_clearing(2.0, ())
+        bids = pop.step(1)
+        for bid in bids:
+            assert bid.price == pytest.approx(2.2, abs=0.01)
+
+    def test_strategic_agents_respect_valuation_cap(self, rng):
+        """Price-tracking never ratchets past the walk-away price."""
+        cfg = PopulationConfig(
+            arrival_rate=10.0,
+            base_valuation=0.1,
+            strategic_fraction=1.0,
+            strategic_margin=0.10,
+            strategic_cap=4.0,
+            mean_holding_epochs=1000.0,
+        )
+        pop = AgentPopulation(cfg, rng)
+        price = 0.1
+        for epoch in range(200):
+            bids = pop.step(epoch)
+            if bids:
+                price = max(b.price for b in bids)
+            pop.after_clearing(price, ())
+        assert price <= 0.4 + 1e-9
+
+    def test_bids_are_tick_positive(self, rng):
+        pop = AgentPopulation(PopulationConfig(arrival_rate=20.0), rng)
+        for bid in pop.step(0):
+            assert bid.price >= 1e-4
+            assert 1 <= bid.quantity <= 3
+
+
+class TestSupply:
+    def test_constant(self, rng):
+        s = ConstantSupply(units=7)
+        assert all(s.capacity(e, rng) == 7 for e in range(10))
+        with pytest.raises(ValueError):
+            ConstantSupply(units=0)
+
+    def test_random_walk_bounds(self, rng):
+        s = RandomWalkSupply(
+            initial=10, minimum=5, maximum=15, step=2, move_prob=0.9
+        )
+        values = [s.capacity(e, rng) for e in range(500)]
+        assert min(values) >= 5
+        assert max(values) <= 15
+        assert len(set(values)) > 1  # it actually moves
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkSupply(initial=1, minimum=5, maximum=10)
+        with pytest.raises(ValueError):
+            RandomWalkSupply(initial=5, minimum=0, maximum=10)
+
+    def test_shock_floor_and_recovery(self, rng):
+        s = ShockSupply(
+            baseline=20, floor=2, shock_prob=0.2, mean_length=3.0
+        )
+        values = [s.capacity(e, rng) for e in range(300)]
+        assert set(values) <= {2, 20}
+        assert 2 in values and 20 in values
+
+    def test_shock_validation(self):
+        with pytest.raises(ValueError):
+            ShockSupply(baseline=5, floor=10)
+        with pytest.raises(ValueError):
+            ShockSupply(baseline=5, floor=1, shock_prob=2.0)

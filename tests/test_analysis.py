@@ -1,0 +1,141 @@
+"""Unit tests for the price-dynamics analysis package."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_traces,
+    diagnose_ar1,
+    episodes_above,
+    fit_ar1,
+    stylized_facts,
+)
+from repro.market.agents import PopulationConfig
+from repro.market.simulator import MarketSimulator
+from repro.market.supply import ConstantSupply
+from repro.market.synthetic import generate_trace
+from repro.market.traces import PriceTrace
+
+
+class TestEpisodes:
+    def test_detection(self):
+        trace = PriceTrace(
+            times=np.arange(8, dtype=float) * 300.0,
+            prices=np.array([0.1, 0.5, 0.6, 0.1, 0.1, 0.7, 0.1, 0.1]),
+        )
+        eps = episodes_above(trace, 0.5)
+        assert len(eps) == 2
+        assert (eps[0].start_idx, eps[0].end_idx) == (1, 3)
+        assert eps[0].duration == 600.0
+        assert eps[0].peak == 0.6
+        assert (eps[1].start_idx, eps[1].end_idx) == (5, 6)
+
+    def test_open_final_episode(self):
+        trace = PriceTrace(
+            times=np.arange(4, dtype=float) * 300.0,
+            prices=np.array([0.1, 0.1, 0.9, 0.9]),
+        )
+        eps = episodes_above(trace, 0.5)
+        assert len(eps) == 1
+        assert eps[0].duration == pytest.approx(300.0)
+
+    def test_no_episodes(self):
+        trace = PriceTrace(
+            times=np.arange(3, dtype=float), prices=np.full(3, 0.1)
+        )
+        assert episodes_above(trace, 0.5) == []
+
+
+class TestStylizedFacts:
+    def test_facts_on_known_classes(self):
+        od = 0.42
+        spiky = stylized_facts(
+            generate_trace("spiky", od, n_epochs=90 * 288, rng=1), od
+        )
+        calm = stylized_facts(
+            generate_trace("calm", od, n_epochs=90 * 288, rng=1), od
+        )
+        premium = stylized_facts(
+            generate_trace("premium", od, n_epochs=90 * 288, rng=1), od
+        )
+        assert spiky.mean_update_gap == pytest.approx(300.0)
+        # Spiky: deep discount with rare long episodes above On-demand.
+        assert spiky.discount > 0.5
+        assert 0 < spiky.fraction_above_ondemand < 0.05
+        assert spiky.episodes_above_ondemand >= 1
+        assert spiky.mean_episode_seconds >= 3600.0
+        # Calm: never above On-demand, sticky floor.
+        assert calm.fraction_above_ondemand == 0.0
+        assert calm.floor_occupancy > 0.2
+        # Premium: always above On-demand, tiny discount (negative).
+        assert premium.fraction_above_ondemand == 1.0
+        assert premium.discount < 0.0
+
+    def test_validation(self):
+        trace = PriceTrace(np.arange(3, dtype=float), np.full(3, 0.1))
+        with pytest.raises(ValueError):
+            stylized_facts(trace, 0.0)
+
+
+class TestAR1Diagnostics:
+    def test_recovers_parameters(self, rng):
+        phi, mu, sigma = 0.8, 2.0, 0.05
+        n = 8000
+        x = np.empty(n)
+        x[0] = mu
+        eps = rng.normal(0, sigma, n)
+        for i in range(1, n):
+            x[i] = mu + phi * (x[i - 1] - mu) + eps[i]
+        fit = fit_ar1(x)
+        assert fit.phi == pytest.approx(phi, abs=0.03)
+        assert fit.mu == pytest.approx(mu, abs=0.05)
+        assert fit.sigma == pytest.approx(sigma, rel=0.1)
+
+    def test_gaussian_ar1_diagnosed_well_modelled(self, rng):
+        phi, sigma = 0.7, 0.01
+        n = 4000
+        x = np.zeros(n)
+        eps = rng.normal(0, sigma, n)
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + eps[i]
+        assert diagnose_ar1(x).well_modelled
+
+    def test_spiky_series_rejected(self):
+        """The paper's point: spiky series are not AR(1) (§4.1.3)."""
+        trace = generate_trace("spiky", 0.42, n_epochs=20_000, rng=2)
+        diagnosis = diagnose_ar1(trace.prices)
+        assert not diagnosis.well_modelled
+        assert diagnosis.normality_pvalue < 0.01
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ar1(np.ones(4))
+
+
+class TestCompare:
+    def test_auction_and_synthetic_share_core_facts(self, rng):
+        """The mechanistic simulator backs the statistical substitution:
+        both produce sticky, positive, quantised, autocorrelated prices."""
+        sim = MarketSimulator(
+            PopulationConfig(
+                arrival_rate=6.0, base_valuation=0.06, strategic_fraction=0.4
+            ),
+            ConstantSupply(40),
+            reserve_price=0.02,
+            rng=rng,
+        )
+        mech = sim.run(3000).trace
+        synth = generate_trace("calm", 0.42, n_epochs=3000, rng=1)
+        comparison = compare_traces(mech, synth, ondemand_price=0.42)
+        pairs = comparison.shared_qualities()
+        assert set(pairs) >= {"autocorr", "discount", "floor_occupancy"}
+        # Both sources are strongly autocorrelated and price below OD.
+        assert pairs["autocorr"][0] > 0.2 and pairs["autocorr"][1] > 0.2
+        assert pairs["fraction_above_ondemand"][0] < 0.5
+        assert comparison.agreement("mean_update_gap", rel_tol=0.01)
+
+    def test_agreement_tolerance(self):
+        synth = generate_trace("calm", 0.42, n_epochs=1000, rng=1)
+        comparison = compare_traces(synth, synth, 0.42)
+        for fact in ("discount", "autocorr", "cv", "range_ratio"):
+            assert comparison.agreement(fact, rel_tol=1e-9)

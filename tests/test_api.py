@@ -1,0 +1,102 @@
+"""Unit tests for the EC2 API facade."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.api import HISTORY_WINDOW_SECONDS, EC2Api
+from repro.market.obfuscation import AccountView
+
+
+class TestMetadata:
+    def test_regions_and_zones(self, small_universe):
+        api = EC2Api(small_universe)
+        assert api.describe_regions() == ("us-east-1", "us-west-1", "us-west-2")
+        assert api.describe_availability_zones("us-west-1") == (
+            "us-west-1a",
+            "us-west-1b",
+        )
+        assert len(api.describe_instance_types()) == 53
+
+    def test_ondemand_price(self, small_universe):
+        api = EC2Api(small_universe)
+        assert api.ondemand_price("m1.large", "us-west-2") == 0.175
+        assert api.ondemand_tier("m1.large", "us-west-2").hourly_price == 0.175
+
+
+class TestSpotAccess:
+    def test_current_price_matches_trace(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        trace = small_universe.trace(combo)
+        t = trace.start + 86400.0
+        assert api.current_spot_price("c4.large", "us-east-1b", t) == (
+            trace.price_at(t)
+        )
+
+    def test_unoffered_combo_rejected(self, small_universe):
+        api = EC2Api(small_universe)
+        with pytest.raises(KeyError):
+            api.current_spot_price("cg1.4xlarge", "us-west-2a", 0.0)
+
+    def test_history_window_capped_at_90_days(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        trace = small_universe.trace(combo)
+        now = trace.end
+        history = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        assert history.end < now
+        assert history.span <= HISTORY_WINDOW_SECONDS
+        # The 70-day trace is shorter than 90 days: full prefix visible.
+        assert history.start == trace.start
+
+    def test_history_labelled_with_account_zone(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 10 * 86400.0
+        history = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        assert history.zone == "us-east-1b"
+        assert history.end <= now
+
+    def test_request_spot_instance_round_trip(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        trace = small_universe.trace(combo)
+        t = trace.start + 40 * 86400.0
+        price = trace.price_at(t)
+        run = api.request_spot_instance(
+            "c4.large", "us-east-1b", t, 1800.0, max_bid=price * 10
+        )
+        assert run.ran_seconds > 0
+
+
+class TestObfuscatedAccount:
+    def test_zone_names_translated(self, small_universe):
+        view = AccountView("us-east-1", {"b": "c", "c": "d", "d": "e", "e": "b"})
+        obfuscated = EC2Api(small_universe, {"us-east-1": view})
+        plain = EC2Api(small_universe)
+        t = small_universe.trace(
+            small_universe.combo("c4.large", "us-east-1c")
+        ).start + 86400.0
+        # The obfuscated account's "us-east-1b" is physically us-east-1c.
+        assert obfuscated.current_spot_price(
+            "c4.large", "us-east-1b", t
+        ) == plain.current_spot_price("c4.large", "us-east-1c", t)
+
+    def test_zone_listing_stays_within_region_letters(self, small_universe):
+        view = AccountView("us-east-1", {"b": "c", "c": "d", "d": "e", "e": "b"})
+        api = EC2Api(small_universe, {"us-east-1": view})
+        zones = api.describe_availability_zones("us-east-1")
+        assert sorted(zones) == [
+            "us-east-1b",
+            "us-east-1c",
+            "us-east-1d",
+            "us-east-1e",
+        ]
+
+    def test_other_regions_untouched(self, small_universe):
+        view = AccountView("us-east-1", {"b": "c", "c": "b", "d": "d", "e": "e"})
+        api = EC2Api(small_universe, {"us-east-1": view})
+        assert api.describe_availability_zones("us-west-1") == (
+            "us-west-1a",
+            "us-west-1b",
+        )

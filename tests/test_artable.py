@@ -1,0 +1,154 @@
+"""Unit tests for the Monte-Carlo autocorrelation correction table."""
+
+import numpy as np
+import pytest
+
+from repro.core import binomial
+from repro.core.artable import ARCorrectionTable, simulate_exceedance_counts
+from repro.core.qbets import QBETS, QBETSConfig
+
+# A small, fast table shared across tests (cached by build()).
+Q, C = 0.95, 0.95
+RHOS = (0.0, 0.5, 0.9)
+NS = (256, 1024, 4096)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return ARCorrectionTable.build(
+        Q, C, rhos=RHOS, ns=NS, trials=1500, seed=7
+    )
+
+
+class TestSimulation:
+    def test_shapes_and_ranges(self, rng):
+        counts = simulate_exceedance_counts(
+            0.5, (100, 400), 0.9, trials=64, rng=rng
+        )
+        assert counts.shape == (64, 2)
+        assert np.all(counts >= 0)
+        assert np.all(counts[:, 0] <= 100)
+        # Prefix counts are monotone in n.
+        assert np.all(counts[:, 1] >= counts[:, 0])
+
+    def test_mean_exceedance_matches_quantile(self, rng):
+        counts = simulate_exceedance_counts(
+            0.0, (2000,), 0.9, trials=300, rng=rng
+        )
+        assert counts[:, 0].mean() / 2000 == pytest.approx(0.1, abs=0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_exceedance_counts(1.0, (10,), 0.9, 10, rng)
+        with pytest.raises(ValueError):
+            simulate_exceedance_counts(0.5, (10, 5), 0.9, 10, rng)
+        with pytest.raises(ValueError):
+            simulate_exceedance_counts(0.5, (10,), 0.9, 0, rng)
+
+
+class TestTable:
+    def test_rho_zero_matches_binomial(self, table):
+        """The independence column must reproduce the exact binomial index."""
+        for j, n in enumerate(NS):
+            exact = binomial.upper_bound_index(n, Q, C)
+            assert abs(table.k_indices[0][j] - exact) <= max(
+                2, int(0.15 * max(exact, 1))
+            )
+
+    def test_k_decreases_with_rho(self, table):
+        """More dependence -> fewer effective samples -> shallower index."""
+        for j in range(len(NS)):
+            column = [table.k_indices[i][j] for i in range(len(RHOS))]
+            valid = [k for k in column if k >= 0]
+            assert valid == sorted(valid, reverse=True)
+
+    def test_k_increases_with_n(self, table):
+        for i in range(len(RHOS)):
+            row = [k for k in table.k_indices[i] if k >= 0]
+            assert row == sorted(row)
+
+    def test_lookup_rounds_conservatively(self, table):
+        # n rounds down to a grid point.
+        assert table.k_index(1500, 0.0) == table.k_indices[0][1]
+        # rho rounds up to a grid point.
+        assert table.k_index(1024, 0.3) == table.k_indices[1][1]
+        # Below the grid: no bound.
+        assert table.k_index(100, 0.0) == -1
+        # Above the rho grid: clamped to the most conservative row.
+        assert table.k_index(4096, 0.99) == table.k_indices[-1][-1]
+
+    def test_build_is_cached(self):
+        a = ARCorrectionTable.build(Q, C, rhos=RHOS, ns=NS, trials=1500, seed=7)
+        b = ARCorrectionTable.build(Q, C, rhos=RHOS, ns=NS, trials=1500, seed=7)
+        assert a is b
+
+    def test_json_roundtrip(self, table):
+        back = ARCorrectionTable.from_json(table.to_json())
+        assert back == table
+
+    def test_corrected_bound_covers_on_ar_series(self, table, rng):
+        """End-to-end coverage: the table-corrected order statistic is a
+        valid c-confidence upper bound on an AR(1) series."""
+        rho, n = 0.9, 4096
+        k = table.k_index(n, rho)
+        assert k >= 0
+        true_q = float(np.quantile(rng.standard_normal(200_000), Q))
+        covered = 0
+        trials = 200
+        innov = np.sqrt(1 - rho**2)
+        for _ in range(trials):
+            eps = rng.standard_normal(n) * innov
+            eps[0] = rng.standard_normal()
+            from scipy import signal
+
+            x = signal.lfilter([1.0], [1.0, -rho], eps)
+            bound = np.partition(x, n - 1 - k)[n - 1 - k]
+            covered += bound >= true_q
+        # c = 0.95 with sampling slack.
+        assert covered / trials >= 0.90
+
+
+class TestQBETSTableMode:
+    def test_bound_exists_and_is_tighter_than_ess(self, rng):
+        # Sticky series where ESS is very conservative.
+        levels = rng.lognormal(-2.0, 0.4, size=400)
+        x = np.repeat(levels, 8)
+        base = dict(q=0.95, c=0.95, changepoint=False)
+        ess = QBETS(QBETSConfig(**base, autocorr_mode="ess"))
+        tab = QBETS(
+            QBETSConfig(**base, autocorr_mode="table", artable_trials=400)
+        )
+        ess.bound_series(x)
+        tab.bound_series(x)
+        assert not np.isnan(tab.bound)
+        # The table accounts for dependence without annihilating the
+        # sample: at least as tight as ESS.
+        assert tab.bound <= ess.bound + 1e-12
+
+    def test_table_mode_still_covers(self, rng):
+        rho = 0.9
+        n = 6000
+        innov = np.sqrt(1 - rho**2)
+        eps = rng.standard_normal(n) * innov
+        from scipy import signal
+
+        x = np.exp(signal.lfilter([1.0], [1.0, -rho], eps) * 0.3 - 2.0)
+        qb = QBETS(
+            QBETSConfig(
+                q=0.95,
+                c=0.95,
+                changepoint=False,
+                autocorr_mode="table",
+                artable_trials=400,
+            )
+        )
+        bounds = qb.bound_series(x)
+        valid = ~np.isnan(bounds)
+        exceed = float(np.mean(x[valid] > bounds[valid]))
+        assert exceed <= 0.05 + 0.015
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            QBETSConfig(q=0.9, autocorr_mode="magic")
+        with pytest.raises(ValueError):
+            QBETSConfig(q=0.9, artable_trials=10)

@@ -1,0 +1,87 @@
+"""Unit tests for the uniform-price market-clearing mechanism."""
+
+import pytest
+
+from repro.market.auction import Bid, clear_market
+
+
+class TestBid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bid(bidder_id=1, price=0.0)
+        with pytest.raises(ValueError):
+            Bid(bidder_id=1, price=1.0, quantity=0)
+
+
+class TestClearing:
+    def test_price_is_lowest_accepted_bid(self):
+        bids = [
+            Bid(1, 1.00),
+            Bid(2, 0.50),
+            Bid(3, 0.25),
+        ]
+        result = clear_market(bids, supply=2, reserve_price=0.01)
+        assert result.price == 0.50
+        assert set(result.accepted) == {1, 2}
+        assert result.rejected == (3,)
+        assert result.supply_used == 2
+
+    def test_reserve_when_supply_not_exhausted(self):
+        bids = [Bid(1, 1.00), Bid(2, 0.50)]
+        result = clear_market(bids, supply=10, reserve_price=0.07)
+        assert result.price == 0.07
+        assert set(result.accepted) == {1, 2}
+
+    def test_below_reserve_never_accepted(self):
+        bids = [Bid(1, 0.05)]
+        result = clear_market(bids, supply=10, reserve_price=0.07)
+        assert result.accepted == ()
+        assert result.rejected == (1,)
+        assert result.price == 0.07
+
+    def test_request_size_counts(self):
+        bids = [Bid(1, 1.00, quantity=3), Bid(2, 0.90, quantity=2)]
+        result = clear_market(bids, supply=4, reserve_price=0.01)
+        # Bidder 1 takes 3; bidder 2's all-or-nothing request of 2 cannot
+        # fit in the remaining 1 unit.
+        assert result.accepted == (1,)
+        assert result.rejected == (2,)
+        assert result.supply_used == 3
+        # Supply not exhausted -> reserve price.
+        assert result.price == 0.01
+
+    def test_all_or_nothing_skips_but_price_reflects_exhaustion(self):
+        bids = [
+            Bid(1, 1.00, quantity=2),
+            Bid(2, 0.90, quantity=3),
+            Bid(3, 0.80, quantity=1),
+        ]
+        result = clear_market(bids, supply=3, reserve_price=0.01)
+        assert set(result.accepted) == {1, 3}
+        assert result.price == 0.80
+
+    def test_deterministic_tie_break(self):
+        bids = [Bid(5, 1.0), Bid(2, 1.0), Bid(9, 1.0)]
+        result = clear_market(bids, supply=2, reserve_price=0.01)
+        assert set(result.accepted) == {2, 5}  # lowest ids win ties
+
+    def test_empty_book(self):
+        result = clear_market([], supply=5, reserve_price=0.33)
+        assert result.price == 0.33
+        assert result.accepted == ()
+
+    def test_zero_supply(self):
+        result = clear_market([Bid(1, 1.0)], supply=0, reserve_price=0.1)
+        assert result.accepted == ()
+        assert result.rejected == (1,)
+
+    def test_price_quantised_to_tick(self):
+        bids = [Bid(1, 0.123456)]
+        result = clear_market(bids, supply=1, reserve_price=0.01)
+        assert result.price == round(result.price, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clear_market([], supply=-1, reserve_price=0.1)
+        with pytest.raises(ValueError):
+            clear_market([], supply=1, reserve_price=0.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the autocorrelation compensation."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorr import effective_sample_size, exceedance_autocorr
+from repro.util.stats import lag1_autocorr
+
+
+class TestEffectiveSampleSize:
+    def test_independent_series_unchanged(self):
+        assert effective_sample_size(1000, 0.0) == 1000
+
+    def test_positive_rho_shrinks(self):
+        assert effective_sample_size(1000, 0.5) == 333
+        assert effective_sample_size(1000, 0.9) < 100
+
+    def test_negative_rho_clamped(self):
+        # Anticorrelation must never *loosen* the bound.
+        assert effective_sample_size(1000, -0.8) == 1000
+
+    def test_extreme_rho_keeps_one(self):
+        assert effective_sample_size(5, 0.999) >= 1
+
+    def test_zero_n(self):
+        assert effective_sample_size(0, 0.5) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(-1, 0.5)
+
+    def test_formula(self):
+        n, rho = 800, 0.3
+        expected = int(np.floor(n * (1 - rho) / (1 + rho)))
+        assert effective_sample_size(n, rho) == expected
+
+
+class TestExceedanceAutocorr:
+    def test_constant_indicator_is_zero(self, rng):
+        x = rng.normal(size=200)
+        # Threshold above everything: the indicator is constant.
+        assert exceedance_autocorr(x, x.max() + 1.0) == 0.0
+
+    def test_clustered_exceedances_positive(self):
+        # Exceedances in one contiguous block: strong positive dependence.
+        x = np.zeros(200)
+        x[80:120] = 10.0
+        assert exceedance_autocorr(x, 5.0) > 0.5
+
+    def test_alternating_exceedances_negative(self):
+        x = np.tile([0.0, 10.0], 100)
+        assert exceedance_autocorr(x, 5.0) < -0.5
+
+    def test_iid_near_zero(self, rng):
+        x = rng.normal(size=5000)
+        rho = exceedance_autocorr(x, 1.0)
+        assert abs(rho) < 0.08
+
+
+class TestLag1Autocorr:
+    def test_short_series(self):
+        assert lag1_autocorr(np.array([1.0, 2.0])) == 0.0
+
+    def test_ar1_recovery(self, rng):
+        phi = 0.7
+        x = np.empty(20000)
+        x[0] = 0.0
+        eps = rng.normal(size=20000)
+        for i in range(1, 20000):
+            x[i] = phi * x[i - 1] + eps[i]
+        assert lag1_autocorr(x) == pytest.approx(phi, abs=0.03)

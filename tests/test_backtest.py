@@ -1,0 +1,178 @@
+"""Unit tests for the backtest engine and its aggregations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backtest.correctness import correctness_table, sub_target_ecdf
+from repro.backtest.engine import (
+    BacktestConfig,
+    ComboResult,
+    RequestOutcome,
+    check_survival,
+    run_backtest,
+    sample_requests,
+)
+from repro.baselines import DraftsBid, OnDemandBid
+from repro.market.traces import PriceTrace
+
+
+def _result(strategy, fractions_ok, n=10, cls="calm"):
+    outcomes = tuple(
+        RequestOutcome(t_idx=i, start=0.0, duration=1.0, bid=0.1, survived=ok)
+        for i, ok in enumerate(fractions_ok)
+    )
+    return ComboResult(
+        combo_key=f"x@{strategy}", strategy=strategy,
+        volatility_class=cls, outcomes=outcomes,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BacktestConfig(probability=2.0)
+        with pytest.raises(ValueError):
+            BacktestConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            BacktestConfig(max_duration_hours=0)
+
+
+class TestSampling:
+    def test_requests_respect_training_and_horizon(self, calm_trace):
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=200,
+            max_duration_hours=4, train_days=20, seed=3,
+        )
+        rng = np.random.default_rng(0)
+        t_idx, durations = sample_requests(calm_trace, cfg, rng)
+        assert t_idx.size == 200
+        starts = calm_trace.times[t_idx]
+        assert np.all(starts >= calm_trace.start + 20 * 86400.0)
+        assert np.all(starts <= calm_trace.end - 4 * 3600.0)
+        assert np.all(durations > 0)
+        assert np.all(durations <= 4 * 3600.0)
+
+    def test_trace_too_short_rejected(self, calm_trace):
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=5,
+            max_duration_hours=4, train_days=400,
+        )
+        with pytest.raises(ValueError):
+            sample_requests(calm_trace, cfg, np.random.default_rng(0))
+
+
+class TestSurvival:
+    def test_check_survival_semantics(self):
+        trace = PriceTrace(
+            times=np.array([0.0, 600.0, 1200.0]),
+            prices=np.array([0.1, 0.5, 0.1]),
+        )
+        assert check_survival(trace, 0, 300.0, bid=0.3)
+        assert not check_survival(trace, 0, 900.0, bid=0.3)
+        assert check_survival(trace, 0, 9000.0, bid=0.6)
+        # Bid at or below the current price fails immediately.
+        assert not check_survival(trace, 0, 300.0, bid=0.1)
+        # No bid is a failure.
+        assert not check_survival(trace, 0, 300.0, bid=float("nan"))
+
+
+class TestRunBacktest:
+    def test_deterministic(self, small_universe):
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=20,
+            max_duration_hours=2, train_days=30, seed=9,
+        )
+        a = run_backtest(small_universe, combo, OnDemandBid, cfg)
+        b = run_backtest(small_universe, combo, OnDemandBid, cfg)
+        assert a == b
+
+    def test_result_accounting(self, small_universe):
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=25,
+            max_duration_hours=2, train_days=30, seed=9,
+        )
+        result = run_backtest(small_universe, combo, DraftsBid, cfg)
+        assert result.n == 25
+        assert 0 <= result.successes <= 25
+        assert result.success_fraction == result.successes / 25
+        assert result.strategy == "drafts"
+        assert result.volatility_class == combo.volatility_class
+
+    def test_premium_ondemand_bid_always_fails(self, small_universe):
+        """The §4.1.2 cg1.4xlarge phenomenon: success fraction zero."""
+        combo = small_universe.combo("cg1.4xlarge", "us-east-1b")
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=30,
+            max_duration_hours=2, train_days=30, seed=9,
+        )
+        result = run_backtest(small_universe, combo, OnDemandBid, cfg)
+        assert result.success_fraction == 0.0
+
+
+class TestCorrectnessAggregation:
+    def test_bucketing(self):
+        results = [
+            _result("m", [True] * 100),              # 1.0
+            _result("m", [True] * 99 + [False]),      # 0.99
+            _result("m", [True] * 90 + [False] * 10), # 0.90
+        ]
+        table = correctness_table(results, target=0.99)
+        row = table.row("m")
+        assert row.perfect == pytest.approx(1 / 3)
+        assert row.at_target == pytest.approx(1 / 3)
+        assert row.below_target == pytest.approx(1 / 3)
+        assert row.n_combos == 3
+
+    def test_unknown_row(self):
+        table = correctness_table([_result("m", [True])], 0.99)
+        with pytest.raises(KeyError):
+            table.row("zzz")
+
+    def test_render_rows(self):
+        table = correctness_table([_result("m", [True] * 10)], 0.99)
+        rows = table.as_rows()
+        assert rows[0][0] == "m"
+
+    def test_sub_target_ecdf(self):
+        results = [
+            _result("m", [True] * 50 + [False] * 50),
+            _result("m", [False] * 100),
+            _result("m", [True] * 100),
+        ]
+        x, y = sub_target_ecdf(results, "m", 0.99)
+        np.testing.assert_allclose(x, [0.0, 0.5])
+        np.testing.assert_allclose(y, [0.5, 1.0])
+
+    def test_sub_target_ecdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            sub_target_ecdf([_result("m", [True])], "m", 0.99)
+
+
+class TestConsistencyColumn:
+    def test_marginal_misses_flagged_consistent(self):
+        # 0.98 over 100 at a 0.99 target: consistent with the guarantee.
+        results = [
+            _result("m", [True] * 98 + [False] * 2),
+            _result("m", [True] * 100),
+        ]
+        table = correctness_table(results, 0.99)
+        row = table.row("m")
+        assert row.below_target == pytest.approx(0.5)
+        assert row.below_but_consistent == pytest.approx(1.0)
+
+    def test_gross_misses_flagged_inconsistent(self):
+        results = [
+            _result("m", [True] * 50 + [False] * 50),
+            _result("m", [True] * 98 + [False] * 2),
+        ]
+        table = correctness_table(results, 0.99)
+        # One of the two sub-target combos contradicts the guarantee.
+        assert table.row("m").below_but_consistent == pytest.approx(0.5)
+
+    def test_no_misses_defaults_to_one(self):
+        table = correctness_table([_result("m", [True] * 10)], 0.99)
+        assert table.row("m").below_but_consistent == 1.0

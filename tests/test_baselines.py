@@ -1,0 +1,148 @@
+"""Unit tests for the bidding-strategy baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AR1Bid,
+    ConstantFactorBid,
+    DraftsBid,
+    EmpiricalCDFBid,
+    OnDemandBid,
+    TABLE1_STRATEGIES,
+)
+from repro.market.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def combo_and_trace():
+    from repro.market.universe import Universe, UniverseConfig
+
+    uni = Universe(UniverseConfig(seed=5, n_epochs=30 * 288))
+    combo = uni.combo("c4.large", "us-east-1b")
+    return combo, uni.trace(combo)
+
+
+class TestOnDemandBid:
+    def test_constant_regional_price(self, combo_and_trace):
+        combo, trace = combo_and_trace
+        strategy = OnDemandBid.for_combo(combo, trace, 0.99)
+        assert strategy.bid_at(100, 3600.0) == combo.ondemand_price
+        assert strategy.bid_at(5000, 12 * 3600.0) == combo.ondemand_price
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnDemandBid(0.0)
+
+
+class TestConstantFactorBid:
+    def test_galaxies_factor(self, combo_and_trace):
+        combo, trace = combo_and_trace
+        strategy = ConstantFactorBid.for_combo(combo, trace, 0.99)
+        assert strategy.bid_at(0, 1.0) == pytest.approx(
+            round(0.8 * combo.ondemand_price, 4)
+        )
+
+    def test_custom_factor_factory(self, combo_and_trace):
+        combo, trace = combo_and_trace
+        cls = ConstantFactorBid.with_factor(1.5)
+        strategy = cls.for_combo(combo, trace, 0.99)
+        assert strategy.bid_at(0, 1.0) == pytest.approx(
+            round(1.5 * combo.ondemand_price, 4)
+        )
+        assert "1.5" in cls.name
+
+
+class TestEmpiricalCDFBid:
+    def test_running_quantile_matches_numpy(self, rng):
+        prices = rng.lognormal(-2, 0.4, size=400)
+        trace_like = type("T", (), {"prices": prices})()
+        strategy = EmpiricalCDFBid(trace_like, 0.9)
+        for t in (50, 137, 399):
+            prefix = np.sort(prices[:t])
+            k = max(int(np.ceil(0.9 * t)) - 1, 0)
+            assert strategy.bid_at(t, 1.0) == pytest.approx(prefix[k])
+
+    def test_warmup_returns_nan(self, rng):
+        prices = rng.lognormal(-2, 0.4, size=100)
+        trace_like = type("T", (), {"prices": prices})()
+        strategy = EmpiricalCDFBid(trace_like, 0.9)
+        assert math.isnan(strategy.bid_at(10, 1.0))
+
+    def test_no_lookahead(self, combo_and_trace, rng):
+        combo, trace = combo_and_trace
+        strategy = EmpiricalCDFBid.for_combo(combo, trace, 0.99)
+        t = len(trace) // 2
+        bid = strategy.bid_at(t, 1.0)
+        # Recompute from the prefix only.
+        prefix = np.sort(trace.prices[:t])
+        k = max(int(np.ceil(0.99 * t)) - 1, 0)
+        assert bid == pytest.approx(prefix[k])
+
+
+class TestAR1Bid:
+    def test_bid_above_recent_mean(self, combo_and_trace):
+        combo, trace = combo_and_trace
+        strategy = AR1Bid.for_combo(combo, trace, 0.99)
+        t = len(trace) - 1
+        bid = strategy.bid_at(t, 3600.0)
+        assert bid > float(np.mean(trace.prices[t - 500 : t]))
+
+    def test_higher_quantile_higher_bid(self):
+        trace = generate_trace("diurnal", 0.42, n_epochs=4000, rng=3)
+        lo = AR1Bid(trace, 0.90).bid_at(3999, 1.0)
+        hi = AR1Bid(trace, 0.999).bid_at(3999, 1.0)
+        assert hi > lo
+
+    def test_nan_during_warmup(self, combo_and_trace):
+        combo, trace = combo_and_trace
+        strategy = AR1Bid.for_combo(combo, trace, 0.99)
+        assert math.isnan(strategy.bid_at(3, 1.0))
+
+    def test_gaussian_fit_on_ar1_data_covers(self, rng):
+        """On genuinely AR(1) data, the 0.99 bid covers ~99% of values."""
+        from repro.market.traces import PriceTrace
+
+        phi, sigma, mu = 0.9, 0.01, 0.5
+        n = 8000
+        x = np.empty(n)
+        x[0] = mu
+        eps = rng.normal(0, sigma, n)
+        for i in range(1, n):
+            x[i] = mu + phi * (x[i - 1] - mu) + eps[i]
+        trace = PriceTrace(np.arange(n) * 300.0, x.clip(min=0.01))
+        strategy = AR1Bid(trace, 0.99)
+        bid = strategy.bid_at(n - 1, 1.0)
+        assert np.mean(x > bid) < 0.03
+
+
+class TestDraftsBid:
+    def test_fallback_top_of_ladder(self, spiky_trace):
+        from repro.core.drafts import DraftsConfig, DraftsPredictor
+
+        predictor = DraftsPredictor(spiky_trace, DraftsConfig(probability=0.99))
+        top = DraftsBid(predictor, fallback="top")
+        none = DraftsBid(predictor, fallback="none")
+        t = len(spiky_trace) - 1
+        huge = 60 * 3600.0  # beyond any certifiable duration
+        assert math.isnan(none.bid_at(t, huge))
+        fallback_bid = top.bid_at(t, huge)
+        assert fallback_bid == pytest.approx(
+            predictor.min_bid_at(t) * predictor.config.ladder_span
+        )
+
+    def test_matches_predictor_when_certifiable(self, spiky_predictor):
+        strategy = DraftsBid(spiky_predictor)
+        t = len(spiky_predictor.trace) - 1
+        assert strategy.bid_at(t, 1800.0) == spiky_predictor.bid_for(1800.0, t)
+
+    def test_invalid_fallback(self, spiky_predictor):
+        with pytest.raises(ValueError):
+            DraftsBid(spiky_predictor, fallback="up")
+
+
+def test_table1_lineup_matches_paper_rows():
+    names = [s.name for s in TABLE1_STRATEGIES]
+    assert names == ["drafts", "ondemand", "ar1", "empirical-cdf"]

@@ -1,0 +1,94 @@
+"""Unit tests for the EC2 billing rules."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import charge_ondemand, charge_spot_run, risked_cost
+from repro.market.traces import PriceTrace
+from repro.util.timeutils import billable_hours, hour_starts
+
+
+class TestBillableHours:
+    def test_round_up(self):
+        assert billable_hours(1.0) == 1
+        assert billable_hours(3600.0) == 1
+        assert billable_hours(3601.0) == 2
+        assert billable_hours(2 * 3600.0) == 2
+
+    def test_paper_3300s_is_one_hour(self):
+        """§4.2 chose 3300 s precisely to stay inside one billable hour."""
+        assert billable_hours(3300.0) == 1
+
+    def test_zero_duration_charged_one_hour(self):
+        assert billable_hours(0.0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            billable_hours(-1.0)
+
+    def test_hour_starts(self):
+        starts = hour_starts(100.0, 2.5 * 3600.0)
+        np.testing.assert_allclose(starts, [100.0, 3700.0, 7300.0])
+
+
+class TestOnDemandCharge:
+    def test_fixed_price_roundup(self):
+        charge = charge_ondemand(0.1, 90 * 60.0)
+        assert charge.hours == 2
+        assert charge.cost == pytest.approx(0.2)
+        assert charge.hourly_prices == (0.1, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            charge_ondemand(0.0, 100.0)
+
+
+class TestSpotCharge:
+    @pytest.fixture()
+    def trace(self):
+        # Price changes at the top of each hour: 0.10, 0.30, 0.20.
+        return PriceTrace(
+            times=np.array([0.0, 3600.0, 7200.0]),
+            prices=np.array([0.10, 0.30, 0.20]),
+        )
+
+    def test_price_at_each_hour_start(self, trace):
+        charge = charge_spot_run(trace, 0.0, 2.5 * 3600.0)
+        assert charge.hours == 3
+        assert charge.hourly_prices == (0.10, 0.30, 0.20)
+        assert charge.cost == pytest.approx(0.60)
+
+    def test_mid_epoch_start(self, trace):
+        # Start mid-way: hour starts at 1800 (price 0.10) and 5400 (0.30).
+        charge = charge_spot_run(trace, 1800.0, 7000.0)
+        assert charge.hourly_prices == (0.10, 0.30)
+
+    def test_runs_beyond_trace_use_last_price(self, trace):
+        charge = charge_spot_run(trace, 7000.0, 3 * 3600.0)
+        assert all(p in (0.30, 0.20) for p in charge.hourly_prices)
+
+    def test_negative_duration_rejected(self, trace):
+        with pytest.raises(ValueError):
+            charge_spot_run(trace, 0.0, -5.0)
+
+
+class TestRiskedCost:
+    def test_bid_times_hours(self):
+        assert risked_cost(0.5, 3 * 3600.0) == pytest.approx(1.5)
+        assert risked_cost(0.5, 3300.0) == pytest.approx(0.5)
+
+    def test_risk_at_least_actual_cost(self, rng):
+        """The worst case can never be cheaper than what was charged."""
+        times = np.arange(50, dtype=float) * 3600.0
+        prices = rng.uniform(0.01, 0.09, size=50)
+        trace = PriceTrace(times, prices)
+        for _ in range(20):
+            start = float(rng.uniform(0, 40 * 3600))
+            duration = float(rng.uniform(60, 8 * 3600))
+            bid = 0.10  # above every price in the trace
+            actual = charge_spot_run(trace, start, duration).cost
+            assert risked_cost(bid, duration) >= actual
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            risked_cost(0.0, 100.0)

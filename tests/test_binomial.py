@@ -1,0 +1,110 @@
+"""Unit tests for the binomial order-statistic confidence bounds."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import binomial
+
+
+class TestMinHistory:
+    def test_paper_defaults_upper(self):
+        # q = sqrt(0.95), c = 0.99 -> 180 observations (DESIGN.md section 4).
+        q = np.sqrt(0.95)
+        n = binomial.min_history_upper(q, 0.99)
+        assert n == 180
+        # The bound must exist exactly at n and not at n - 1.
+        assert binomial.upper_bound_index(n, q, 0.99) >= 0
+        assert binomial.upper_bound_index(n - 1, q, 0.99) == -1
+
+    def test_p99_needs_more_history(self):
+        q95 = binomial.min_history_upper(np.sqrt(0.95), 0.99)
+        q99 = binomial.min_history_upper(np.sqrt(0.99), 0.99)
+        assert q99 > q95
+
+    def test_lower_mirrors_upper(self):
+        assert binomial.min_history_lower(0.025, 0.99) == (
+            binomial.min_history_upper(0.975, 0.99)
+        )
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            binomial.min_history_upper(1.0, 0.99)
+        with pytest.raises(ValueError):
+            binomial.min_history_upper(0.9, 0.0)
+
+
+class TestUpperBoundIndex:
+    def test_definition_holds(self):
+        # k must be the largest integer with BinCDF(k; n, 1-q) <= 1-c.
+        n, q, c = 500, 0.975, 0.99
+        k = binomial.upper_bound_index(n, q, c)
+        assert k >= 0
+        assert stats.binom.cdf(k, n, 1 - q) <= 1 - c
+        assert stats.binom.cdf(k + 1, n, 1 - q) > 1 - c
+
+    def test_short_history_returns_minus_one(self):
+        assert binomial.upper_bound_index(10, 0.975, 0.99) == -1
+        assert binomial.upper_bound_index(0, 0.975, 0.99) == -1
+
+    def test_vectorised_matches_scalar(self):
+        ns = np.arange(0, 2000, 37)
+        vec = binomial.upper_bound_index(ns, 0.975, 0.99)
+        scalars = [binomial.upper_bound_index(int(n), 0.975, 0.99) for n in ns]
+        assert list(vec) == scalars
+
+    def test_monotone_in_n(self):
+        ns = np.arange(1, 5000)
+        ks = binomial.upper_bound_index(ns, 0.975, 0.99)
+        assert np.all(np.diff(ks) >= 0)
+
+    def test_index_within_sample(self):
+        ns = np.arange(1, 3000, 13)
+        ks = binomial.upper_bound_index(ns, 0.5, 0.9)
+        assert np.all(ks < ns)
+
+
+class TestBoundValues:
+    def test_upper_value_is_an_observation(self, rng):
+        x = rng.normal(size=400)
+        bound = binomial.upper_bound_value(x, 0.9, 0.95)
+        assert bound in x
+
+    def test_upper_value_nan_when_short(self, rng):
+        x = rng.normal(size=20)
+        assert np.isnan(binomial.upper_bound_value(x, 0.975, 0.99))
+
+    def test_lower_below_upper(self, rng):
+        x = rng.normal(size=2000)
+        lower = binomial.lower_bound_value(x, 0.5, 0.99)
+        upper = binomial.upper_bound_value(x, 0.5, 0.99)
+        assert lower < upper
+
+    def test_upper_bound_coverage(self, rng):
+        """The c-confidence bound covers the true quantile >= c of the time."""
+        q, c, n, trials = 0.9, 0.9, 300, 400
+        true_q = stats.norm.ppf(q)
+        covered = 0
+        for _ in range(trials):
+            x = rng.normal(size=n)
+            bound = binomial.upper_bound_value(x, q, c)
+            covered += bound >= true_q
+        # Binomial(400, >=0.9) rarely dips below 0.86.
+        assert covered / trials >= 0.86
+
+    def test_lower_bound_coverage(self, rng):
+        q, c, n, trials = 0.1, 0.9, 300, 400
+        true_q = stats.norm.ppf(q)
+        covered = 0
+        for _ in range(trials):
+            x = rng.normal(size=n)
+            bound = binomial.lower_bound_value(x, q, c)
+            covered += bound <= true_q
+        assert covered / trials >= 0.86
+
+    def test_tightest_valid_index(self, rng):
+        """A deeper order statistic than k would break the confidence claim."""
+        n, q, c = 1000, 0.95, 0.99
+        k = binomial.upper_bound_index(n, q, c)
+        # Using k+1 (one less conservative) must violate the inequality.
+        assert stats.binom.cdf(k + 1, n, 1 - q) > 1 - c

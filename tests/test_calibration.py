@@ -1,0 +1,87 @@
+"""Unit tests for trace calibration and classification."""
+
+import numpy as np
+import pytest
+
+from repro.market.calibration import calibrate, classify
+from repro.market.synthetic import generate_trace
+
+OD = 0.42
+EPD = 288
+
+
+class TestCalibrate:
+    def test_recovers_base_level(self):
+        trace = generate_trace("calm", OD, n_epochs=60 * EPD, rng=4)
+        result = calibrate(trace, OD)
+        assert result.params.base_level == pytest.approx(0.15, rel=0.15)
+
+    def test_recovers_plateau_structure(self):
+        trace = generate_trace("spiky", OD, n_epochs=90 * EPD, rng=4)
+        result = calibrate(trace, OD)
+        params = result.params
+        # Episodes detected with roughly the configured level and length.
+        assert params.spike_rate > 0
+        assert params.spike_level == pytest.approx(1.25, rel=0.35)
+        assert params.spike_mean_epochs >= 24  # multi-hour plateaus
+
+    def test_recovers_floor_pinning(self):
+        trace = generate_trace("calm", OD, n_epochs=60 * EPD, rng=4)
+        result = calibrate(trace, OD)
+        assert result.params.floor_level > 0  # detected the reserve floor
+
+    def test_roundtrip_through_generator(self):
+        """Generating from calibrated params reproduces the key facts."""
+        from repro.analysis.stylized import stylized_facts
+        from repro.market.synthetic import ClassParams
+        from repro.market.traces import PriceTrace
+        from repro.util.timeutils import EPOCH_SECONDS
+
+        original = generate_trace("spiky", OD, n_epochs=90 * EPD, rng=4)
+        params = calibrate(original, OD).params
+        # Re-generate with the recovered parameters via the private engine.
+        from repro.market import synthetic
+
+        rng = np.random.default_rng(9)
+        fluct = synthetic._ar1(rng, 90 * EPD, params)
+        base = params.base_level * np.ones(90 * EPD)
+        rel = base * np.exp(fluct)
+        rel = np.maximum(rel, synthetic._episode_levels(rng, 90 * EPD, params))
+        if params.floor_level > 0:
+            rel = np.maximum(rel, params.floor_level)
+        regen = PriceTrace(
+            np.arange(90 * EPD) * EPOCH_SECONDS,
+            np.round(rel * OD, 4).clip(min=1e-4),
+        )
+        a = stylized_facts(original, OD)
+        b = stylized_facts(regen, OD)
+        assert b.discount == pytest.approx(a.discount, abs=0.15)
+        assert b.fraction_above_ondemand == pytest.approx(
+            a.fraction_above_ondemand, abs=0.03
+        )
+
+    def test_validation(self):
+        trace = generate_trace("calm", OD, n_epochs=600, rng=1)
+        with pytest.raises(ValueError):
+            calibrate(trace, 0.0)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "cls", ["calm", "spiky", "volatile", "premium"]
+    )
+    def test_self_classification(self, cls):
+        """Traces generated from a class map back to it (or a neighbour
+        with the same Table 1 behaviour)."""
+        acceptable = {
+            "calm": {"calm", "diurnal"},
+            "spiky": {"spiky"},
+            "volatile": {"volatile"},
+            "premium": {"premium"},
+        }[cls]
+        hits = 0
+        for seed in range(3):
+            trace = generate_trace(cls, OD, n_epochs=60 * EPD, rng=seed)
+            if classify(trace, OD) in acceptable:
+                hits += 1
+        assert hits >= 2

@@ -1,0 +1,103 @@
+"""Unit tests for the EC2 resource model and the study catalogue."""
+
+import pytest
+
+from repro.market import catalog
+from repro.market.types import (
+    AvailabilityZone,
+    InstanceType,
+    Region,
+    SpotRequestSpec,
+)
+
+
+class TestTypes:
+    def test_region_zones(self):
+        region = Region("us-east-1", ("b", "c"))
+        assert [z.name for z in region.zones] == ["us-east-1b", "us-east-1c"]
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region("", ("a",))
+        with pytest.raises(ValueError):
+            Region("us-east-1", ())
+        with pytest.raises(ValueError):
+            Region("us-east-1", ("a", "a"))
+
+    def test_zone_parse_roundtrip(self):
+        zone = AvailabilityZone.parse("us-west-2c")
+        assert zone.region == "us-west-2"
+        assert zone.letter == "c"
+        assert zone.name == "us-west-2c"
+        with pytest.raises(ValueError):
+            AvailabilityZone.parse("x")
+
+    def test_instance_type_fields(self):
+        it = InstanceType("m3.medium", 1, 3.75, 4.0, 0.067)
+        assert it.family == "m3"
+        assert it.size == "medium"
+
+    def test_instance_type_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("nodot", 1, 1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            InstanceType("m3.medium", 0, 1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            InstanceType("m3.medium", 1, 1.0, 0.0, 0.0)
+
+    def test_request_spec_zone_region_consistency(self):
+        SpotRequestSpec("us-east-1", "us-east-1b", "m3.medium", 0.1)
+        with pytest.raises(ValueError):
+            SpotRequestSpec("us-east-1", "us-west-1a", "m3.medium", 0.1)
+        with pytest.raises(ValueError):
+            SpotRequestSpec("us-east-1", "us-east-1b", "m3.medium", 0.0)
+
+
+class TestCatalog:
+    def test_study_counts_match_paper(self):
+        """§4.1: 53 instance types, 9 AZs, 452 offered combinations."""
+        assert len(catalog.INSTANCE_TYPES) == 53
+        assert len(catalog.all_zones()) == 9
+        assert len(catalog.offered_combinations()) == 452
+
+    def test_az_counts_per_region(self):
+        """Footnote 5: 4 AZs in us-east-1, 2 in us-west-1, 3 in us-west-2."""
+        per_region = {}
+        for zone in catalog.all_zones():
+            per_region[zone.region] = per_region.get(zone.region, 0) + 1
+        assert per_region == {"us-east-1": 4, "us-west-1": 2, "us-west-2": 3}
+
+    def test_cg1_matches_paper_example(self):
+        """§4.1.2: cg1.4xlarge at $2.10 On-demand, not offered everywhere."""
+        assert catalog.ondemand_price("cg1.4xlarge", "us-east-1") == 2.10
+        assert catalog.is_offered("cg1.4xlarge", "us-east-1b")
+        assert not catalog.is_offered("cg1.4xlarge", "us-west-2a")
+
+    def test_m1_large_paper_example(self):
+        """§4.4: m1.large offered in us-west-2c at $0.175 On-demand."""
+        assert catalog.is_offered("m1.large", "us-west-2c")
+        assert catalog.ondemand_price("m1.large", "us-west-2") == 0.175
+
+    def test_regional_price_factor(self):
+        east = catalog.ondemand_price("c4.large", "us-east-1")
+        west1 = catalog.ondemand_price("c4.large", "us-west-1")
+        assert west1 == pytest.approx(east * 1.10, abs=1e-4)
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError):
+            catalog.instance_type("z9.mega")
+        with pytest.raises(KeyError):
+            catalog.ondemand_price("c4.large", "eu-central-1")
+        with pytest.raises(KeyError):
+            catalog.is_offered("z9.mega", "us-east-1b")
+
+    def test_all_prices_positive_and_rounded(self):
+        for zone in catalog.all_zones():
+            for name in catalog.INSTANCE_TYPES:
+                price = catalog.ondemand_price(name, zone.region)
+                assert price > 0
+                assert round(price, 4) == price
+
+    def test_combinations_only_offered(self):
+        for name, zone in catalog.offered_combinations():
+            assert catalog.is_offered(name, zone.name)

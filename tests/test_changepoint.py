@@ -1,0 +1,112 @@
+"""Unit tests for the binomial change-point detectors."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.changepoint import (
+    BinomialRunDetector,
+    ChangePointDetector,
+    ChangeSignal,
+)
+
+
+class TestBinomialRunDetector:
+    def test_critical_count_is_rejection_boundary(self):
+        det = BinomialRunDetector(p_hit=0.1, window=50, alpha=0.01)
+        h = det.critical_hits
+        assert stats.binom.sf(h - 1, 50, 0.1) < 0.01
+        assert stats.binom.sf(h - 2, 50, 0.1) >= 0.01
+
+    def test_no_signal_before_window_full(self):
+        det = BinomialRunDetector(p_hit=0.1, window=20, alpha=0.05)
+        # All hits, but the window has not filled: never signal.
+        assert not any(det.observe(True) for _ in range(19))
+
+    def test_fires_on_shifted_stream(self, rng):
+        det = BinomialRunDetector(p_hit=0.05, window=40, alpha=0.01)
+        for _ in range(40):
+            det.observe(bool(rng.random() < 0.05))
+        fired = False
+        for _ in range(80):
+            if det.observe(bool(rng.random() < 0.6)):
+                fired = True
+                break
+        assert fired
+
+    def test_rarely_fires_under_null(self, rng):
+        det = BinomialRunDetector(p_hit=0.1, window=40, alpha=0.001)
+        fires = sum(det.observe(bool(rng.random() < 0.1)) for _ in range(4000))
+        # Expected false-positive rate is ~0.1% per step (with dependence
+        # across overlapping windows); 4000 steps should fire only a few
+        # times at most.
+        assert fires <= 20
+
+    def test_sliding_window_forgets(self):
+        det = BinomialRunDetector(p_hit=0.1, window=10, alpha=0.01)
+        h = det.critical_hits
+        for _ in range(h - 1):
+            det.observe(True)
+        # Flush the window with misses: the old hits must roll out.
+        for _ in range(10):
+            assert not det.observe(False)
+
+    def test_reset(self):
+        det = BinomialRunDetector(p_hit=0.1, window=10, alpha=0.05)
+        for _ in range(9):
+            det.observe(True)
+        det.reset()
+        assert not det.observe(True)  # window no longer full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinomialRunDetector(p_hit=0.0, window=10, alpha=0.01)
+        with pytest.raises(ValueError):
+            BinomialRunDetector(p_hit=0.1, window=0, alpha=0.01)
+
+
+class TestChangePointDetector:
+    def test_up_signal(self, rng):
+        det = ChangePointDetector(q=0.95, window=30, alpha=0.01)
+        signal = ChangeSignal.NONE
+        for _ in range(200):
+            signal = det.observe(exceeded_bound=True, below_low=False)
+            if signal is not ChangeSignal.NONE:
+                break
+        assert signal is ChangeSignal.UP
+
+    def test_down_signal(self):
+        det = ChangePointDetector(q=0.95, window=30, alpha=0.01)
+        signal = ChangeSignal.NONE
+        for _ in range(200):
+            signal = det.observe(exceeded_bound=False, below_low=True)
+            if signal is not ChangeSignal.NONE:
+                break
+        assert signal is ChangeSignal.DOWN
+
+    def test_up_takes_precedence(self):
+        det = ChangePointDetector(q=0.95, window=10, alpha=0.05)
+        signal = ChangeSignal.NONE
+        for _ in range(100):
+            signal = det.observe(exceeded_bound=True, below_low=True)
+            if signal is not ChangeSignal.NONE:
+                break
+        assert signal is ChangeSignal.UP
+
+    def test_resets_after_firing(self):
+        det = ChangePointDetector(q=0.95, window=10, alpha=0.05)
+        for _ in range(100):
+            if det.observe(True, False) is not ChangeSignal.NONE:
+                break
+        # Immediately after firing the windows are empty: no instant re-fire.
+        assert det.observe(True, False) is ChangeSignal.NONE
+
+    def test_quiet_under_stationary_noise(self, rng):
+        det = ChangePointDetector(q=0.975, window=48, alpha=0.001)
+        fires = 0
+        for _ in range(2000):
+            exceeded = bool(rng.random() < 0.01)
+            below = bool(rng.random() < 0.25)
+            if det.observe(exceeded, below) is not ChangeSignal.NONE:
+                fires += 1
+        assert fires <= 3

@@ -1,0 +1,45 @@
+"""Tests for the top-level CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_export_and_reload(self, tmp_path, capsys):
+        rc = main(
+            [
+                "export",
+                str(tmp_path / "arc"),
+                "--per-class",
+                "1",
+                "--scale",
+                "test",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exported 6 combinations" in out
+
+        from repro.data import load_archive
+
+        manifest, traces = load_archive(tmp_path / "arc")
+        assert len(traces) == 6
+        classes = {e.volatility_class for e in manifest.entries}
+        assert len(classes) == 6
+
+    def test_survey(self, capsys):
+        rc = main(["survey", "--per-class", "1", "--scale", "test"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Universe survey" in out
+        assert "premium" in out
+
+    def test_experiments_dispatch(self, capsys):
+        rc = main(["experiments", "figure4", "--scale", "test"])
+        assert rc == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,90 @@
+"""Unit tests for bid ladders and bid-duration curves."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.curves import BidDurationCurve, bid_ladder
+
+
+class TestBidLadder:
+    def test_geometry(self):
+        ladder = bid_ladder(1.0, increment=0.05, span=4.0)
+        assert ladder[0] == pytest.approx(1.0)
+        assert ladder[-1] == pytest.approx(4.0)
+        ratios = ladder[1:-1] / ladder[:-2]
+        np.testing.assert_allclose(ratios, 1.05)
+
+    def test_scales_with_minimum(self):
+        a = bid_ladder(0.1)
+        b = bid_ladder(0.2)
+        np.testing.assert_allclose(b, 2 * a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bid_ladder(0.0)
+        with pytest.raises(ValueError):
+            bid_ladder(1.0, increment=0.0)
+        with pytest.raises(ValueError):
+            bid_ladder(1.0, span=0.5)
+
+
+def _curve(durations=(3600.0, 7200.0, 7200.0), bids=(0.1, 0.2, 0.3)):
+    return BidDurationCurve(
+        bids=bids,
+        durations=durations,
+        probability=0.95,
+        instance_type="c4.large",
+        zone="us-east-1b",
+        computed_at=1000.0,
+    )
+
+
+class TestBidDurationCurve:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _curve(bids=(0.1, 0.1, 0.3))  # not strictly increasing
+        with pytest.raises(ValueError):
+            _curve(durations=(7200.0, 3600.0, 7200.0))  # non-monotone
+        with pytest.raises(ValueError):
+            BidDurationCurve(bids=(), durations=(), probability=0.95)
+        with pytest.raises(ValueError):
+            _curve(durations=(1.0, 2.0))  # length mismatch
+
+    def test_nan_rungs_allowed(self):
+        c = _curve(durations=(float("nan"), 3600.0, 7200.0))
+        assert math.isnan(c.durations[0])
+
+    def test_bid_for_duration(self):
+        c = _curve()
+        assert c.bid_for_duration(3600.0) == 0.1
+        assert c.bid_for_duration(5000.0) == 0.2
+        assert math.isnan(c.bid_for_duration(10_000.0))
+        with pytest.raises(ValueError):
+            c.bid_for_duration(-1.0)
+
+    def test_bid_for_duration_skips_nan(self):
+        c = _curve(durations=(float("nan"), 3600.0, 7200.0))
+        assert c.bid_for_duration(1800.0) == 0.2
+
+    def test_duration_for_bid(self):
+        c = _curve()
+        assert c.duration_for_bid(0.25) == 7200.0  # rounds down a rung
+        assert c.duration_for_bid(0.1) == 3600.0
+        assert math.isnan(c.duration_for_bid(0.05))  # below the ladder
+        assert c.duration_for_bid(9.0) == 7200.0  # clamped at the top
+
+    def test_roundtrips(self):
+        c = _curve(durations=(float("nan"), 3600.0, 7200.0))
+        via_json = BidDurationCurve.from_json(c.to_json())
+        assert via_json.bids == c.bids
+        assert via_json.probability == c.probability
+        assert math.isnan(via_json.durations[0])
+        assert via_json.durations[1:] == c.durations[1:]
+        assert via_json.instance_type == "c4.large"
+
+    def test_minimum_bid_and_len(self):
+        c = _curve()
+        assert c.minimum_bid == 0.1
+        assert len(c) == 3

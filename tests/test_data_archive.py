@@ -1,0 +1,89 @@
+"""Unit tests for the price-history archive tooling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import export_universe, load_archive
+from repro.market.universe import Universe, UniverseConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_universe():
+    return Universe(UniverseConfig(seed=9, n_epochs=400))
+
+
+class TestExportLoad:
+    def test_roundtrip(self, tiny_universe, tmp_path):
+        combos = tiny_universe.subsample(per_class=1)
+        manifest = export_universe(tiny_universe, tmp_path / "arc", combos)
+        assert len(manifest.entries) == len(combos)
+
+        loaded_manifest, traces = load_archive(tmp_path / "arc")
+        assert loaded_manifest == manifest
+        for combo in combos:
+            original = tiny_universe.trace(combo)
+            restored = traces[combo.key]
+            np.testing.assert_array_equal(restored.prices, original.prices)
+            np.testing.assert_array_equal(restored.times, original.times)
+            assert restored.instance_type == combo.instance_type
+            assert restored.zone == combo.zone.name
+
+    def test_manifest_records_metadata(self, tiny_universe, tmp_path):
+        combos = tiny_universe.subsample(per_class=1)
+        manifest = export_universe(tiny_universe, tmp_path / "arc2", combos)
+        assert manifest.universe_seed == 9
+        assert manifest.n_epochs == 400
+        entry = manifest.entry(combos[0].key)
+        assert entry.volatility_class == combos[0].volatility_class
+        assert entry.ondemand_price == combos[0].ondemand_price
+        with pytest.raises(KeyError):
+            manifest.entry("nope@nowhere")
+
+    def test_never_clobbers(self, tiny_universe, tmp_path):
+        combos = tiny_universe.subsample(per_class=1)[:1]
+        export_universe(tiny_universe, tmp_path / "arc3", combos)
+        with pytest.raises(FileExistsError):
+            export_universe(tiny_universe, tmp_path / "arc3", combos)
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_archive(tmp_path / "nothing-here")
+
+    def test_version_check(self, tiny_universe, tmp_path):
+        combos = tiny_universe.subsample(per_class=1)[:1]
+        export_universe(tiny_universe, tmp_path / "arc4", combos)
+        manifest_path = tmp_path / "arc4" / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["format_version"] = 999
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            load_archive(tmp_path / "arc4")
+
+    def test_corruption_detected(self, tiny_universe, tmp_path):
+        combos = tiny_universe.subsample(per_class=1)[:1]
+        manifest = export_universe(tiny_universe, tmp_path / "arc5", combos)
+        trace_file = (
+            tmp_path / "arc5" / "traces" / manifest.entries[0].filename
+        )
+        lines = trace_file.read_text().splitlines()
+        trace_file.write_text("\n".join(lines[:-5]) + "\n")  # drop rows
+        with pytest.raises(ValueError):
+            load_archive(tmp_path / "arc5")
+
+    def test_loaded_traces_drive_drafts(self, tiny_universe, tmp_path):
+        """An archive is a full substitute for the generator."""
+        from repro.core.drafts import DraftsConfig, DraftsPredictor
+
+        combos = [
+            c
+            for c in tiny_universe.subsample(per_class=1)
+            if c.volatility_class == "calm"
+        ]
+        export_universe(tiny_universe, tmp_path / "arc6", tuple(combos))
+        _, traces = load_archive(tmp_path / "arc6")
+        trace = traces[combos[0].key]
+        predictor = DraftsPredictor(trace, DraftsConfig(probability=0.95))
+        # 400 epochs exceed the p=0.95 minimum history: a bound exists.
+        assert predictor.min_bid_at(len(trace) - 1) > 0

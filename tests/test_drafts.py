@@ -1,0 +1,140 @@
+"""Unit tests for the DrAFTS two-phase predictor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.drafts import PRICE_TICK, DraftsConfig, DraftsPredictor
+from repro.market.synthetic import generate_trace
+
+
+class TestConfig:
+    def test_split_arithmetic(self):
+        cfg = DraftsConfig(probability=0.95)
+        assert cfg.price_quantile == pytest.approx(math.sqrt(0.95))
+        assert cfg.duration_level == pytest.approx(math.sqrt(0.95))
+        assert cfg.duration_quantile == pytest.approx(1 - math.sqrt(0.95))
+        # The two phases compose back to p.
+        assert cfg.price_quantile * cfg.duration_level == pytest.approx(0.95)
+
+    def test_alpha_split(self):
+        cfg = DraftsConfig(probability=0.9, alpha=0.7)
+        assert cfg.price_quantile == pytest.approx(0.9**0.7)
+        assert cfg.duration_level == pytest.approx(0.9**0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DraftsConfig(probability=1.5)
+        with pytest.raises(ValueError):
+            DraftsConfig(alpha=1.0)
+        with pytest.raises(ValueError):
+            DraftsConfig(premium=-0.1)
+
+    def test_with_override(self):
+        cfg = DraftsConfig().with_(changepoint=False)
+        assert cfg.changepoint is False
+
+
+class TestPredictor:
+    def test_min_bid_exceeds_current_price(self, spiky_predictor):
+        """The tick premium guarantees the bid admits an instance (§3.2)."""
+        trace = spiky_predictor.trace
+        misses = 0
+        for t_idx in range(2000, len(trace), 481):
+            bid = spiky_predictor.min_bid_at(t_idx)
+            if math.isnan(bid):
+                continue
+            bound = spiky_predictor.price_bound_at(t_idx)
+            assert bid == pytest.approx(bound + PRICE_TICK)
+            # The bound is (at least) the running price level most of the
+            # time; count the rare race where a fresh jump outruns it.
+            misses += bid <= trace.prices[t_idx]
+        assert misses <= 2
+
+    def test_bid_monotone_in_duration(self, spiky_predictor):
+        t_idx = len(spiky_predictor.trace) - 1
+        bids = [
+            spiky_predictor.bid_for(h * 3600.0, t_idx) for h in (0.5, 1, 2, 4)
+        ]
+        finite = [b for b in bids if not math.isnan(b)]
+        assert finite == sorted(finite)
+        # Once nan (unachievable), longer durations stay nan.
+        seen_nan = False
+        for b in bids:
+            if math.isnan(b):
+                seen_nan = True
+            elif seen_nan:
+                pytest.fail("finite bid after nan: not monotone")
+
+    def test_duration_bound_monotone_in_bid(self, spiky_predictor):
+        t_idx = len(spiky_predictor.trace) - 1
+        min_bid = spiky_predictor.min_bid_at(t_idx)
+        bids = min_bid * np.array([1.0, 1.5, 2.0, 3.0, 4.0])
+        bounds = [spiky_predictor.duration_bound(float(b), t_idx) for b in bids]
+        finite = [b for b in bounds if not math.isnan(b)]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(finite, finite[1:]))
+
+    def test_curve_matches_bid_for(self, spiky_predictor):
+        t_idx = len(spiky_predictor.trace) - 1
+        curve = spiky_predictor.curve_at(t_idx)
+        assert curve is not None
+        # Querying through the curve and directly must agree on achievable
+        # durations (curve lookups are at ladder granularity).
+        d = 3600.0
+        via_curve = curve.bid_for_duration(d)
+        direct = spiky_predictor.bid_for(d, t_idx)
+        if math.isnan(direct):
+            assert math.isnan(via_curve)
+        else:
+            assert via_curve == pytest.approx(direct, rel=0.06)
+
+    def test_duration_bound_is_conservative(self, spiky_trace):
+        """The certified duration rarely exceeds the realised survival."""
+        predictor = DraftsPredictor(
+            spiky_trace, DraftsConfig(probability=0.95)
+        )
+        trace = spiky_trace
+        violations = 0
+        total = 0
+        for t_idx in range(3000, len(trace) - 1500, 499):
+            bid = predictor.min_bid_at(t_idx)
+            if math.isnan(bid):
+                continue
+            certified = predictor.duration_bound(bid, t_idx)
+            if math.isnan(certified) or certified <= 0:
+                continue
+            realised = trace.first_reach_after(
+                float(trace.times[t_idx]), bid
+            ) - float(trace.times[t_idx])
+            total += 1
+            violations += realised < certified
+        assert total > 10
+        # Phase 2 certifies at level sqrt(0.95) ~ 0.975; allow sampling slack.
+        assert violations / total <= 0.10
+
+    def test_insufficient_history_gives_nan(self, spiky_trace):
+        predictor = DraftsPredictor(spiky_trace, DraftsConfig())
+        assert math.isnan(predictor.min_bid_at(5))
+        assert math.isnan(predictor.bid_for(3600.0, 5))
+        assert predictor.curve_at(5) is None
+
+    def test_short_trace_handled(self):
+        trace = generate_trace("calm", 0.1, n_epochs=50, rng=3)
+        predictor = DraftsPredictor(trace, DraftsConfig())
+        assert math.isnan(predictor.min_bid_at(len(trace) - 1))
+
+    def test_premium_class_bids_above_ondemand(self, premium_trace):
+        predictor = DraftsPredictor(
+            premium_trace, DraftsConfig(probability=0.95)
+        )
+        bid = predictor.min_bid_at(len(premium_trace) - 1)
+        assert bid > 0.42  # the On-demand price used by the fixture
+
+    def test_now_prediction_at_trace_end(self, spiky_predictor):
+        """t_idx == len(trace) (the service's 'now') must work."""
+        n = len(spiky_predictor.trace)
+        bid = spiky_predictor.bid_for(1800.0, n)
+        assert not math.isnan(bid)
+        curve = spiky_predictor.curve_at(n)
+        assert curve is not None

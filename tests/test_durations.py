@@ -1,0 +1,122 @@
+"""Unit tests for the duration-until-exceedance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.durations import (
+    DurationLadder,
+    censored_durations,
+    next_exceed_indices,
+)
+
+
+def _naive_next_exceed(prices, threshold):
+    n = len(prices)
+    out = []
+    for s in range(n):
+        j = s
+        while j < n and prices[j] < threshold:
+            j += 1
+        out.append(j)
+    return np.array(out)
+
+
+class TestNextExceed:
+    def test_matches_naive(self, rng):
+        prices = rng.uniform(0.0, 1.0, size=300)
+        for threshold in (0.1, 0.5, 0.9, 1.5):
+            np.testing.assert_array_equal(
+                next_exceed_indices(prices, threshold),
+                _naive_next_exceed(prices, threshold),
+            )
+
+    def test_immediate_exceedance(self):
+        prices = np.array([2.0, 0.5, 0.5])
+        out = next_exceed_indices(prices, 1.0)
+        assert out[0] == 0
+        assert out[1] == 3 and out[2] == 3  # censored at trace end
+
+    def test_equality_counts_as_exceeded(self):
+        prices = np.array([0.5, 1.0, 0.5])
+        assert next_exceed_indices(prices, 1.0)[0] == 1
+
+
+class TestCensoredDurations:
+    def test_values_and_censoring(self):
+        times = np.arange(5, dtype=float) * 300.0
+        prices = np.array([0.1, 0.1, 1.0, 0.1, 0.1])
+        exceed = next_exceed_indices(prices, 0.5)
+        d = censored_durations(times, exceed, t_idx=4)
+        # starts 0,1 terminate at index 2; starts 2 at itself; start 3 is
+        # censored at t_idx=4.
+        np.testing.assert_allclose(d, [600.0, 300.0, 0.0, 300.0])
+
+    def test_t_idx_zero_empty(self):
+        times = np.arange(3, dtype=float)
+        exceed = np.array([3, 3, 3])
+        assert censored_durations(times, exceed, 0).size == 0
+
+    def test_now_prediction_censors_at_last_timestamp(self):
+        times = np.arange(4, dtype=float) * 300.0
+        prices = np.full(4, 0.1)
+        exceed = next_exceed_indices(prices, 0.5)  # never exceeded
+        d = censored_durations(times, exceed, t_idx=4)
+        np.testing.assert_allclose(d, [900.0, 600.0, 300.0, 0.0])
+
+    def test_bounds_checked(self):
+        times = np.arange(3, dtype=float)
+        with pytest.raises(IndexError):
+            censored_durations(times, np.zeros(3, dtype=int), 5)
+
+
+class TestDurationLadder:
+    @pytest.fixture()
+    def ladder(self, rng):
+        times = np.arange(400, dtype=float) * 300.0
+        prices = rng.uniform(0.1, 1.0, size=400)
+        levels = np.array([0.25, 0.5, 0.75, 1.5])
+        return DurationLadder(times, prices, levels), prices
+
+    def test_validation(self):
+        times = np.arange(3, dtype=float)
+        prices = np.ones(3)
+        with pytest.raises(ValueError):
+            DurationLadder(times, prices, np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            DurationLadder(times, prices, np.array([]))
+        with pytest.raises(ValueError):
+            DurationLadder(times, np.ones(2), np.array([1.0]))
+
+    def test_rung_lookup(self, ladder):
+        lad, _ = ladder
+        assert lad.rung_at_least(0.3) == 1
+        assert lad.rung_at_least(0.5) == 1
+        assert lad.rung_at_least(0.01) == 0
+        with pytest.raises(ValueError):
+            lad.rung_at_least(2.0)
+        assert lad.rung_at_most(0.3) == 0
+        assert lad.rung_at_most(0.2) == -1
+
+    def test_durations_monotone_in_level(self, ladder):
+        lad, _ = ladder
+        t_idx = 350
+        d_low = lad.durations_at(0, t_idx)
+        d_high = lad.durations_at(2, t_idx)
+        assert np.all(d_high >= d_low)
+
+    def test_survival_time_ground_truth(self, ladder):
+        lad, prices = ladder
+        t_idx = 100
+        s = lad.survival_time(3, t_idx)  # level 1.5 > all prices
+        assert np.isinf(s)
+        s0 = lad.survival_time(0, t_idx)  # level 0.25, crossed quickly
+        assert np.isfinite(s0)
+        first = next(
+            j for j in range(t_idx, len(prices)) if prices[j] >= 0.25
+        )
+        assert s0 == pytest.approx((first - t_idx) * 300.0)
+
+    def test_levels_read_only(self, ladder):
+        lad, _ = ladder
+        with pytest.raises(ValueError):
+            lad.levels[0] = 99.0

@@ -1,0 +1,106 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.provisioner.events import EventLoop
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(30.0, lambda: order.append("c"))
+        loop.schedule(10.0, lambda: order.append("a"))
+        loop.schedule(20.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 30.0
+
+    def test_fifo_for_simultaneous_events(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abcde":
+            loop.schedule(5.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == list("abcde")
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start_time=100.0)
+        with pytest.raises(ValueError):
+            loop.schedule(50.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop(start_time=10.0)
+        seen = []
+        loop.schedule_in(5.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [15.0]
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule_in(1.0, lambda: seen.append("second"))
+
+        loop.schedule(0.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(1.0, lambda: seen.append("x"))
+        loop.schedule(2.0, lambda: seen.append("y"))
+        handle.cancel()
+        loop.run()
+        assert seen == ["y"]
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.run()
+        handle.cancel()  # must not raise
+
+
+class TestRun:
+    def test_run_until(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(10))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert loop.now == 5.0
+        assert loop.pending == 1
+        loop.run()
+        assert seen == [1, 10]
+
+    def test_step_returns_false_when_drained(self):
+        loop = EventLoop()
+        assert not loop.step()
+        loop.schedule(1.0, lambda: None)
+        assert loop.step()
+        assert not loop.step()
+
+    def test_event_storm_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule_in(0.0, rearm)
+
+        loop.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=1000)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        loop.run()
+        assert loop.processed == 5

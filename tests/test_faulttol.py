@@ -1,0 +1,182 @@
+"""Unit tests for the checkpointing policies and the batch executor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faulttol import (
+    HorizonGuidedCheckpoint,
+    NoCheckpoint,
+    PeriodicCheckpoint,
+    SpotBatchExecutor,
+    estimate_mttf,
+    make_drafts_executor,
+    make_naive_executor,
+    make_reactive_executor,
+    youngdaly_interval,
+)
+from repro.market.traces import PriceTrace
+
+
+def _flat_trace(n=200, price=0.1, kill_at=None):
+    prices = np.full(n, price)
+    if kill_at is not None:
+        prices[kill_at] = 10.0
+    return PriceTrace(np.arange(n, dtype=float) * 300.0, prices)
+
+
+class TestPolicies:
+    def test_young_daly_formula(self):
+        assert youngdaly_interval(mttf=7200.0, checkpoint_cost=100.0) == (
+            pytest.approx(math.sqrt(2 * 100 * 7200))
+        )
+        with pytest.raises(ValueError):
+            youngdaly_interval(0.0, 1.0)
+        with pytest.raises(ValueError):
+            youngdaly_interval(1.0, 0.0)
+
+    def test_no_checkpoint(self):
+        assert NoCheckpoint().next_checkpoint(0.0, 0.0) == math.inf
+
+    def test_periodic(self):
+        policy = PeriodicCheckpoint(interval=600.0)
+        assert policy.next_checkpoint(0.0, 0.0) == 600.0
+        assert policy.next_checkpoint(0.0, 600.0) == 1200.0
+        with pytest.raises(ValueError):
+            PeriodicCheckpoint(interval=0.0)
+
+    def test_horizon_guided(self):
+        policy = HorizonGuidedCheckpoint(horizon=10_000.0, safety=0.9)
+        first = policy.next_checkpoint(1000.0, 1000.0)
+        assert first == pytest.approx(10_000.0)  # 1000 + 0.9 * 10000
+        second = policy.next_checkpoint(1000.0, first)
+        assert second == pytest.approx(first + 9000.0)
+        with pytest.raises(ValueError):
+            HorizonGuidedCheckpoint(horizon=0.0)
+        with pytest.raises(ValueError):
+            HorizonGuidedCheckpoint(horizon=10.0, safety=0.0)
+
+
+class TestExecutor:
+    def test_completes_without_failures(self):
+        trace = _flat_trace()
+        ex = SpotBatchExecutor(
+            trace,
+            bid_fn=lambda now: (0.2, float("nan")),
+            policy_fn=lambda certified: NoCheckpoint(),
+        )
+        report = ex.run(start=0.0, total_work=4 * 3600.0)
+        assert report.completed
+        assert report.work_done == 4 * 3600.0
+        assert report.restarts == 0
+        assert report.checkpoints == 0
+        assert report.makespan == pytest.approx(4 * 3600.0)
+        assert report.cost == pytest.approx(0.4)  # 4 hours at 0.1
+        assert report.efficiency == pytest.approx(1.0)
+
+    def test_revocation_without_checkpoints_loses_everything(self):
+        trace = _flat_trace(n=400, kill_at=48)  # spike 4 h in
+        ex = SpotBatchExecutor(
+            trace,
+            bid_fn=lambda now: (0.2, float("nan")),
+            policy_fn=lambda certified: NoCheckpoint(),
+            resubmit_delay=300.0,
+        )
+        report = ex.run(start=0.0, total_work=6 * 3600.0)
+        assert report.completed
+        assert report.restarts == 1
+        assert report.work_lost == pytest.approx(48 * 300.0)
+        # Everything re-done after the kill: makespan > work.
+        assert report.makespan > 6 * 3600.0
+
+    def test_checkpoints_preserve_work(self):
+        trace = _flat_trace(n=400, kill_at=48)
+        ex = SpotBatchExecutor(
+            trace,
+            bid_fn=lambda now: (0.2, float("nan")),
+            policy_fn=lambda certified: PeriodicCheckpoint(interval=3600.0),
+            checkpoint_cost=60.0,
+            resubmit_delay=300.0,
+        )
+        report = ex.run(start=0.0, total_work=6 * 3600.0)
+        assert report.completed
+        assert report.restarts == 1
+        assert report.checkpoints >= 5
+        # At most one interval of work lost (plus nothing else).
+        assert report.work_lost <= 3600.0 + 1e-6
+        assert report.checkpoint_overhead == 60.0 * report.checkpoints
+
+    def test_rejected_launches_retry(self):
+        # Price above the bid for the first 10 epochs.
+        prices = np.full(300, 0.5)
+        prices[10:] = 0.05
+        trace = PriceTrace(np.arange(300, dtype=float) * 300.0, prices)
+        ex = SpotBatchExecutor(
+            trace,
+            bid_fn=lambda now: (0.2, float("nan")),
+            policy_fn=lambda certified: NoCheckpoint(),
+            resubmit_delay=600.0,
+        )
+        report = ex.run(start=0.0, total_work=3600.0)
+        assert report.completed
+        assert report.rejections >= 4
+
+    def test_incomplete_when_trace_ends(self):
+        trace = _flat_trace(n=20)  # only ~1.6 hours of market
+        ex = SpotBatchExecutor(
+            trace,
+            bid_fn=lambda now: (0.2, float("nan")),
+            policy_fn=lambda certified: NoCheckpoint(),
+        )
+        report = ex.run(start=0.0, total_work=100 * 3600.0)
+        assert not report.completed
+
+    def test_validation(self):
+        trace = _flat_trace()
+        with pytest.raises(ValueError):
+            SpotBatchExecutor(
+                trace, lambda n: (0.2, 0.0), lambda c: NoCheckpoint(),
+                checkpoint_cost=-1.0,
+            )
+        ex = SpotBatchExecutor(
+            trace, lambda n: (0.2, 0.0), lambda c: NoCheckpoint()
+        )
+        with pytest.raises(ValueError):
+            ex.run(0.0, 0.0)
+
+
+class TestStrategies:
+    def test_mttf_estimate(self):
+        prices = np.full(100, 0.1)
+        prices[20] = 0.5
+        prices[60] = 0.5
+        trace = PriceTrace(np.arange(100, dtype=float) * 300.0, prices)
+        observed_span = trace.slice(trace.start, 99 * 300.0).span
+        mttf = estimate_mttf(trace, 0.4, upto=99 * 300.0)
+        # Two crossings over the observed span.
+        assert mttf == pytest.approx(observed_span / 2)
+        # No crossings: the whole observed span.
+        assert estimate_mttf(trace, 1.0, upto=99 * 300.0) == pytest.approx(
+            observed_span
+        )
+
+    def test_three_strategies_complete_on_spiky_pool(self, spiky_trace):
+        start = spiky_trace.start + 30 * 86400.0
+        work = 6 * 3600.0
+        naive = make_naive_executor(spiky_trace, ondemand_price=0.42)
+        reactive = make_reactive_executor(
+            spiky_trace, ondemand_price=0.42, start=start
+        )
+        drafts = make_drafts_executor(spiky_trace, total_work=work)
+        reports = {
+            "naive": naive.run(start, work),
+            "reactive": reactive.run(start, work),
+            "drafts": drafts.run(start, work),
+        }
+        for name, report in reports.items():
+            assert report.completed, name
+        # DrAFTS checkpoints far less than the reactive Young-Daly rule...
+        assert reports["drafts"].checkpoints <= reports["reactive"].checkpoints
+        # ...and loses no more work than the naive baseline.
+        assert reports["drafts"].work_lost <= reports["naive"].work_lost + 1e-6

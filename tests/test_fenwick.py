@@ -1,0 +1,125 @@
+"""Unit and property tests for the Fenwick-tree multiset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = FenwickTree(16)
+        assert len(tree) == 0
+        assert tree.prefix_count(15) == 0
+        with pytest.raises(IndexError):
+            tree.kth_smallest(0)
+
+    def test_insert_and_select(self):
+        tree = FenwickTree(100)
+        for v in [5, 1, 7, 5, 99, 0]:
+            tree.add(v)
+        assert len(tree) == 6
+        assert tree.kth_smallest(0) == 0
+        assert tree.kth_smallest(2) == 5
+        assert tree.kth_smallest(3) == 5
+        assert tree.kth_largest(0) == 99
+        assert tree.kth_largest(5) == 0
+
+    def test_counts_and_rank(self):
+        tree = FenwickTree(10)
+        tree.add(3, count=4)
+        tree.add(7)
+        assert tree.count(3) == 4
+        assert tree.count(4) == 0
+        assert tree.rank(3) == 0
+        assert tree.rank(4) == 4
+        assert tree.prefix_count(7) == 5
+
+    def test_remove(self):
+        tree = FenwickTree(10)
+        tree.add(4, count=2)
+        tree.remove(4)
+        assert tree.count(4) == 1
+        with pytest.raises(ValueError):
+            tree.remove(4, count=5)
+
+    def test_domain_errors(self):
+        tree = FenwickTree(8)
+        with pytest.raises(IndexError):
+            tree.add(8)
+        with pytest.raises(IndexError):
+            tree.add(-1)
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    def test_clear(self):
+        tree = FenwickTree(8)
+        tree.add(3)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.count(3) == 0
+
+    def test_to_counts(self):
+        tree = FenwickTree(6)
+        for v in [0, 0, 5, 2]:
+            tree.add(v)
+        assert list(tree.to_counts()) == [2, 0, 1, 0, 0, 1]
+
+    def test_kth_bounds_checked(self):
+        tree = FenwickTree(8)
+        tree.add(1)
+        with pytest.raises(IndexError):
+            tree.kth_smallest(1)
+        with pytest.raises(IndexError):
+            tree.kth_largest(-1)
+
+
+class TestAgainstReference:
+    def test_random_workload_matches_sorted_list(self, rng):
+        tree = FenwickTree(64)
+        reference: list[int] = []
+        for _ in range(2000):
+            if reference and rng.random() < 0.4:
+                v = reference.pop(rng.integers(len(reference)))
+                tree.remove(int(v))
+            else:
+                v = int(rng.integers(0, 64))
+                reference.append(v)
+                tree.add(v)
+            reference.sort()
+            assert len(tree) == len(reference)
+            if reference:
+                k = int(rng.integers(len(reference)))
+                assert tree.kth_smallest(k) == reference[k]
+                assert tree.kth_largest(k) == reference[len(reference) - 1 - k]
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=200)
+)
+@settings(max_examples=100, deadline=None)
+def test_order_statistics_match_numpy(values):
+    tree = FenwickTree(128)
+    for v in values:
+        tree.add(v)
+    ordered = np.sort(values)
+    for k in range(len(values)):
+        assert tree.kth_smallest(k) == ordered[k]
+    assert tree.kth_largest(0) == ordered[-1]
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=63), min_size=2, max_size=100),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_rank_prefix_invariants(values, data):
+    tree = FenwickTree(64)
+    for v in values:
+        tree.add(v)
+    probe = data.draw(st.integers(min_value=0, max_value=63))
+    assert tree.prefix_count(probe) == sum(1 for v in values if v <= probe)
+    assert tree.rank(probe) == sum(1 for v in values if v < probe)
+    assert tree.prefix_count(63) == len(values)

@@ -1,0 +1,125 @@
+"""Cross-module integration tests: the paper's end-to-end claims at
+test scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backtest.engine import BacktestConfig, run_backtest
+from repro.baselines import DraftsBid, OnDemandBid
+from repro.cloud.api import EC2Api
+from repro.cloud.spot import SpotTier, TerminationCause
+from repro.market.obfuscation import AccountView, deobfuscate
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import RestRouter
+
+
+class TestDurabilityGuarantee:
+    """The headline claim: DrAFTS meets its durability target."""
+
+    @pytest.mark.parametrize(
+        "combo_key",
+        [
+            "c4.large@us-east-1b",  # calm
+            "c3.2xlarge@us-west-1a",  # spiky
+            "cg1.4xlarge@us-east-1b",  # premium
+            "c4.4xlarge@us-east-1e",  # volatile
+        ],
+    )
+    def test_drafts_meets_95_target(self, small_universe, combo_key):
+        itype, zone = combo_key.split("@")
+        combo = small_universe.combo(itype, zone)
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=60,
+            max_duration_hours=4, train_days=30, seed=2,
+        )
+        result = run_backtest(small_universe, combo, DraftsBid, cfg)
+        # One failure of tolerance for sampling noise at n=60.
+        assert result.success_fraction >= 0.95 - 1.5 / 60
+
+    def test_drafts_beats_ondemand_on_premium(self, small_universe):
+        """§4.1.2: the On-demand bid never survives on premium pools while
+        DrAFTS always does."""
+        combo = small_universe.combo("cg1.4xlarge", "us-east-1b")
+        cfg = BacktestConfig(
+            probability=0.95, n_requests=40,
+            max_duration_hours=3, train_days=30, seed=2,
+        )
+        drafts = run_backtest(small_universe, combo, DraftsBid, cfg)
+        ondemand = run_backtest(small_universe, combo, OnDemandBid, cfg)
+        assert ondemand.success_fraction == 0.0
+        assert drafts.success_fraction >= 0.95
+
+
+class TestServiceDrivenLaunch:
+    """Client -> REST -> service -> predictor -> Spot tier, end to end."""
+
+    def test_service_bid_survives_requested_duration(self, small_universe):
+        api = EC2Api(small_universe)
+        client = DraftsClient(
+            RestRouter(DraftsService(api, ServiceConfig(probabilities=(0.95,))))
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        trace = small_universe.trace(combo)
+        now = trace.start + 45 * 86400.0
+        duration = 3300.0  # the paper's launch-experiment duration
+        failures = 0
+        launches = 0
+        t = now
+        while t < trace.end - 2 * 3600.0 and launches < 40:
+            bid = client.bid_for("c4.large", "us-east-1b", 0.95, duration, t)
+            if not math.isnan(bid):
+                run = api.request_spot_instance(
+                    "c4.large", "us-east-1b", t, duration, bid
+                )
+                launches += 1
+                failures += run.cause is not TerminationCause.USER
+            t += 4 * 3600.0
+        assert launches >= 30
+        assert failures / launches <= 0.05
+
+
+class TestObfuscatedServiceAccount:
+    """The deobfuscation workflow the production service needs (§2.2)."""
+
+    def test_client_recovers_service_zone_names(self, small_universe):
+        view = AccountView("us-west-2", {"a": "b", "b": "c", "c": "a"})
+        client_api = EC2Api(small_universe, {"us-west-2": view})
+        service_api = EC2Api(small_universe)
+        itype = "c4.large"
+        now = small_universe.trace(
+            small_universe.combo(itype, "us-west-2a")
+        ).start + 30 * 86400.0
+        local = {
+            z: client_api.describe_spot_price_history(itype, z, now)
+            for z in client_api.describe_availability_zones("us-west-2")
+        }
+        remote = {
+            z: service_api.describe_spot_price_history(itype, z, now)
+            for z in service_api.describe_availability_zones("us-west-2")
+        }
+        mapping = deobfuscate(local, remote)
+        for local_name, service_name in mapping.items():
+            assert view.to_physical(local_name) == service_name
+
+
+class TestRiskReduction:
+    def test_bid_bounds_worst_case_cost(self, small_universe):
+        """A DrAFTS bid bounds the realised cost from above."""
+        combo = small_universe.combo("c3.2xlarge", "us-west-1a")
+        trace = small_universe.trace(combo)
+        strategy = DraftsBid.for_combo(combo, trace, 0.95)
+        tier = SpotTier(trace)
+        rng = np.random.default_rng(4)
+        for _ in range(25):
+            t_idx = int(rng.integers(30 * 288, len(trace) - 1000))
+            duration = float(rng.uniform(600, 3 * 3600))
+            bid = strategy.bid_at(t_idx, duration)
+            if math.isnan(bid):
+                continue
+            run = tier.run(float(trace.times[t_idx]), duration, bid)
+            if run.cause is TerminationCause.REJECTED:
+                continue
+            assert run.charge.cost <= run.risk + 1e-9

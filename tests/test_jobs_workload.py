@@ -1,0 +1,127 @@
+"""Unit tests for jobs, queues, workload generation and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.provisioner.jobs import Job, JobQueue
+from repro.provisioner.profiles import (
+    DEFAULT_PROFILES,
+    estimate_runtime,
+    profile_for,
+)
+from repro.provisioner.workload import (
+    WorkloadConfig,
+    generate_workload,
+    paper_replay_workload,
+)
+
+
+def _job(i=0, app="fastqc"):
+    return Job(
+        job_id=i, app=app, submit_time=0.0,
+        runtime=100.0, estimated_runtime=110.0,
+    )
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(0, "a", 0.0, runtime=0.0, estimated_runtime=1.0)
+        with pytest.raises(ValueError):
+            Job(0, "a", 0.0, runtime=1.0, estimated_runtime=0.0)
+
+    def test_done_flag(self):
+        job = _job()
+        assert not job.done
+        job.finished_at = 5.0
+        assert job.done
+
+
+class TestJobQueue:
+    def test_fifo_per_type(self):
+        q = JobQueue()
+        q.push("m3.medium", _job(1))
+        q.push("m3.medium", _job(2))
+        q.push("c3.2xlarge", _job(3))
+        assert q.depth("m3.medium") == 2
+        assert q.total_depth() == 3
+        assert q.pop("m3.medium").job_id == 1
+        assert q.pop("m3.medium").job_id == 2
+        assert q.pop("m3.medium") is None
+
+    def test_push_front_for_revoked(self):
+        q = JobQueue()
+        q.push("t", _job(1))
+        q.push_front("t", _job(2))
+        assert q.pop("t").job_id == 2
+
+    def test_instance_types_listing(self):
+        q = JobQueue()
+        q.push("a.b", _job(1))
+        q.push("c.d", _job(2))
+        q.pop("c.d")
+        assert q.instance_types() == ("a.b",)
+
+
+class TestProfiles:
+    def test_lookup(self):
+        profile = profile_for("align-bwa")
+        assert profile.instance_type == "c3.2xlarge"
+        with pytest.raises(KeyError):
+            profile_for("minesweeper")
+
+    def test_weights_positive(self):
+        assert all(p.weight > 0 for p in DEFAULT_PROFILES)
+
+    def test_estimate_centred_on_truth(self, rng):
+        profile = profile_for("fastqc")
+        estimates = [
+            estimate_runtime(profile, 600.0, rng) for _ in range(500)
+        ]
+        # Lognormal with sigma 0.25 around the truth: median near 600.
+        assert 500 < np.median(estimates) < 720
+        with pytest.raises(ValueError):
+            estimate_runtime(profile, 0.0, rng)
+
+
+class TestWorkload:
+    def test_shape_of_full_day(self):
+        jobs = generate_workload(WorkloadConfig(n_jobs=500), rng=1)
+        assert len(jobs) == 500
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+        assert all(0 <= s <= 24 * 3600 + 600 for s in submits)
+        assert [j.job_id for j in jobs] == list(range(500))
+
+    def test_app_mix_respects_weights(self):
+        jobs = generate_workload(WorkloadConfig(n_jobs=2000), rng=2)
+        counts = {}
+        for job in jobs:
+            counts[job.app] = counts.get(job.app, 0) + 1
+        # The heaviest apps must dominate the lightest.
+        assert counts["fastqc"] > counts["annotate"]
+
+    def test_runtimes_clamped(self):
+        jobs = generate_workload(WorkloadConfig(n_jobs=1000), rng=3)
+        assert all(30.0 <= j.runtime <= 6 * 3600.0 for j in jobs)
+
+    def test_deterministic(self):
+        a = generate_workload(WorkloadConfig(n_jobs=100), rng=7)
+        b = generate_workload(WorkloadConfig(n_jobs=100), rng=7)
+        assert [(j.app, j.submit_time, j.runtime) for j in a] == [
+            (j.app, j.submit_time, j.runtime) for j in b
+        ]
+
+    def test_replay_slice_rebased(self):
+        jobs = paper_replay_workload(rng=4, n_jobs=200)
+        assert len(jobs) == 200
+        assert jobs[0].submit_time == 0.0
+        assert all(j.submit_time >= 0 for j in jobs)
+        # 200 of 8452 jobs spans well under a day.
+        assert jobs[-1].submit_time < 6 * 3600.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(burst_mean=0.5)

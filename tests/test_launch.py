@@ -1,0 +1,117 @@
+"""Unit tests for the §4.2 launch-experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.backtest.launch import (
+    LaunchConfig,
+    LaunchRecord,
+    LaunchSeries,
+    run_launch_series,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig("c4.large", "us-east-1", probability=1.5)
+        with pytest.raises(ValueError):
+            LaunchConfig("c4.large", "us-east-1", duration_seconds=0)
+        with pytest.raises(ValueError):
+            LaunchConfig("c4.large", "us-east-1", n_launches=0)
+
+
+class TestSeriesHelpers:
+    def _series(self, outcomes):
+        records = tuple(
+            LaunchRecord(index=i, time=i * 3600.0, zone="z", bid=0.1, outcome=o)
+            for i, o in enumerate(outcomes)
+        )
+        cfg = LaunchConfig("c4.large", "us-east-1", n_launches=len(outcomes))
+        return LaunchSeries(config=cfg, records=records)
+
+    def test_failure_runs_clustering(self):
+        s = self._series(
+            ["success", "terminated", "terminated", "success", "rejected"]
+        )
+        assert s.failures == 3
+        assert s.failure_runs() == [(1, 2), (4, 1)]
+        assert s.success_fraction == pytest.approx(0.4)
+
+    def test_all_success(self):
+        s = self._series(["success"] * 5)
+        assert s.failures == 0
+        assert s.failure_runs() == []
+        assert s.success_fraction == 1.0
+
+    def test_bids_array(self):
+        s = self._series(["success", "success"])
+        np.testing.assert_allclose(s.bids, [0.1, 0.1])
+
+
+class TestRunLaunchSeries:
+    def test_calm_region_all_succeed(self, small_universe):
+        """Figure 2's shape: the calm c4.large launches never fail."""
+        cfg = LaunchConfig(
+            instance_type="c4.large",
+            region="us-east-1",
+            probability=0.95,
+            n_launches=25,
+            start_after_days=40.0,
+            seed=3,
+        )
+        series = run_launch_series(small_universe, cfg)
+        assert len(series.records) == 25
+        assert series.failures == 0
+        # Bids stay far below the On-demand price.
+        assert series.bids.max() < 0.10
+
+    def test_az_fitness_picks_cheapest_bound(self, small_universe):
+        cfg = LaunchConfig(
+            instance_type="c4.large",
+            region="us-east-1",
+            probability=0.95,
+            n_launches=10,
+            start_after_days=40.0,
+            seed=3,
+        )
+        series = run_launch_series(small_universe, cfg)
+        zones = {r.zone for r in series.records}
+        # All chosen zones belong to the region.
+        assert all(z.startswith("us-east-1") for z in zones)
+
+    def test_unoffered_type_rejected(self, small_universe):
+        cfg = LaunchConfig(
+            instance_type="cg1.4xlarge",
+            region="us-west-2",
+            n_launches=5,
+            start_after_days=40.0,
+        )
+        with pytest.raises(ValueError):
+            run_launch_series(small_universe, cfg)
+
+    def test_deterministic(self, small_universe):
+        cfg = LaunchConfig(
+            instance_type="c4.large",
+            region="us-east-1",
+            probability=0.95,
+            n_launches=8,
+            start_after_days=40.0,
+            seed=5,
+        )
+        a = run_launch_series(small_universe, cfg)
+        b = run_launch_series(small_universe, cfg)
+        assert [r.bid for r in a.records] == [r.bid for r in b.records]
+        assert [r.zone for r in a.records] == [r.zone for r in b.records]
+
+    def test_stops_at_trace_end(self, small_universe):
+        cfg = LaunchConfig(
+            instance_type="c4.large",
+            region="us-east-1",
+            probability=0.95,
+            n_launches=10_000,  # more than the trace can hold
+            start_after_days=40.0,
+            seed=5,
+        )
+        series = run_launch_series(small_universe, cfg)
+        assert 0 < len(series.records) < 10_000

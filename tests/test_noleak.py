@@ -1,0 +1,87 @@
+"""No-look-ahead contract tests.
+
+Every backtest in the paper is only valid if a prediction at instant t
+uses nothing after t. These tests corrupt the *future* of a trace and
+assert that every strategy's bids before the corruption point are
+bit-identical — the strongest possible statement that no future data leaks
+into a prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AR1Bid, DraftsBid, EmpiricalCDFBid, OnDemandBid
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.market.synthetic import generate_trace
+from repro.market.traces import PriceTrace
+from repro.market.universe import Universe, UniverseConfig
+
+EPD = 288
+CUT = 20 * EPD  # corruption point: day 20 of 30
+
+
+@pytest.fixture(scope="module")
+def trace_pair():
+    original = generate_trace("spiky", 0.42, n_epochs=30 * EPD, rng=6)
+    prices = original.prices.copy()
+    prices[CUT:] = np.round(prices[CUT:] * 37.0 + 1.0, 4)  # absurd future
+    corrupted = PriceTrace(original.times, prices, "x", "y")
+    return original, corrupted
+
+
+@pytest.fixture(scope="module")
+def combo():
+    uni = Universe(UniverseConfig(seed=5, n_epochs=30 * EPD))
+    return uni.combo("c3.2xlarge", "us-west-1a")
+
+
+QUERY_POINTS = tuple(range(8 * EPD, CUT, 397))
+DURATIONS = (1800.0, 2 * 3600.0, 6 * 3600.0)
+
+
+def _bids(strategy):
+    return [
+        strategy.bid_at(t, d) for t in QUERY_POINTS for d in DURATIONS
+    ]
+
+
+class TestNoLookAhead:
+    @pytest.mark.parametrize(
+        "strategy_cls", [DraftsBid, OnDemandBid, AR1Bid, EmpiricalCDFBid]
+    )
+    def test_strategy_bids_ignore_future(
+        self, strategy_cls, trace_pair, combo
+    ):
+        original, corrupted = trace_pair
+        a = _bids(strategy_cls.for_combo(combo, original, 0.95))
+        b = _bids(strategy_cls.for_combo(combo, corrupted, 0.95))
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+    def test_drafts_curves_ignore_future(self, trace_pair):
+        original, corrupted = trace_pair
+        cfg = DraftsConfig(probability=0.95, max_price=1000.0)
+        pa = DraftsPredictor(original, cfg)
+        pb = DraftsPredictor(corrupted, cfg)
+        for t in QUERY_POINTS[::3]:
+            ca = pa.curve_at(t)
+            cb = pb.curve_at(t)
+            if ca is None or cb is None:
+                assert ca is None and cb is None
+                continue
+            assert ca.bids == cb.bids
+            np.testing.assert_array_equal(
+                np.asarray(ca.durations), np.asarray(cb.durations)
+            )
+
+    def test_drafts_duration_bounds_ignore_future(self, trace_pair):
+        original, corrupted = trace_pair
+        cfg = DraftsConfig(probability=0.95, max_price=1000.0)
+        pa = DraftsPredictor(original, cfg)
+        pb = DraftsPredictor(corrupted, cfg)
+        for t in QUERY_POINTS[::2]:
+            bid = pa.min_bid_at(t)
+            if np.isnan(bid):
+                continue
+            da = pa.duration_bound(bid, t)
+            db = pb.duration_bound(bid, t)
+            np.testing.assert_equal(da, db)

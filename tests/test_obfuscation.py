@@ -1,0 +1,98 @@
+"""Unit tests for AZ-name obfuscation and deobfuscation."""
+
+import numpy as np
+import pytest
+
+from repro.market.obfuscation import AccountView, deobfuscate, trace_similarity
+from repro.market.synthetic import generate_trace
+
+
+class TestAccountView:
+    def test_roundtrip(self):
+        view = AccountView("us-east-1", {"a": "c", "b": "a", "c": "b"})
+        assert view.to_physical("us-east-1a") == "us-east-1c"
+        assert view.to_local("us-east-1c") == "us-east-1a"
+        for letter in "abc":
+            name = f"us-east-1{letter}"
+            assert view.to_local(view.to_physical(name)) == name
+
+    def test_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            AccountView("us-east-1", {"a": "c", "b": "c"})
+
+    def test_unknown_zone(self):
+        view = AccountView("us-east-1", {"a": "a"})
+        with pytest.raises(KeyError):
+            view.to_physical("us-west-1a")
+        with pytest.raises(KeyError):
+            view.to_physical("us-east-1z")
+
+    def test_random_views_differ_across_accounts(self):
+        letters = ("a", "b", "c", "d", "e")
+        views = [
+            AccountView.random("us-east-1", letters, rng=seed)
+            for seed in range(12)
+        ]
+        mappings = {tuple(sorted(v.mapping.items())) for v in views}
+        assert len(mappings) > 1
+
+
+class TestSimilarity:
+    def test_identical_traces_score_one(self):
+        t = generate_trace("calm", 0.1, n_epochs=500, rng=1)
+        assert trace_similarity(t, t) == pytest.approx(1.0)
+
+    def test_different_traces_score_lower(self):
+        a = generate_trace("calm", 0.1, n_epochs=500, rng=1)
+        b = generate_trace("volatile", 0.1, n_epochs=500, rng=2)
+        assert trace_similarity(a, b) < trace_similarity(a, a)
+
+    def test_scale_free(self):
+        a = generate_trace("volatile", 0.1, n_epochs=500, rng=1)
+        b = generate_trace("volatile", 10.0, n_epochs=500, rng=2)
+        c = generate_trace("volatile", 10.0, n_epochs=500, rng=3)
+        # Cross-scale comparison must not be dominated by the price level.
+        assert trace_similarity(b, c) != pytest.approx(0.0)
+        assert trace_similarity(a, b) < 1.0
+
+    def test_no_overlap_rejected(self):
+        a = generate_trace("calm", 0.1, n_epochs=10, rng=1)
+        b = generate_trace("calm", 0.1, n_epochs=10, rng=1, start_time=1e9)
+        with pytest.raises(ValueError):
+            trace_similarity(a, b)
+
+
+class TestDeobfuscation:
+    def test_recovers_permutation(self):
+        letters = ("a", "b", "c", "d")
+        # Physical traces: one per zone, distinct dynamics.
+        physical = {
+            f"us-east-1{letter}": generate_trace(
+                cls, 0.2, n_epochs=2000, rng=i
+            )
+            for i, (letter, cls) in enumerate(
+                zip(letters, ("calm", "volatile", "spiky", "regime"))
+            )
+        }
+        view = AccountView.random("us-east-1", letters, rng=99)
+        local = {
+            view.to_local(zone): trace for zone, trace in physical.items()
+        }
+        mapping = deobfuscate(local, physical)
+        for local_name, physical_name in mapping.items():
+            assert view.to_physical(local_name) == physical_name
+
+    def test_bijection_guaranteed(self):
+        # Two nearly identical zones: greedy matching must still produce a
+        # bijection rather than mapping both local zones to one service zone.
+        a = generate_trace("calm", 0.2, n_epochs=1000, rng=5)
+        b = generate_trace("calm", 0.2, n_epochs=1000, rng=5)
+        service = {"us-east-1a": a, "us-east-1b": b}
+        local = {"us-east-1a": b, "us-east-1b": a}
+        mapping = deobfuscate(local, service)
+        assert sorted(mapping.values()) == ["us-east-1a", "us-east-1b"]
+
+    def test_size_mismatch_rejected(self):
+        t = generate_trace("calm", 0.1, n_epochs=100, rng=0)
+        with pytest.raises(ValueError):
+            deobfuscate({"us-east-1a": t}, {})

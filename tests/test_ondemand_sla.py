@@ -1,0 +1,73 @@
+"""Unit tests for the On-demand tier and the availability SLA model."""
+
+import pytest
+
+from repro.cloud.ondemand import AvailabilitySLA, OnDemandTier, SLAAccount
+
+
+class TestAvailabilitySLA:
+    def test_refund_tiers_match_paper(self):
+        """§4.1.2: 10 % below 99.95 %, 30 % at or below 99 %."""
+        sla = AvailabilitySLA()
+        assert sla.refund_fraction(1.0) == 0.0
+        assert sla.refund_fraction(0.9995) == 0.0
+        assert sla.refund_fraction(0.9994) == 0.10
+        assert sla.refund_fraction(0.99) == 0.30
+        assert sla.refund_fraction(0.5) == 0.30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilitySLA().refund_fraction(1.5)
+
+
+class TestSLAAccount:
+    def test_availability_accounting(self):
+        account = SLAAccount()
+        account.record_outage(0.0005 * account.month_seconds)
+        assert account.availability() == pytest.approx(0.9995)
+
+    def test_refund_computation(self):
+        account = SLAAccount()
+        account.record_outage(0.02 * account.month_seconds)
+        refund = account.refund(AvailabilitySLA(), monthly_cost=100.0)
+        assert refund == pytest.approx(30.0)
+
+    def test_outage_clamped_to_month(self):
+        account = SLAAccount(month_seconds=100.0)
+        account.record_outage(1000.0)
+        assert account.availability() == 0.0
+
+    def test_negative_outage_rejected(self):
+        with pytest.raises(ValueError):
+            SLAAccount().record_outage(-1.0)
+
+    def test_cumulative_sla_gives_no_durability(self):
+        """The paper's §3 point: a 99% *cumulative* SLA can be satisfied by
+        an availability pattern that never provides 100 continuous seconds.
+        """
+        account = SLAAccount(month_seconds=30 * 86400.0)
+        window = 100.0
+        n_windows = int(account.month_seconds / window)
+        for _ in range(n_windows):
+            account.record_outage(1.0)  # one second per 100-second window
+        # Cumulative availability still meets a 99 % target...
+        assert account.availability() >= 0.99
+        assert AvailabilitySLA().refund_fraction(account.availability()) <= 0.30
+        # ...while the longest uninterrupted run is under 100 seconds:
+        # durability for any 100-second request is zero. (The arithmetic is
+        # the demonstration; no instance model needed.)
+        longest_continuous = window - 1.0
+        assert longest_continuous < window
+
+
+class TestOnDemandTier:
+    def test_pricing(self):
+        tier = OnDemandTier(0.175)
+        assert tier.hourly_price == 0.175
+        assert tier.cost_of(90 * 60.0) == pytest.approx(0.35)
+        charge = tier.run(10.0)
+        assert charge.hours == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnDemandTier(0.0)

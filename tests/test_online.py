@@ -1,0 +1,122 @@
+"""Unit tests for the incremental DrAFTS predictor."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.online import OnlineDraftsPredictor
+from repro.market.synthetic import generate_trace
+
+EPD = 288
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """A batch and an online predictor fed the same history."""
+    trace = generate_trace("spiky", 0.42, n_epochs=20 * EPD, rng=8)
+    config = DraftsConfig(probability=0.95, max_price=100.0)
+    batch = DraftsPredictor(trace, config)
+    online = OnlineDraftsPredictor(config, ladder_hi=100.0)
+    online.extend(trace.times, trace.prices)
+    return trace, batch, online
+
+
+class TestEquivalence:
+    def test_price_bounds_agree(self, pair):
+        trace, batch, online = pair
+        np.testing.assert_allclose(
+            online.price_bound(), batch.price_bound_at(len(trace))
+        )
+        np.testing.assert_allclose(
+            online.min_bid(), batch.min_bid_at(len(trace))
+        )
+
+    def test_bids_agree_at_ladder_granularity(self, pair):
+        trace, batch, online = pair
+        for hours in (0.5, 1, 2, 4):
+            a = batch.bid_for(hours * 3600.0, len(trace))
+            b = online.bid_for(hours * 3600.0)
+            if math.isnan(a) or math.isnan(b):
+                assert math.isnan(a) == math.isnan(b)
+            else:
+                # The two predictors lay their ladders out from different
+                # anchors; agreement is within one 5% rung.
+                assert b == pytest.approx(a, rel=0.06)
+
+    def test_curves_agree_in_shape(self, pair):
+        trace, batch, online = pair
+        curve_b = batch.curve_at(len(trace))
+        curve_o = online.curve()
+        assert curve_b is not None and curve_o is not None
+        assert curve_o.minimum_bid == pytest.approx(
+            curve_b.minimum_bid, rel=1e-9
+        )
+        finite_o = [d for d in curve_o.durations if not math.isnan(d)]
+        assert finite_o == sorted(finite_o)
+
+
+class TestIncrementalMechanics:
+    def test_monotone_time_enforced(self):
+        online = OnlineDraftsPredictor()
+        online.observe(0.0, 0.1)
+        with pytest.raises(ValueError):
+            online.observe(0.0, 0.1)
+        with pytest.raises(ValueError):
+            online.observe(10.0, 0.0)
+
+    def test_exceedance_resolution(self):
+        online = OnlineDraftsPredictor(
+            DraftsConfig(probability=0.95), ladder_lo=0.1, ladder_hi=1.0
+        )
+        # Prices below every rung: everything unresolved.
+        for i in range(5):
+            online.observe(i * 300.0, 0.05)
+        # A price at 0.5 resolves rungs up to 0.5 for all past starts.
+        online.observe(5 * 300.0, 0.5)
+        d = online._durations_for_rung(0)  # rung level 0.1
+        np.testing.assert_allclose(
+            d, [1500.0, 1200.0, 900.0, 600.0, 300.0, 0.0]
+        )
+        # The top rung (1.0) is still unresolved: censored at "now".
+        top = online._durations_for_rung(len(online._levels) - 1)
+        np.testing.assert_allclose(
+            top, [1500.0, 1200.0, 900.0, 600.0, 300.0, 0.0]
+        )
+
+    def test_update_cost_is_flat(self):
+        """Per-announcement cost must not grow with history length."""
+        trace = generate_trace("calm", 0.42, n_epochs=8 * EPD, rng=3)
+        online = OnlineDraftsPredictor(DraftsConfig(probability=0.95))
+        third = len(trace) // 3
+
+        def feed(lo, hi):
+            t0 = time.perf_counter()
+            for i in range(lo, hi):
+                online.observe(float(trace.times[i]), float(trace.prices[i]))
+            return time.perf_counter() - t0
+
+        early = feed(0, third)
+        feed(third, 2 * third)
+        late = feed(2 * third, 3 * third)
+        # Allow generous noise; the point is no O(n) blow-up per update.
+        assert late < early * 5 + 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineDraftsPredictor(ladder_lo=1.0, ladder_hi=0.5)
+        with pytest.raises(ValueError):
+            OnlineDraftsPredictor(ladder_lo=0.0)
+        online = OnlineDraftsPredictor()
+        with pytest.raises(ValueError):
+            online.bid_for(-1.0)
+
+    def test_warmup_returns_nan(self):
+        online = OnlineDraftsPredictor(DraftsConfig(probability=0.95))
+        for i in range(50):
+            online.observe(i * 300.0, 0.1)
+        assert math.isnan(online.min_bid())
+        assert math.isnan(online.bid_for(3600.0))
+        assert online.curve() is None

@@ -1,0 +1,204 @@
+"""Hypothesis property tests on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import binomial
+from repro.core.curves import BidDurationCurve, bid_ladder
+from repro.core.durations import censored_durations, next_exceed_indices
+from repro.market.traces import PriceTrace
+from repro.util.timeutils import billable_hours
+
+prices_strategy = st.lists(
+    st.floats(min_value=0.0001, max_value=50.0, allow_nan=False),
+    min_size=2,
+    max_size=120,
+)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    q=st.floats(min_value=0.01, max_value=0.99),
+    c=st.floats(min_value=0.5, max_value=0.999),
+)
+@settings(max_examples=200, deadline=None)
+def test_bound_index_definition(n, q, c):
+    """The returned k always satisfies the defining inequalities."""
+    from scipy import stats
+
+    k = binomial.upper_bound_index(n, q, c)
+    if k >= 0:
+        assert 0 <= k < n
+        assert stats.binom.cdf(k, n, 1 - q) <= 1 - c + 1e-12
+    else:
+        assert stats.binom.cdf(0, n, 1 - q) > 1 - c - 1e-12
+
+
+@given(
+    n=st.integers(min_value=200, max_value=3000),
+    q=st.floats(min_value=0.5, max_value=0.99),
+)
+@settings(max_examples=50, deadline=None)
+def test_higher_confidence_is_more_conservative(n, q):
+    k_low = binomial.upper_bound_index(n, q, 0.8)
+    k_high = binomial.upper_bound_index(n, q, 0.99)
+    assume(k_low >= 0 and k_high >= 0)
+    # Higher confidence selects an order statistic closer to the maximum.
+    assert k_high <= k_low
+
+
+@given(prices=prices_strategy, threshold=st.floats(min_value=0.0001, max_value=60.0))
+@settings(max_examples=150, deadline=None)
+def test_next_exceed_properties(prices, threshold):
+    p = np.asarray(prices)
+    idx = next_exceed_indices(p, threshold)
+    n = p.size
+    for s in range(n):
+        j = int(idx[s])
+        assert s <= j <= n
+        # Nothing in [s, j) reaches the threshold; j itself does (if < n).
+        assert np.all(p[s:j] < threshold)
+        if j < n:
+            assert p[j] >= threshold
+
+
+@given(prices=prices_strategy, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_censored_durations_bounded_by_horizon(prices, data):
+    p = np.asarray(prices)
+    times = np.arange(p.size, dtype=float) * 300.0
+    threshold = data.draw(st.floats(min_value=0.0001, max_value=60.0))
+    t_idx = data.draw(st.integers(min_value=1, max_value=p.size))
+    d = censored_durations(times, next_exceed_indices(p, threshold), t_idx)
+    assert d.size == t_idx
+    assert np.all(d >= 0)
+    # No duration can exceed the time from its start to the censor point.
+    starts = times[:t_idx]
+    horizon = times[min(t_idx, p.size - 1)]
+    assert np.all(d <= horizon - starts + 1e-9)
+
+
+@given(
+    minimum=st.floats(min_value=1e-4, max_value=10.0),
+    increment=st.floats(min_value=0.01, max_value=0.5),
+    span=st.floats(min_value=1.1, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_bid_ladder_invariants(minimum, increment, span):
+    ladder = bid_ladder(minimum, increment, span)
+    assert ladder[0] == pytest.approx(minimum)
+    assert ladder[-1] == pytest.approx(minimum * span, rel=1e-9)
+    assert np.all(np.diff(ladder) > 0)
+    # No rung gap exceeds the configured increment.
+    assert np.all(ladder[1:] / ladder[:-1] <= 1 + increment + 1e-9)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_curve_lookup_consistency(n, data):
+    bids = np.cumsum(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    durations = np.cumsum(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=3600.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    curve = BidDurationCurve(
+        bids=tuple(float(b) for b in bids),
+        durations=tuple(float(d) for d in durations),
+        probability=0.95,
+    )
+    target = data.draw(st.floats(min_value=0.0, max_value=float(durations[-1])))
+    bid = curve.bid_for_duration(target)
+    assert not math.isnan(bid)
+    # The guarantee at the returned bid covers the request...
+    assert curve.duration_for_bid(bid) >= target
+    # ...and no cheaper rung does.
+    cheaper = [b for b in curve.bids if b < bid]
+    for b in cheaper:
+        assert curve.duration_for_bid(b) < target
+
+
+@given(duration=st.floats(min_value=0.0, max_value=1e7))
+@settings(max_examples=200, deadline=None)
+def test_billable_hours_properties(duration):
+    hours = billable_hours(duration)
+    assert hours >= 1
+    assert (hours - 1) * 3600.0 < max(duration, 1.0) <= hours * 3600.0 or (
+        duration == 0.0 and hours == 1
+    )
+
+
+@given(
+    times_start=st.floats(min_value=0, max_value=1e6),
+    prices=prices_strategy,
+)
+@settings(max_examples=100, deadline=None)
+def test_price_trace_roundtrip(times_start, prices):
+    times = times_start + np.arange(len(prices)) * 300.0
+    trace = PriceTrace(times, np.round(np.asarray(prices), 4).clip(min=1e-4))
+    via_json = PriceTrace.from_json(trace.to_json())
+    np.testing.assert_allclose(via_json.prices, trace.prices)
+    via_csv = PriceTrace.from_csv(trace.to_csv())
+    np.testing.assert_allclose(via_csv.times, trace.times)
+    np.testing.assert_allclose(via_csv.prices, trace.prices)
+
+
+@given(
+    data=st.data(),
+    supply=st.integers(min_value=0, max_value=40),
+    reserve=st.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_market_clearing_invariants(data, supply, reserve):
+    """The uniform-price clearing rule's defining properties hold for any
+    bid book (§2.1)."""
+    from repro.market.auction import Bid, clear_market
+
+    n = data.draw(st.integers(min_value=0, max_value=25))
+    bids = [
+        Bid(
+            bidder_id=i,
+            price=data.draw(
+                st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+            ),
+            quantity=data.draw(st.integers(min_value=1, max_value=4)),
+        )
+        for i in range(n)
+    ]
+    result = clear_market(bids, supply, reserve)
+    by_id = {b.bidder_id: b for b in bids}
+    # Price is never below the reserve (tick-quantisation tolerance).
+    assert result.price >= round(reserve, 4) - 5e-5
+    # Every accepted bid can afford the clearing price.
+    for bidder in result.accepted:
+        assert by_id[bidder].price >= result.price - 5e-5
+    # Allocation never exceeds supply; accepted + rejected = everyone.
+    assert result.supply_used <= supply
+    assert set(result.accepted) | set(result.rejected) == set(by_id)
+    assert not (set(result.accepted) & set(result.rejected))
+    # No rejected bid above the price could have fit in the leftovers
+    # (all-or-nothing: its whole quantity must not fit).
+    leftover = supply - result.supply_used
+    for bidder in result.rejected:
+        bid = by_id[bidder]
+        if bid.price > result.price:
+            assert bid.quantity > leftover

@@ -1,0 +1,136 @@
+"""Unit tests for the provisioning policies."""
+
+import pytest
+
+from repro.cloud.api import EC2Api
+from repro.provisioner.provisioner import (
+    DraftsPolicy,
+    LaunchPlan,
+    OriginalPolicy,
+)
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import RestRouter
+
+
+@pytest.fixture(scope="module")
+def env(request):
+    small_universe = request.getfixturevalue("small_universe")
+    api = EC2Api(small_universe)
+    service = DraftsService(api, ServiceConfig(probabilities=(0.99,)))
+    client = DraftsClient(RestRouter(service))
+    combo = small_universe.combo("c4.large", "us-east-1b")
+    now = small_universe.trace(combo).start + 45 * 86400.0
+    return api, client, now
+
+
+class TestLaunchPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchPlan(zone="z", tier="magic", bid=0.1)
+        with pytest.raises(ValueError):
+            LaunchPlan(zone="z", tier="spot", bid=0.0)
+
+
+class TestOriginalPolicy:
+    def test_bid_is_80_percent_of_ondemand(self, env):
+        api, _, now = env
+        policy = OriginalPolicy(api, "us-east-1")
+        plan = policy.plan("c4.large", now, 3600.0)
+        assert plan.tier == "spot"
+        assert plan.bid == pytest.approx(round(0.8 * 0.1, 4))
+
+    def test_zone_rotation(self, env):
+        api, _, now = env
+        policy = OriginalPolicy(api, "us-east-1")
+        zones = {policy.plan("c4.large", now, 1.0).zone for _ in range(8)}
+        assert len(zones) == 4  # round-robin over all four AZs
+
+    def test_skips_unoffered_zones(self, env):
+        api, _, now = env
+        policy = OriginalPolicy(api, "us-east-1")
+        zones = {policy.plan("cg1.4xlarge", now, 1.0).zone for _ in range(6)}
+        assert zones == {"us-east-1b", "us-east-1c"}
+
+    def test_unoffered_everywhere_raises(self, env):
+        api, _, now = env
+        policy = OriginalPolicy(api, "us-west-2")
+        with pytest.raises(RuntimeError):
+            policy.plan("cg1.4xlarge", now, 1.0)
+
+
+class TestDraftsPolicy:
+    def test_spot_plan_on_cheap_market(self, env):
+        api, client, now = env
+        policy = DraftsPolicy(api, client, "us-east-1", probability=0.99)
+        plan = policy.plan("c4.large", now, 3600.0)
+        assert plan.tier == "spot"
+        assert plan.bid < 0.1  # below the On-demand price
+        assert plan.zone.startswith("us-east-1")
+
+    def test_premium_market_goes_ondemand(self, env):
+        """§4.4: when even the DrAFTS bid >= On-demand, buy On-demand."""
+        api, client, now = env
+        policy = DraftsPolicy(api, client, "us-east-1", probability=0.99)
+        plan = policy.plan("cg1.4xlarge", now, 3600.0)
+        assert plan.tier == "ondemand"
+        assert plan.bid == api.ondemand_price("cg1.4xlarge", "us-east-1")
+
+    def test_profile_mode_uses_estimated_duration(self, env):
+        api, client, now = env
+        hourly = DraftsPolicy(api, client, "us-east-1", use_profiles=False)
+        profiled = DraftsPolicy(api, client, "us-east-1", use_profiles=True)
+        plan_1hr = hourly.plan("c4.large", now, 600.0)
+        plan_prof = profiled.plan("c4.large", now, 600.0)
+        # A 10-minute profile estimate can never require a *higher* bid
+        # than a full-hour guarantee.
+        assert plan_prof.bid <= plan_1hr.bid + 1e-9
+
+    def test_policy_names(self, env):
+        api, client, _ = env
+        assert DraftsPolicy(api, client, "us-east-1").name == "drafts-1hr"
+        assert (
+            DraftsPolicy(api, client, "us-east-1", use_profiles=True).name
+            == "drafts-profiles"
+        )
+
+
+class TestTypeFlexibility:
+    """§4.3: DrAFTS selects across candidate instance types too."""
+
+    def test_alternate_type_chosen_when_cheaper(self, env, small_universe):
+        api, client, now = env
+        # Find which of the two candidates is genuinely cheaper to make
+        # durable right now, then verify the policy picks exactly that one.
+        alternates = {"c3.2xlarge": ("c4.2xlarge",)}
+        policy = DraftsPolicy(
+            api, client, "us-east-1", probability=0.99,
+            type_alternates=alternates,
+        )
+        plan = policy.plan("c3.2xlarge", now, 3600.0)
+        quotes = {}
+        for t in ("c3.2xlarge", "c4.2xlarge"):
+            q = policy._quote(t, now, 3600.0)
+            if q is not None:
+                quotes[t] = q[1]
+        assert quotes, "no candidate quotable"
+        if plan.tier == "spot":
+            cheapest = min(quotes, key=quotes.get)
+            assert plan.instance_type == cheapest
+            assert plan.bid == pytest.approx(quotes[cheapest])
+
+    def test_no_alternates_uses_primary(self, env):
+        api, client, now = env
+        policy = DraftsPolicy(api, client, "us-east-1", probability=0.99)
+        plan = policy.plan("c4.large", now, 3600.0)
+        assert plan.instance_type in ("", "c4.large")
+
+    def test_ondemand_fallback_keeps_requested_type(self, env):
+        api, client, now = env
+        policy = DraftsPolicy(
+            api, client, "us-east-1", probability=0.99,
+            type_alternates={"cg1.4xlarge": ("c4.8xlarge",)},
+        )
+        plan = policy.plan("cg1.4xlarge", now, 3600.0)
+        if plan.tier == "ondemand":
+            assert plan.instance_type == "cg1.4xlarge"

@@ -1,0 +1,165 @@
+"""Unit tests for the online QBETS forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.core import binomial
+from repro.core.qbets import QBETS, QBETSConfig
+
+
+def _iid_series(rng, n=1500):
+    return rng.lognormal(mean=-2.0, sigma=0.3, size=n)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QBETSConfig(q=1.5)
+        with pytest.raises(ValueError):
+            QBETSConfig(q=0.9, side="middle")
+        with pytest.raises(ValueError):
+            QBETSConfig(q=0.9, cp_decimation=0)
+
+    def test_min_history_matches_binomial(self):
+        cfg = QBETSConfig(q=0.975, c=0.99)
+        assert cfg.min_history() == binomial.min_history_upper(0.975, 0.99)
+        low = QBETSConfig(q=0.025, c=0.99, side="lower")
+        assert low.min_history() == binomial.min_history_lower(0.025, 0.99)
+
+    def test_with_override(self):
+        cfg = QBETSConfig(q=0.9).with_(changepoint=False)
+        assert cfg.changepoint is False
+        assert cfg.q == 0.9
+
+
+class TestOnlineBound:
+    def test_nan_before_min_history(self, rng):
+        qb = QBETS(QBETSConfig(q=0.975, c=0.99))
+        x = _iid_series(rng, qb.config.min_history() - 1)
+        for v in x:
+            qb.update(float(v))
+        assert np.isnan(qb.bound)
+        qb.update(float(x[0]))
+        assert not np.isnan(qb.bound)
+
+    def test_bound_above_bulk(self, rng):
+        qb = QBETS(QBETSConfig(q=0.975, c=0.99))
+        x = _iid_series(rng)
+        for v in x:
+            qb.update(float(v))
+        assert qb.bound >= np.quantile(x[-qb.n :], 0.9)
+
+    def test_bound_is_observed_tick_value(self, rng):
+        cfg = QBETSConfig(q=0.975, c=0.99, tick=1e-4)
+        qb = QBETS(cfg)
+        x = np.round(_iid_series(rng), 4)
+        for v in x:
+            qb.update(float(v))
+        # Upper-rounding to the tick grid: the bound equals some quantised
+        # observation.
+        assert qb.bound in np.round(x, 4)
+
+    def test_coverage_on_iid_series(self, rng):
+        """Empirical next-step exceedance rate is at most ~1 - q."""
+        cfg = QBETSConfig(q=0.95, c=0.99)
+        qb = QBETS(cfg)
+        x = _iid_series(rng, 6000)
+        bounds = qb.bound_series(x)
+        valid = ~np.isnan(bounds)
+        exceed = np.mean(x[valid] > bounds[valid])
+        assert exceed <= 0.05 + 0.01
+
+    def test_bound_series_is_predictive(self, rng):
+        """bound_series[i] must not depend on values from index i onward."""
+        x = _iid_series(rng, 800)
+        qb1 = QBETS(QBETSConfig(q=0.9, c=0.95))
+        full = qb1.bound_series(x)
+        cut = 600
+        y = x.copy()
+        y[cut:] = y[cut:] * 100.0  # corrupt the future
+        qb2 = QBETS(QBETSConfig(q=0.9, c=0.95))
+        corrupted = qb2.bound_series(y)
+        np.testing.assert_array_equal(full[: cut + 1], corrupted[: cut + 1])
+
+    def test_k_table_matches_direct_computation(self, rng):
+        cfg = QBETSConfig(q=0.95, c=0.99, autocorr=False, changepoint=False)
+        qb = QBETS(cfg)
+        x = _iid_series(rng, 700)
+        for v in x:
+            qb.update(float(v))
+        k = binomial.upper_bound_index(qb.n, 0.95, 0.99)
+        expected = np.sort(np.ceil(x / cfg.tick - 1e-9) * cfg.tick)[::-1][k]
+        assert qb.bound == pytest.approx(expected)
+
+    def test_n_seen_tracks_everything(self, rng):
+        qb = QBETS(QBETSConfig(q=0.9))
+        x = _iid_series(rng, 300)
+        for v in x:
+            qb.update(float(v))
+        assert qb.n_seen == 300
+        assert qb.n <= 300
+
+
+class TestChangePoints:
+    def test_upward_shift_truncates_and_adapts(self, rng):
+        cfg = QBETSConfig(q=0.95, c=0.95, cp_window=24, cp_decimation=4)
+        qb = QBETS(cfg)
+        low = rng.normal(1.0, 0.01, size=1200).clip(min=0.01)
+        high = rng.normal(5.0, 0.01, size=1200).clip(min=0.01)
+        qb.bound_series(low)
+        assert qb.bound < 2.0
+        qb.bound_series(high)
+        assert qb.changepoints, "upward shift not detected"
+        assert qb.n < 2400
+        assert qb.bound > 4.0
+
+    def test_downward_shift_detected(self, rng):
+        cfg = QBETSConfig(q=0.95, c=0.95, cp_window=24, cp_decimation=4)
+        qb = QBETS(cfg)
+        high = rng.normal(5.0, 0.05, size=1200).clip(min=0.01)
+        low = rng.normal(1.0, 0.05, size=1200).clip(min=0.01)
+        qb.bound_series(high)
+        qb.bound_series(low)
+        assert qb.changepoints, "downward shift not detected"
+        # After adaptation the bound must track the new low regime.
+        assert qb.bound < 2.0
+
+    def test_ablation_switch_disables_detection(self, rng):
+        cfg = QBETSConfig(q=0.95, c=0.95, changepoint=False)
+        qb = QBETS(cfg)
+        qb.bound_series(rng.normal(5.0, 0.05, 900).clip(min=0.01))
+        qb.bound_series(rng.normal(1.0, 0.05, 900).clip(min=0.01))
+        assert qb.changepoints == []
+        # Without truncation the stale history keeps the bound high.
+        assert qb.bound > 4.0
+
+    def test_truncation_preserves_min_history(self, rng):
+        cfg = QBETSConfig(q=0.975, c=0.99, cp_window=4, cp_decimation=2)
+        qb = QBETS(cfg)
+        qb.bound_series(rng.normal(1.0, 0.01, 800).clip(min=0.01))
+        qb.bound_series(rng.normal(6.0, 0.01, 800).clip(min=0.01))
+        if qb.changepoints:
+            assert qb.n >= min(cfg.min_history(), 800)
+
+
+class TestAutocorrCompensation:
+    def test_correction_never_silences(self, rng):
+        """With enough raw history a bound must exist despite high rho."""
+        cfg = QBETSConfig(q=0.975, c=0.99, changepoint=False)
+        qb = QBETS(cfg)
+        # A slow sticky sine: exceedances are massively autocorrelated.
+        t = np.arange(3000)
+        x = 1.0 + 0.2 * np.sin(t / 150.0) + rng.normal(0, 0.003, 3000)
+        qb.bound_series(x.clip(min=0.01))
+        assert not np.isnan(qb.bound)
+
+    def test_correction_is_conservative(self, rng):
+        """The corrected bound is at least the uncorrected one."""
+        x = np.repeat(rng.lognormal(-2, 0.4, 400), 8)  # sticky blocks
+        on = QBETS(QBETSConfig(q=0.95, c=0.95, changepoint=False))
+        off = QBETS(
+            QBETSConfig(q=0.95, c=0.95, changepoint=False, autocorr=False)
+        )
+        on.bound_series(x)
+        off.bound_series(x)
+        assert on.bound >= off.bound

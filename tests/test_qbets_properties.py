@@ -1,0 +1,80 @@
+"""Hypothesis property tests on QBETS itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qbets import QBETS, QBETSConfig
+
+
+@given(
+    q=st.floats(min_value=0.6, max_value=0.98),
+    c=st.floats(min_value=0.6, max_value=0.98),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_iid_coverage_across_parameters(q, c, seed):
+    """Next-step exceedance stays within ~(1 - q) for any (q, c)."""
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(-2.0, 0.4, size=2500)
+    qb = QBETS(QBETSConfig(q=q, c=c, changepoint=False, autocorr=False))
+    bounds = qb.bound_series(x)
+    valid = ~np.isnan(bounds)
+    if valid.sum() < 200:
+        return  # history requirement dominates; nothing to measure
+    exceed = float(np.mean(x[valid] > bounds[valid]))
+    # Allow binomial sampling slack around 1 - q.
+    n = int(valid.sum())
+    slack = 3.0 * np.sqrt((1 - q) * q / n)
+    assert exceed <= (1 - q) + slack + 0.01
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    scale=st.floats(min_value=0.01, max_value=50.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_bound_scales_with_the_series(seed, scale):
+    """Scaling prices scales the bound (no hidden absolute thresholds
+    besides tick quantisation)."""
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(-1.0, 0.3, size=800)
+    a = QBETS(QBETSConfig(q=0.9, c=0.9, changepoint=False, autocorr=False,
+                          max_value=10_000.0))
+    b = QBETS(QBETSConfig(q=0.9, c=0.9, changepoint=False, autocorr=False,
+                          max_value=10_000.0))
+    a.bound_series(x)
+    b.bound_series(x * scale)
+    if np.isnan(a.bound):
+        assert np.isnan(b.bound)
+        return
+    # Tick quantisation (1e-4, rounded up) bounds the relative error.
+    assert b.bound == pytest.approx(a.bound * scale, abs=2e-4 * max(scale, 1))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_bound_is_monotone_in_q(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(-2.0, 0.5, size=1200)
+    bounds = []
+    for q in (0.7, 0.85, 0.95):
+        qb = QBETS(QBETSConfig(q=q, c=0.9, changepoint=False, autocorr=False))
+        qb.bound_series(x)
+        bounds.append(qb.bound)
+    finite = [b for b in bounds if not np.isnan(b)]
+    assert finite == sorted(finite)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_update_returns_current_bound(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.lognormal(-2.0, 0.3, size=400)
+    qb = QBETS(QBETSConfig(q=0.8, c=0.8))
+    for v in x:
+        returned = qb.update(float(v))
+        assert (np.isnan(returned) and np.isnan(qb.bound)) or (
+            returned == qb.bound
+        )

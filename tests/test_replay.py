@@ -1,0 +1,73 @@
+"""Integration tests for the workload replay (§4.3)."""
+
+import pytest
+
+from repro.provisioner.replay import ReplayConfig, run_replay
+from repro.provisioner.workload import paper_replay_workload
+
+
+@pytest.fixture(scope="module")
+def replay_env(request):
+    small_universe = request.getfixturevalue("small_universe")
+    jobs = paper_replay_workload(rng=11, n_jobs=80)
+    config = ReplayConfig(
+        start_after_days=42.0, probability=0.99, seed=3,
+        service_refresh_seconds=12 * 3600.0,
+    )
+    return small_universe, jobs, config
+
+
+class TestReplay:
+    def test_all_jobs_complete_under_each_policy(self, replay_env):
+        universe, jobs, config = replay_env
+        for policy in ("original", "drafts-1hr", "drafts-profiles"):
+            result = run_replay(universe, jobs, policy, config)
+            assert result.jobs_completed == len(jobs)
+            assert result.policy == policy
+            assert result.instances > 0
+            assert result.cost > 0
+            assert result.max_bid_cost >= result.cost * 0.5
+
+    def test_risk_exceeds_cost_for_spot_heavy_policies(self, replay_env):
+        universe, jobs, config = replay_env
+        result = run_replay(universe, jobs, "original", config)
+        # The bid (80% of On-demand) is far above typical market prices.
+        assert result.max_bid_cost > result.cost
+
+    def test_drafts_reduces_risk(self, replay_env):
+        """Tables 2-3's headline: DrAFTS cuts the worst-case cost."""
+        universe, jobs, config = replay_env
+        original = run_replay(universe, jobs, "original", config)
+        drafts = run_replay(universe, jobs, "drafts-1hr", config)
+        assert drafts.max_bid_cost < original.max_bid_cost
+
+    def test_terminated_jobs_are_resubmitted(self, replay_env):
+        universe, jobs, config = replay_env
+        result = run_replay(universe, jobs, "original", config)
+        # Terminations and resubmissions are consistent: every price
+        # termination that interrupted a running job produced one
+        # resubmission.
+        assert result.resubmissions <= result.terminations + 1
+        assert result.jobs_completed == len(jobs)
+
+    def test_deterministic(self, replay_env):
+        universe, jobs, config = replay_env
+        a = run_replay(universe, jobs, "original", config)
+        b = run_replay(universe, jobs, "original", config)
+        assert a == b
+
+    def test_input_jobs_not_mutated(self, replay_env):
+        universe, jobs, config = replay_env
+        run_replay(universe, jobs, "original", config)
+        assert all(job.finished_at is None for job in jobs)
+        assert all(job.attempts == 0 for job in jobs)
+
+    def test_unknown_policy_rejected(self, replay_env):
+        universe, jobs, config = replay_env
+        with pytest.raises(ValueError):
+            run_replay(universe, jobs, "chaos-monkey", config)
+
+    def test_makespan_covers_submission_window(self, replay_env):
+        universe, jobs, config = replay_env
+        result = run_replay(universe, jobs, "original", config)
+        assert result.makespan_seconds >= jobs[-1].submit_time

@@ -1,0 +1,122 @@
+"""Unit tests for the REST layer and the client wrapper."""
+
+import math
+
+import pytest
+
+from repro.cloud.api import EC2Api
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService
+from repro.service.rest import RestRouter
+
+
+@pytest.fixture(scope="module")
+def env(request):
+    small_universe = request.getfixturevalue("small_universe")
+    api = EC2Api(small_universe)
+    router = RestRouter(DraftsService(api))
+    client = DraftsClient(router)
+    combo = small_universe.combo("c4.large", "us-east-1b")
+    now = small_universe.trace(combo).start + 45 * 86400.0
+    return router, client, now
+
+
+class TestRouter:
+    def test_health(self, env):
+        router, _, _ = env
+        response = router.get("/health")
+        assert response.ok
+        assert response.body == {"status": "ok"}
+
+    def test_predictions_route(self, env):
+        router, _, now = env
+        response = router.get(
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        )
+        assert response.status == 200
+        assert response.body["instance_type"] == "c4.large"
+        assert len(response.body["bids"]) == len(response.body["durations"])
+
+    def test_missing_parameter_is_400(self, env):
+        router, _, _ = env
+        response = router.get("/predictions/c4.large/us-east-1b?now=1")
+        assert response.status == 400
+        assert "probability" in response.body["error"]
+
+    def test_unknown_combo_is_404(self, env):
+        router, _, now = env
+        response = router.get(
+            f"/predictions/cg1.4xlarge/us-west-2a?probability=0.95&now={now}"
+        )
+        assert response.status == 404
+
+    def test_unknown_route_is_404(self, env):
+        router, _, _ = env
+        assert router.get("/nope").status == 404
+        assert router.get("/predictions/only-two").status == 404
+
+    def test_insufficient_history_is_503(self, env, small_universe):
+        router, _, _ = env
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        early = small_universe.trace(combo).start + 3600.0
+        response = router.get(
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={early}"
+        )
+        assert response.status == 503
+
+    def test_bid_route_404_when_unachievable(self, env):
+        router, _, now = env
+        response = router.get(
+            "/bid/c4.large/us-east-1b"
+            f"?probability=0.95&duration={500 * 3600}&now={now}"
+        )
+        assert response.status == 404
+        assert "On-demand" in response.body["error"]
+
+    def test_cheapest_route(self, env):
+        router, _, now = env
+        response = router.get(
+            f"/cheapest/c4.large/us-east-1?probability=0.95&now={now}"
+        )
+        assert response.ok
+        assert response.body["zone"].startswith("us-east-1")
+
+
+class TestClient:
+    def test_health(self, env):
+        _, client, _ = env
+        assert client.health()
+
+    def test_fetch_curve_roundtrip(self, env):
+        _, client, now = env
+        curve = client.fetch_curve("c4.large", "us-east-1b", 0.95, now)
+        assert curve is not None
+        assert curve.zone == "us-east-1b"
+        assert curve.minimum_bid > 0
+
+    def test_fetch_curve_none_when_unpredictable(self, env, small_universe):
+        _, client, _ = env
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        early = small_universe.trace(combo).start + 3600.0
+        assert client.fetch_curve("c4.large", "us-east-1b", 0.95, early) is None
+
+    def test_bid_for(self, env):
+        _, client, now = env
+        bid = client.bid_for("c4.large", "us-east-1b", 0.95, 1800.0, now)
+        assert bid > 0
+        assert math.isnan(
+            client.bid_for("c4.large", "us-east-1b", 0.95, 500 * 3600.0, now)
+        )
+
+    def test_client_raises_on_bad_request(self, env):
+        _, client, now = env
+        with pytest.raises(RuntimeError):
+            client.fetch_curve("z9.mega", "us-east-1b", 0.95, now)
+
+    def test_cheapest_zone(self, env):
+        _, client, now = env
+        choice = client.cheapest_zone("c4.large", "us-east-1", 0.95, now)
+        assert choice is not None
+        zone, bid = choice
+        assert zone.startswith("us-east-1")
+        assert bid > 0

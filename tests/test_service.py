@@ -1,0 +1,125 @@
+"""Unit tests for the DrAFTS service and its cache behaviour."""
+
+import math
+
+import pytest
+
+from repro.cloud.api import EC2Api
+from repro.service.drafts_service import DraftsService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def service_env(request):
+    small_universe = request.getfixturevalue("small_universe")
+    api = EC2Api(small_universe)
+    service = DraftsService(api)
+    combo = small_universe.combo("c4.large", "us-east-1b")
+    now = small_universe.trace(combo).start + 45 * 86400.0
+    return service, now
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(probabilities=())
+        with pytest.raises(ValueError):
+            ServiceConfig(probabilities=(1.2,))
+        with pytest.raises(ValueError):
+            ServiceConfig(refresh_seconds=0)
+
+    def test_paper_defaults(self):
+        cfg = ServiceConfig()
+        assert cfg.probabilities == (0.95, 0.99)
+        assert cfg.refresh_seconds == 900.0
+        assert cfg.ladder_increment == 0.05
+        assert cfg.ladder_span == 4.0
+
+
+class TestCurves:
+    def test_curve_published(self, service_env):
+        service, now = service_env
+        curve = service.curve("c4.large", "us-east-1b", 0.95, now)
+        assert curve is not None
+        assert curve.probability == 0.95
+        assert curve.instance_type == "c4.large"
+        assert len(curve) >= 20  # 5% rungs to 4x the minimum
+
+    def test_unpublished_probability_rejected(self, service_env):
+        service, now = service_env
+        with pytest.raises(ValueError):
+            service.curve("c4.large", "us-east-1b", 0.80, now)
+
+    def test_cache_hit_within_refresh_window(self, service_env):
+        service, now = service_env
+        a = service.curve("c4.large", "us-east-1b", 0.95, now)
+        b = service.curve("c4.large", "us-east-1b", 0.95, now + 100.0)
+        assert a is b  # same object: served from cache
+
+    def test_recompute_after_refresh_interval(self, service_env):
+        service, now = service_env
+        a = service.curve("c4.large", "us-east-1b", 0.95, now)
+        c = service.curve("c4.large", "us-east-1b", 0.95, now + 3600.0)
+        assert a is not c
+
+    def test_insufficient_history_returns_none(self, small_universe):
+        api = EC2Api(small_universe)
+        service = DraftsService(api)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        early = small_universe.trace(combo).start + 4 * 3600.0
+        assert service.curve("c4.large", "us-east-1b", 0.95, early) is None
+
+
+class TestQueries:
+    def test_bid_for_duration(self, service_env):
+        service, now = service_env
+        bid = service.bid_for_duration(
+            "c4.large", "us-east-1b", 0.95, 1800.0, now
+        )
+        assert not math.isnan(bid)
+        huge = service.bid_for_duration(
+            "c4.large", "us-east-1b", 0.95, 500 * 3600.0, now
+        )
+        assert math.isnan(huge)
+
+    def test_cheapest_zone(self, service_env):
+        service, now = service_env
+        zone, bid = service.cheapest_zone("c4.large", "us-east-1", 0.95, now)
+        assert zone.startswith("us-east-1")
+        assert bid > 0
+        # It really is the cheapest among the region's curves.
+        for z in ("us-east-1b", "us-east-1c", "us-east-1d", "us-east-1e"):
+            curve = service.curve("c4.large", z, 0.95, now)
+            if curve is not None:
+                assert bid <= curve.minimum_bid + 1e-12
+
+    def test_cheapest_zone_skips_unoffered(self, service_env):
+        service, now = service_env
+        # cg1.4xlarge exists only in two us-east-1 AZs; the query must
+        # succeed using just those.
+        zone, _ = service.cheapest_zone("cg1.4xlarge", "us-east-1", 0.95, now)
+        assert zone in ("us-east-1b", "us-east-1c")
+
+
+class TestServiceInvariants:
+    def test_published_minimum_bid_is_admissible(self, service_env, small_universe):
+        """A curve's minimum bid must exceed the quoted market price at
+        publication time (the tick premium of §3.2) — otherwise the
+        service would recommend bids that cannot even launch."""
+        service, now = service_env
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        trace = small_universe.trace(combo)
+        for offset in range(0, 5 * 86400, 86400):
+            t = now + offset
+            curve = service.curve("c4.large", "us-east-1b", 0.95, t)
+            if curve is None:
+                continue
+            assert curve.minimum_bid > trace.price_at(curve.computed_at)
+
+    def test_curves_at_both_probability_levels(self, service_env):
+        """§3.3: the service publishes 0.95 and 0.99 levels; the stricter
+        level's minimum bid is at least the looser one's."""
+        service, now = service_env
+        c95 = service.curve("c4.large", "us-east-1b", 0.95, now)
+        c99 = service.curve("c4.large", "us-east-1b", 0.99, now)
+        assert c95 is not None and c99 is not None
+        assert c99.minimum_bid >= c95.minimum_bid - 1e-9

@@ -1,0 +1,76 @@
+"""Unit tests for the mechanistic market simulator."""
+
+import numpy as np
+import pytest
+
+from repro.market.agents import PopulationConfig
+from repro.market.simulator import MarketSimulator
+from repro.market.supply import ConstantSupply, ShockSupply
+from repro.util.timeutils import EPOCH_SECONDS
+
+
+def _sim(rng, supply=None, **pop_kwargs):
+    population = PopulationConfig(
+        arrival_rate=6.0, base_valuation=0.2, **pop_kwargs
+    )
+    return MarketSimulator(
+        population=population,
+        supply=supply or ConstantSupply(units=40),
+        reserve_price=0.02,
+        rng=rng,
+    )
+
+
+class TestSimulator:
+    def test_trace_shape_and_epoch_grid(self, rng):
+        result = _sim(rng).run(200, start_time=1000.0, instance_type="x.y", zone="us-east-1b")
+        trace = result.trace
+        assert len(trace) == 200
+        assert trace.start == 1000.0
+        np.testing.assert_allclose(np.diff(trace.times), EPOCH_SECONDS)
+        assert trace.instance_type == "x.y"
+        assert result.supply_series.shape == (200,)
+        assert result.demand_series.shape == (200,)
+
+    def test_prices_positive_and_at_least_reserve(self, rng):
+        result = _sim(rng).run(300)
+        assert np.all(result.trace.prices >= 0.02 - 1e-9)
+
+    def test_supply_shock_raises_price(self, rng):
+        shock = ShockSupply(
+            baseline=40, floor=3, shock_prob=0.01, mean_length=20.0
+        )
+        result = _sim(rng, supply=shock).run(2000)
+        prices = result.trace.prices
+        shocked = result.supply_series == 3
+        assert shocked.any() and (~shocked).any()
+        assert prices[shocked].mean() > prices[~shocked].mean()
+
+    def test_scarce_supply_prices_higher(self, rng):
+        import numpy as np
+
+        scarce = _sim(np.random.default_rng(1), supply=ConstantSupply(5)).run(500)
+        ample = _sim(np.random.default_rng(1), supply=ConstantSupply(200)).run(500)
+        assert scarce.trace.prices.mean() > ample.trace.prices.mean()
+
+    def test_deterministic_given_rng(self):
+        import numpy as np
+
+        a = _sim(np.random.default_rng(9)).run(100)
+        b = _sim(np.random.default_rng(9)).run(100)
+        np.testing.assert_array_equal(a.trace.prices, b.trace.prices)
+
+    def test_autocorrelated_prices(self, rng):
+        """Strategic bidders make the price sticky, as real traces are."""
+        from repro.util.stats import lag1_autocorr
+
+        result = _sim(rng, strategic_fraction=0.4).run(1500)
+        assert lag1_autocorr(result.trace.prices) > 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            _sim(rng).run(0)
+        with pytest.raises(ValueError):
+            MarketSimulator(
+                PopulationConfig(), ConstantSupply(1), reserve_price=0.0, rng=rng
+            )

@@ -1,0 +1,92 @@
+"""Unit tests for the Spot-instance lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.spot import SpotTier, TerminationCause
+from repro.market.traces import PriceTrace
+
+
+@pytest.fixture()
+def tier():
+    # 0.10 for an hour, then a one-hour plateau at 0.50, then 0.10 again.
+    trace = PriceTrace(
+        times=np.array([0.0, 3600.0, 7200.0]),
+        prices=np.array([0.10, 0.50, 0.10]),
+    )
+    return SpotTier(trace)
+
+
+class TestAdmission:
+    def test_strictly_above_market(self, tier):
+        assert tier.would_admit(0.0, 0.11)
+        assert not tier.would_admit(0.0, 0.10)  # equality is not enough
+        assert not tier.would_admit(0.0, 0.05)
+
+    def test_validation(self, tier):
+        with pytest.raises(ValueError):
+            tier.would_admit(0.0, 0.0)
+
+
+class TestTermination:
+    def test_termination_time(self, tier):
+        assert tier.termination_time(0.0, 0.30) == 3600.0
+        assert tier.termination_time(0.0, 0.50) == 3600.0  # equality kills
+        assert np.isinf(tier.termination_time(0.0, 0.51))
+
+    def test_run_survives_short_duration(self, tier):
+        run = tier.run(0.0, 3300.0, 0.2)
+        assert run.cause is TerminationCause.USER
+        assert run.completed
+        assert run.ran_seconds == 3300.0
+        assert run.charge.hours == 1
+        assert run.charge.cost == pytest.approx(0.10)
+
+    def test_run_killed_by_plateau(self, tier):
+        run = tier.run(0.0, 3 * 3600.0, 0.2)
+        assert run.cause is TerminationCause.PRICE
+        assert not run.completed
+        assert run.ran_seconds == pytest.approx(3600.0)
+
+    def test_run_above_plateau_survives(self, tier):
+        run = tier.run(0.0, 3 * 3600.0, 0.51)
+        assert run.cause is TerminationCause.USER
+        # Charged the market price at each hour start, not the bid.
+        assert run.charge.hourly_prices == (0.10, 0.50, 0.10)
+
+    def test_rejected_run(self, tier):
+        run = tier.run(3700.0, 3600.0, 0.3)  # market is 0.50 at request
+        assert run.cause is TerminationCause.REJECTED
+        assert run.ran_seconds == 0.0
+        assert run.charge.cost == 0.0
+        assert run.risk == 0.0
+
+    def test_risk_uses_bid(self, tier):
+        run = tier.run(0.0, 3300.0, 0.2)
+        assert run.risk == pytest.approx(0.2)
+        assert run.risk >= run.charge.cost
+
+    def test_validation(self, tier):
+        with pytest.raises(ValueError):
+            tier.run(0.0, 0.0, 0.2)
+
+
+class TestPaperSemantics:
+    def test_one_tick_premium_is_safe(self):
+        """A bid one tick above a flat price is never terminated (§3.2)."""
+        trace = PriceTrace(
+            times=np.arange(100, dtype=float) * 300.0,
+            prices=np.full(100, 0.1),
+        )
+        tier = SpotTier(trace)
+        run = tier.run(0.0, 8 * 3600.0, 0.1001)
+        assert run.cause is TerminationCause.USER
+
+    def test_bid_equal_to_price_unsafe(self):
+        trace = PriceTrace(
+            times=np.arange(10, dtype=float) * 300.0,
+            prices=np.full(10, 0.1),
+        )
+        tier = SpotTier(trace)
+        run = tier.run(0.0, 600.0, 0.1)
+        assert run.cause is TerminationCause.REJECTED

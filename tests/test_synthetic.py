@@ -1,0 +1,147 @@
+"""Stylised-fact tests for the synthetic trace generators.
+
+These tests *are* the calibration contract of DESIGN.md §1: each volatility
+class must exhibit the behaviour the corresponding paper observation
+requires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.market.synthetic import (
+    VOLATILITY_CLASSES,
+    generate_trace,
+    synthetic_trace,
+)
+from repro.util.timeutils import EPOCH_SECONDS
+
+OD = 0.42
+EPD = 288
+
+
+def _trace(cls, seed=0, days=90):
+    return generate_trace(cls, OD, n_epochs=days * EPD, rng=seed)
+
+
+class TestGeneratorBasics:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            generate_trace("wild", OD)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace("calm", 0.0)
+        with pytest.raises(ValueError):
+            generate_trace("calm", OD, n_epochs=1)
+
+    def test_epoch_grid_and_quantisation(self):
+        trace = _trace("calm", days=2)
+        np.testing.assert_allclose(np.diff(trace.times), EPOCH_SECONDS)
+        np.testing.assert_allclose(trace.prices, np.round(trace.prices, 4))
+        assert np.all(trace.prices >= 1e-4)
+
+    def test_deterministic_by_seed(self):
+        a = _trace("volatile", seed=3, days=5)
+        b = _trace("volatile", seed=3, days=5)
+        np.testing.assert_array_equal(a.prices, b.prices)
+        c = _trace("volatile", seed=4, days=5)
+        assert not np.array_equal(a.prices, c.prices)
+
+    def test_convenience_wrapper(self):
+        t = synthetic_trace("calm", seed=1, n_epochs=600, ondemand_price=0.1)
+        assert len(t) == 600
+
+    def test_every_class_generates(self):
+        for cls in VOLATILITY_CLASSES:
+            assert len(_trace(cls, days=3)) == 3 * EPD
+
+
+class TestCalmFacts:
+    def test_mostly_pinned_at_floor(self):
+        trace = _trace("calm")
+        floor = trace.prices.min()
+        assert np.mean(trace.prices <= floor * 1.02) > 0.3
+
+    def test_always_below_ondemand(self):
+        for seed in range(4):
+            assert _trace("calm", seed=seed).prices.max() < OD
+
+    def test_plateaus_present_in_training_window(self):
+        """90 days must contain elevated plateaus (DrAFTS needs extremes)."""
+        trace = _trace("calm")
+        floor = trace.prices.min()
+        assert trace.prices.max() > floor * 1.3
+
+
+class TestSpikyFacts:
+    def test_plateaus_exceed_ondemand_rarely(self):
+        """~1 % of epochs above On-demand: between the p=0.95 and p=0.99
+        price quantiles (DESIGN.md §1 calibration)."""
+        fracs = [
+            np.mean(_trace("spiky", seed=s).prices > OD) for s in range(4)
+        ]
+        mean_frac = float(np.mean(fracs))
+        assert 0.002 < mean_frac < 0.04
+
+    def test_plateaus_are_long_lived(self):
+        """Episodes must last hours, not minutes (Table 1 arithmetic)."""
+        trace = _trace("spiky", seed=1)
+        above = trace.prices > OD
+        runs = []
+        count = 0
+        for flag in above:
+            if flag:
+                count += 1
+            elif count:
+                runs.append(count)
+                count = 0
+        if count:
+            runs.append(count)
+        assert runs, "no plateau in 90 days is miscalibrated"
+        assert np.mean(runs) >= 12  # at least an hour on average
+
+    def test_plateaus_within_bid_ladder_reach(self):
+        """Spike tops stay within ~4x of the base price level."""
+        trace = _trace("spiky", seed=2)
+        base = np.median(trace.prices)
+        assert trace.prices.max() < 8 * base
+
+
+class TestVolatileFacts:
+    def test_orders_of_magnitude_range(self):
+        """§4.4: c4.4xlarge/us-east-1e varied $0.13-$9.5 (~70x)."""
+        trace = _trace("volatile", seed=0)
+        assert trace.prices.max() / trace.prices.min() > 20
+
+    def test_capped_at_ten_x_ondemand(self):
+        for seed in range(4):
+            assert _trace("volatile", seed=seed).prices.max() <= 10 * OD + 1e-6
+
+
+class TestPremiumFacts:
+    def test_never_below_ondemand(self):
+        """§4.1.2: the Spot price was always >= one tick above On-demand."""
+        for seed in range(4):
+            trace = _trace("premium", seed=seed)
+            assert trace.prices.min() >= OD + 1e-5
+
+    def test_narrow_band(self):
+        trace = _trace("premium")
+        assert trace.prices.max() < OD * 1.2
+
+
+class TestRegimeFacts:
+    def test_level_shifts_present(self):
+        trace = _trace("regime", seed=1, days=90)
+        # Compare 10-day block medians: they must differ materially.
+        blocks = trace.prices[: 9 * 10 * EPD].reshape(9, -1)
+        medians = np.median(blocks, axis=1)
+        assert medians.max() / medians.min() > 1.3
+
+
+class TestDiurnalFacts:
+    def test_daily_cycle(self):
+        trace = _trace("diurnal", seed=0, days=30)
+        by_tod = trace.prices[: 30 * EPD].reshape(30, EPD).mean(axis=0)
+        # Peak-to-trough swing of roughly the configured amplitude.
+        assert by_tod.max() / by_tod.min() > 1.2

@@ -1,0 +1,130 @@
+"""Unit tests for the PriceTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.market.traces import PriceTrace
+
+
+def _trace():
+    return PriceTrace(
+        times=np.array([0.0, 300.0, 600.0, 900.0]),
+        prices=np.array([0.10, 0.20, 0.15, 0.30]),
+        instance_type="c4.large",
+        zone="us-east-1b",
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([0.0, 1.0]), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([0.0]), np.array([np.inf]))
+        with pytest.raises(ValueError):
+            PriceTrace(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_immutability(self):
+        t = _trace()
+        with pytest.raises(ValueError):
+            t.prices[0] = 9.9
+
+    def test_len_and_span(self):
+        t = _trace()
+        assert len(t) == 4
+        assert t.start == 0.0
+        assert t.end == 900.0
+        assert t.span == 900.0
+
+
+class TestStepEvaluation:
+    def test_price_at(self):
+        t = _trace()
+        assert t.price_at(0.0) == 0.10
+        assert t.price_at(299.0) == 0.10
+        assert t.price_at(300.0) == 0.20
+        assert t.price_at(5000.0) == 0.30  # last value persists
+
+    def test_price_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            _trace().price_at(-1.0)
+
+    def test_prices_at_vectorised(self):
+        t = _trace()
+        out = t.prices_at(np.array([0.0, 450.0, 900.0]))
+        np.testing.assert_allclose(out, [0.10, 0.20, 0.30])
+
+    def test_first_reach_after(self):
+        t = _trace()
+        assert t.first_reach_after(0.0, 0.15) == 300.0
+        assert t.first_reach_after(0.0, 0.10) == 0.0  # already at level
+        assert t.first_reach_after(350.0, 0.30) == 900.0
+        assert np.isinf(t.first_reach_after(0.0, 0.31))
+        # A level below the price currently in force is reached immediately.
+        assert t.first_reach_after(400.0, 0.15) == 400.0
+        # Equality counts as reached (0.30 announced at 900).
+        assert t.first_reach_after(650.0, 0.30) == 900.0
+
+
+class TestSlicing:
+    def test_slice_restamps_start(self):
+        t = _trace()
+        s = t.slice(450.0, 900.0)
+        assert s.start == 450.0
+        assert s.price_at(450.0) == 0.20
+        assert len(s) == 2  # announcement at 600 plus the restamped one
+
+    def test_slice_carries_labels(self):
+        s = _trace().slice(0.0, 600.0)
+        assert s.instance_type == "c4.large"
+        assert s.zone == "us-east-1b"
+
+    def test_window_before(self):
+        t = _trace()
+        w = t.window_before(900.0, 600.0)
+        assert w.start == 300.0
+        assert w.end < 900.0
+        with pytest.raises(ValueError):
+            t.window_before(0.0, 600.0)
+
+    def test_slice_validation(self):
+        with pytest.raises(ValueError):
+            _trace().slice(600.0, 600.0)
+
+
+class TestStatsAndIO:
+    def test_mean_price_time_weighted(self):
+        t = PriceTrace(
+            np.array([0.0, 100.0, 400.0]), np.array([1.0, 2.0, 9.0])
+        )
+        # 1.0 for 100 s, 2.0 for 300 s -> (100 + 600) / 400.
+        assert t.mean_price() == pytest.approx(1.75)
+
+    def test_mean_price_single_point(self):
+        t = PriceTrace(np.array([0.0]), np.array([3.0]))
+        assert t.mean_price() == 3.0
+
+    def test_csv_roundtrip(self):
+        t = _trace()
+        back = PriceTrace.from_csv(t.to_csv(), "c4.large", "us-east-1b")
+        np.testing.assert_array_equal(back.times, t.times)
+        np.testing.assert_array_equal(back.prices, t.prices)
+
+    def test_csv_header_checked(self):
+        with pytest.raises(ValueError):
+            PriceTrace.from_csv("a,b\n1,2\n")
+
+    def test_json_roundtrip(self):
+        t = _trace()
+        back = PriceTrace.from_json(t.to_json())
+        np.testing.assert_array_equal(back.prices, t.prices)
+        assert back.zone == t.zone
+
+    def test_with_labels(self):
+        t = _trace().with_labels("m1.large", "us-west-2c")
+        assert t.instance_type == "m1.large"
+        np.testing.assert_array_equal(t.prices, _trace().prices)

@@ -1,0 +1,108 @@
+"""Unit tests for the study universe."""
+
+import numpy as np
+import pytest
+
+from repro.market.universe import CLASS_WEIGHTS, Universe, UniverseConfig
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return Universe(UniverseConfig(seed=11, n_epochs=600))
+
+
+class TestAssignment:
+    def test_full_combination_count(self, universe):
+        assert len(universe.combos()) == 452
+
+    def test_pinned_paper_examples(self, universe):
+        assert universe.combo("cg1.4xlarge", "us-east-1c").volatility_class == "premium"
+        assert universe.combo("c4.4xlarge", "us-east-1e").volatility_class == "volatile"
+        assert universe.combo("m1.large", "us-west-2c").volatility_class == "calm"
+        assert universe.combo("c3.2xlarge", "us-west-1a").volatility_class == "spiky"
+
+    def test_class_mix_roughly_matches_weights(self, universe):
+        counts = {}
+        for combo in universe.combos():
+            counts[combo.volatility_class] = counts.get(combo.volatility_class, 0) + 1
+        for cls, weight in CLASS_WEIGHTS.items():
+            share = counts.get(cls, 0) / 452
+            assert abs(share - weight) < 0.08, (cls, share, weight)
+
+    def test_assignment_deterministic(self):
+        a = Universe(UniverseConfig(seed=11, n_epochs=600))
+        b = Universe(UniverseConfig(seed=11, n_epochs=600))
+        for ca, cb in zip(a.combos(), b.combos()):
+            assert ca == cb
+
+    def test_ondemand_price_regional(self, universe):
+        east = universe.combo("c4.large", "us-east-1b").ondemand_price
+        west = universe.combo("c4.large", "us-west-1a").ondemand_price
+        assert west == pytest.approx(east * 1.1, abs=1e-4)
+
+    def test_unknown_combo(self, universe):
+        with pytest.raises(KeyError):
+            universe.combo("cg1.4xlarge", "us-west-2a")
+
+
+class TestTraces:
+    def test_trace_cached_and_labelled(self, universe):
+        combo = universe.combo("c4.large", "us-east-1b")
+        t1 = universe.trace(combo)
+        t2 = universe.trace(combo)
+        assert t1 is t2
+        assert t1.instance_type == "c4.large"
+        assert t1.zone == "us-east-1b"
+        assert len(t1) == 600
+
+    def test_traces_differ_across_combos(self, universe):
+        a = universe.trace(universe.combo("c4.large", "us-east-1b"))
+        b = universe.trace(universe.combo("c4.large", "us-east-1c"))
+        assert not np.array_equal(a.prices, b.prices)
+
+    def test_trace_deterministic_across_builds(self):
+        a = Universe(UniverseConfig(seed=11, n_epochs=300))
+        b = Universe(UniverseConfig(seed=11, n_epochs=300))
+        ca = a.combo("c4.large", "us-east-1b")
+        cb = b.combo("c4.large", "us-east-1b")
+        np.testing.assert_array_equal(a.trace(ca).prices, b.trace(cb).prices)
+
+
+class TestQueries:
+    def test_zone_queries(self, universe):
+        assert len(universe.zones()) == 9
+        assert len(universe.zones("us-west-1")) == 2
+        combos = universe.combos_in_zone("us-west-1a")
+        assert all(c.zone.name == "us-west-1a" for c in combos)
+        by_type = universe.combos_for_type("c4.large")
+        assert len(by_type) == 9  # offered everywhere
+
+    def test_subsample_stratified_and_pinned(self, universe):
+        picked = universe.subsample(per_class=2)
+        classes = {}
+        for combo in picked:
+            classes.setdefault(combo.volatility_class, []).append(combo.key)
+        assert set(classes) == set(CLASS_WEIGHTS)
+        assert all(len(v) == 2 for v in classes.values())
+        # Pinned combos survive scaling.
+        all_keys = {c.key for c in picked}
+        assert "cg1.4xlarge@us-east-1b" in all_keys
+
+    def test_subsample_deterministic(self, universe):
+        a = universe.subsample(per_class=3)
+        b = universe.subsample(per_class=3)
+        assert [c.key for c in a] == [c.key for c in b]
+
+    def test_subsample_validation(self, universe):
+        with pytest.raises(ValueError):
+            universe.subsample(per_class=0)
+
+
+class TestConfig:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            UniverseConfig(class_weights=(("calm", 0.5),))
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            UniverseConfig(n_epochs=1)

@@ -1,0 +1,135 @@
+"""Unit tests for the util package."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory, halton, rng_from, spawn_rngs
+from repro.util.stats import Summary, ecdf, empirical_quantile, summary
+from repro.util.tables import format_table
+from repro.util.timeutils import (
+    EPOCH_SECONDS,
+    billable_hours,
+    epochs_to_seconds,
+    hours_to_seconds,
+    seconds_to_epochs,
+    seconds_to_hours,
+)
+from repro.util.validation import check_fraction, check_positive, check_probability
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        f = RngFactory(42)
+        a = f.generator("x").random(5)
+        b = f.generator("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        f = RngFactory(42)
+        a = f.generator("x").random(5)
+        b = f.generator("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_namespacing(self):
+        f = RngFactory(42)
+        a = f.child("ns").generator("x").random(3)
+        b = f.generator("x").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+
+    def test_spawn_rngs_independent(self):
+        gens = spawn_rngs(7, 3)
+        assert len(gens) == 3
+        draws = [g.random(4) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_rng_from(self):
+        g = np.random.default_rng(0)
+        assert rng_from(g) is g
+        assert isinstance(rng_from(5), np.random.Generator)
+
+    def test_halton_low_discrepancy(self):
+        vals = halton(np.arange(1, 65))
+        assert np.all((vals >= 0) & (vals < 1))
+        # Coverage: every one of 8 bins occupied by 64 points.
+        hist, _ = np.histogram(vals, bins=8, range=(0, 1))
+        assert np.all(hist > 0)
+        with pytest.raises(ValueError):
+            halton([-1])
+
+
+class TestStats:
+    def test_ecdf(self):
+        x, f = ecdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    def test_empirical_quantile_is_observation(self, rng):
+        x = rng.normal(size=101)
+        q = empirical_quantile(x, 0.9)
+        assert q in x
+        assert np.mean(x <= q) >= 0.9
+
+    def test_empirical_quantile_validation(self):
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            empirical_quantile(np.array([]), 0.5)
+
+    def test_summary(self):
+        s = summary(np.array([1.0, 2.0, 3.0]))
+        assert s == Summary(n=3, mean=2.0, std=pytest.approx(0.8165, abs=1e-3),
+                            minimum=1.0, median=2.0, maximum=3.0)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["A", "Blong"], [["x", 1.23456], ["yy", 2]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [["x", "extra"]])
+
+
+class TestTimeUtils:
+    def test_conversions(self):
+        assert hours_to_seconds(2) == 7200.0
+        assert seconds_to_hours(5400.0) == 1.5
+        assert seconds_to_epochs(601.0) == 2
+        assert epochs_to_seconds(3) == 3 * EPOCH_SECONDS
+
+    def test_billable_hours_is_covered_elsewhere(self):
+        assert billable_hours(3300.0) == 1
+
+
+class TestValidation:
+    def test_probability(self):
+        assert check_probability(0.5) == 0.5
+        for bad in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ValueError):
+                check_probability(bad)
+
+    def test_fraction(self):
+        assert check_fraction(0.0) == 0.0
+        assert check_fraction(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.01)
+
+    def test_positive(self):
+        assert check_positive(3.0) == 3.0
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                check_positive(bad)

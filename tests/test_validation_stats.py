@@ -1,0 +1,89 @@
+"""Unit tests for the success-fraction statistical validation."""
+
+import pytest
+
+from repro.backtest.engine import BacktestConfig
+from repro.backtest.validation import (
+    assess_fraction,
+    retest_combo,
+    wilson_interval,
+)
+from repro.baselines import DraftsBid
+
+
+class TestWilson:
+    def test_contains_phat(self):
+        low, high = wilson_interval(90, 100)
+        assert low < 0.9 < high
+
+    def test_narrows_with_n(self):
+        l1, h1 = wilson_interval(90, 100)
+        l2, h2 = wilson_interval(900, 1000)
+        assert (h2 - l2) < (h1 - l1)
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        low, high = wilson_interval(10, 10)
+        assert high == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestAssessment:
+    def test_papers_case_is_consistent(self):
+        """§4.1.1: 0.98 over 300 requests does not contradict p = 0.99."""
+        assessment = assess_fraction(successes=294, n=300, target=0.99)
+        assert assessment.fraction == pytest.approx(0.98)
+        assert assessment.consistent_with_target(alpha=0.01)
+        assert assessment.ci_low < 0.99 < assessment.ci_high + 0.02
+
+    def test_gross_failure_rejected(self):
+        assessment = assess_fraction(successes=250, n=300, target=0.99)
+        assert not assessment.consistent_with_target()
+        assert assessment.pvalue < 1e-6
+
+    def test_perfect_run(self):
+        assessment = assess_fraction(successes=300, n=300, target=0.99)
+        assert assessment.pvalue == pytest.approx(1.0)
+        assert assessment.consistent_with_target()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assess_fraction(5, 0, 0.99)
+        with pytest.raises(ValueError):
+            assess_fraction(5, 4, 0.99)
+        with pytest.raises(ValueError):
+            assess_fraction(5, 10, 1.0)
+
+
+class TestRetest:
+    def test_fresh_seeds_give_fresh_samples(self, small_universe):
+        combo = small_universe.combo("c3.2xlarge", "us-west-1a")
+        config = BacktestConfig(
+            probability=0.95, n_requests=20,
+            max_duration_hours=2, train_days=30, seed=3,
+        )
+        retests = retest_combo(
+            small_universe, combo, DraftsBid, config, n_retests=2
+        )
+        assert len(retests) == 2
+        # Different seeds: different request instants.
+        t_a = [o.t_idx for o in retests[0].outcomes]
+        t_b = [o.t_idx for o in retests[1].outcomes]
+        assert t_a != t_b
+        for result in retests:
+            assert result.n == 20
+
+    def test_validation(self, small_universe):
+        combo = small_universe.combo("c3.2xlarge", "us-west-1a")
+        config = BacktestConfig(
+            probability=0.95, n_requests=5,
+            max_duration_hours=2, train_days=30,
+        )
+        with pytest.raises(ValueError):
+            retest_combo(small_universe, combo, DraftsBid, config, n_retests=0)
