@@ -1,0 +1,76 @@
+"""Benchmark: the serving gateway vs the lazy inline-recompute baseline.
+
+The paper's prototype recomputes asynchronously (a 15-minute cron) exactly
+so client GETs never block on QBETS work. This benchmark quantifies that
+design against the lazy alternative and verifies the subsystem's three
+acceptance properties:
+
+1. steady-state read p99 with background refresh is >= 10x lower than the
+   lazy inline-recompute baseline under identical load;
+2. K >= 8 concurrent cold misses on one key trigger exactly 1 recompute
+   (request coalescing);
+3. shed requests return 429 and the metrics snapshot accounts for every
+   request (hits + stale-hits + misses + shed + errors == requests).
+"""
+
+import pytest
+
+from repro.serving.bench import ServingBenchConfig, run_serving_benchmark
+
+
+@pytest.fixture(scope="module")
+def serving_results():
+    return run_serving_benchmark(
+        ServingBenchConfig(
+            scale="test",
+            n_keys=4,
+            n_requests=400,
+            thread_counts=(1, 4, 16),
+            coalesce_threads=8,
+        )
+    )
+
+
+def test_stale_read_p99_beats_lazy_baseline(benchmark, serving_results):
+    def report():
+        return serving_results["latency"]
+
+    latency = benchmark.pedantic(report, rounds=1, iterations=1)
+    for n_threads, data in latency.items():
+        benchmark.extra_info[f"baseline_p99_ms_{n_threads}t"] = round(
+            data["baseline"]["p99"] * 1e3, 3
+        )
+        benchmark.extra_info[f"gateway_p99_ms_{n_threads}t"] = round(
+            data["gateway"]["p99"] * 1e3, 3
+        )
+        benchmark.extra_info[f"gateway_rps_{n_threads}t"] = round(
+            data["gateway_rps"]
+        )
+    # Acceptance (a): >= 10x p99 improvement at every thread count.
+    for n_threads, data in latency.items():
+        assert data["speedup_p99"] >= 10.0, (
+            f"{n_threads} threads: gateway p99 {data['gateway']['p99']:.6f}s "
+            f"not 10x better than baseline {data['baseline']['p99']:.6f}s"
+        )
+
+
+def test_concurrent_cold_misses_coalesce(serving_results):
+    coalescing = serving_results["coalescing"]
+    # Acceptance (b): K >= 8 concurrent misses, exactly one recompute.
+    assert coalescing["k"] >= 8
+    assert coalescing["statuses"] == [200] * coalescing["k"]
+    assert coalescing["recomputes"] == 1
+    assert coalescing["coalesced"] == coalescing["k"] - 1
+    assert coalescing["misses"] == coalescing["k"]
+
+
+def test_shedding_and_metrics_accounting(serving_results):
+    shedding = serving_results["shedding"]
+    # Acceptance (c): overload sheds 429s and the books balance.
+    assert shedding["shed"] > 0
+    assert shedding["shed_have_retry_after"]
+    assert shedding["accounting"]["balanced"]
+    assert shedding["accounting"]["errors"] == 0
+    for data in serving_results["latency"].values():
+        assert data["accounting"]["balanced"]
+        assert data["accounting"]["errors"] == 0

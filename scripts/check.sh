@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI: lint (when ruff is available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

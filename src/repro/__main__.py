@@ -9,6 +9,9 @@ Commands:
     (the reproduction's equivalent of the paper's published dataset).
 ``survey [--per-class N] [--scale bench]``
     Print the stylised facts and AR(1) adequacy of sampled combinations.
+``serve-bench [--scale test] [--requests N] [--keys N] [--threads a,b,c]``
+    Benchmark the serving gateway (stale-while-revalidate, coalescing,
+    load shedding) against the lazy inline-recompute baseline.
 """
 
 from __future__ import annotations
@@ -74,6 +77,43 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving.bench import (
+        ServingBenchConfig,
+        format_serving_report,
+        run_serving_benchmark,
+    )
+
+    try:
+        thread_counts = tuple(int(t) for t in args.threads.split(","))
+        if not thread_counts or any(t < 1 for t in thread_counts):
+            raise ValueError
+    except ValueError:
+        print(
+            f"serve-bench: --threads must be a comma-separated list of "
+            f"positive integers, got {args.threads!r}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServingBenchConfig(
+        scale=args.scale,
+        n_keys=args.keys,
+        n_requests=args.requests,
+        thread_counts=thread_counts,
+        seed=args.seed,
+    )
+    results = run_serving_benchmark(config)
+    print(format_serving_report(results))
+    balanced = all(
+        data["accounting"]["balanced"]
+        for data in results["latency"].values()
+    ) and results["shedding"]["accounting"]["balanced"]
+    if not balanced:
+        print("metrics accounting identity VIOLATED")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse the command line and dispatch."""
     parser = argparse.ArgumentParser(prog="python -m repro")
@@ -94,6 +134,16 @@ def main(argv: list[str] | None = None) -> int:
     p_survey.add_argument("--per-class", type=int, default=2)
     p_survey.add_argument("--scale", choices=sorted(SCALES), default="bench")
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_serve = sub.add_parser(
+        "serve-bench", help="benchmark the serving gateway"
+    )
+    p_serve.add_argument("--scale", choices=sorted(SCALES), default="test")
+    p_serve.add_argument("--requests", type=int, default=400)
+    p_serve.add_argument("--keys", type=int, default=4)
+    p_serve.add_argument("--threads", default="1,4,16")
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -40,10 +40,13 @@ def bid_ladder(
         raise ValueError(f"span must be >= 1, got {span}")
     n = int(math.ceil(math.log(span) / math.log1p(increment)))
     rungs = minimum_bid * (1.0 + increment) ** np.arange(n + 1)
-    rungs[-1] = min(rungs[-1], minimum_bid * span)
-    if rungs[-1] < minimum_bid * span:
-        rungs = np.append(rungs, minimum_bid * span)
-    return rungs
+    top = minimum_bid * span
+    # ceil() can overshoot by one rung when span lands exactly on a rung
+    # (floating point); keep only rungs strictly below the endpoint, then
+    # append it, so the ladder stays strictly increasing and always covers
+    # the full advertised range.
+    rungs = rungs[rungs < top * (1.0 - 1e-12)]
+    return np.append(rungs, top)
 
 
 @dataclass(frozen=True)

@@ -133,6 +133,26 @@ class OriginalPolicy(ProvisioningPolicy):
 class DraftsPolicy(ProvisioningPolicy):
     """DrAFTS-driven AZ selection and bidding (§4.3, Tables 2–3)."""
 
+    @classmethod
+    def from_gateway(
+        cls,
+        api: EC2Api,
+        gateway,
+        region: str,
+        *,
+        shed_retries: int = 2,
+        **kwargs,
+    ) -> "DraftsPolicy":
+        """A policy consulting a :class:`~repro.serving.gateway.ServingGateway`.
+
+        Identical decisions to the router-backed form (the gateway serves
+        the same curves), but reads never block on inline recompute once
+        the store is warm, and load sheds are retried ``shed_retries``
+        times per the gateway's ``retry_after`` hint.
+        """
+        client = DraftsClient(gateway, shed_retries=shed_retries)
+        return cls(api, client, region, **kwargs)
+
     def __init__(
         self,
         api: EC2Api,

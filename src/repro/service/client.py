@@ -5,33 +5,86 @@ Globus Galaxies platform consumed the production prototype: fetch the graph
 (or a point query) over REST, parse JSON, decide. Keeping the provisioner on
 the client rather than on the service object means the reproduction
 exercises the full serialisation path.
+
+The client binds to anything with a ``get(url) -> Response`` method: the
+in-process :class:`~repro.service.rest.RestRouter`, or — gateway-backed
+mode — a :class:`~repro.serving.gateway.ServingGateway`, whose load
+shedding the client handles by honouring the 429 ``retry_after`` hint up to
+``shed_retries`` times.
 """
 
 from __future__ import annotations
 
 import math
+import time
+from typing import Callable, Protocol
 
 from repro.core.curves import BidDurationCurve
-from repro.service.rest import RestRouter
+from repro.service.rest import Response
 
-__all__ = ["DraftsClient"]
+__all__ = ["DraftsClient", "SupportsGet"]
+
+
+class SupportsGet(Protocol):
+    """Anything that dispatches a GET: a router or a serving gateway."""
+
+    def get(self, url: str) -> Response:  # pragma: no cover - protocol
+        ...
 
 
 class DraftsClient:
-    """Typed access to a :class:`~repro.service.rest.RestRouter`."""
+    """Typed access to a REST-shaped DrAFTS endpoint.
 
-    def __init__(self, router: RestRouter) -> None:
+    Parameters
+    ----------
+    router:
+        The endpoint — an in-process :class:`RestRouter` or a
+        :class:`~repro.serving.gateway.ServingGateway`.
+    shed_retries:
+        How many times a 429 (gateway load shed) is retried after sleeping
+        the response's ``retry_after`` hint. 0 (default) surfaces the shed
+        as a ``RuntimeError`` immediately.
+    sleep:
+        Injectable sleep for deterministic retry tests.
+    """
+
+    def __init__(
+        self,
+        router: SupportsGet,
+        *,
+        shed_retries: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if shed_retries < 0:
+            raise ValueError("shed_retries must be >= 0")
         self._router = router
+        self._shed_retries = shed_retries
+        self._sleep = sleep
+
+    def _get(self, url: str) -> Response:
+        response = self._router.get(url)
+        for _ in range(self._shed_retries):
+            if response.status != 429:
+                break
+            self._sleep(float(response.body.get("retry_after", 0.0)))
+            response = self._router.get(url)
+        return response
 
     def health(self) -> bool:
         """Liveness probe."""
-        return self._router.get("/health").ok
+        return self._get("/health").ok
+
+    def metrics(self) -> dict | None:
+        """The endpoint's metrics snapshot (``None`` when not exposed —
+        the plain router has no ``/metrics`` route)."""
+        response = self._get("/metrics")
+        return response.body if response.ok else None
 
     def fetch_curve(
         self, instance_type: str, zone: str, probability: float, now: float
     ) -> BidDurationCurve | None:
         """GET the bid–duration graph; ``None`` when not yet predictable."""
-        response = self._router.get(
+        response = self._get(
             f"/predictions/{instance_type}/{zone}"
             f"?probability={probability}&now={now}"
         )
@@ -50,7 +103,7 @@ class DraftsClient:
         now: float,
     ) -> float:
         """Minimum bid guaranteeing a duration; ``nan`` when impossible."""
-        response = self._router.get(
+        response = self._get(
             f"/bid/{instance_type}/{zone}?probability={probability}"
             f"&duration={duration_seconds}&now={now}"
         )
@@ -64,7 +117,7 @@ class DraftsClient:
         self, instance_type: str, region: str, probability: float, now: float
     ) -> tuple[str, float] | None:
         """AZ with the lowest minimum bid, or ``None`` if none can quote."""
-        response = self._router.get(
+        response = self._get(
             f"/cheapest/{instance_type}/{region}"
             f"?probability={probability}&now={now}"
         )

@@ -15,6 +15,8 @@ the same refresh policy, exposed through the in-process REST router in
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.cloud.api import EC2Api
@@ -36,12 +38,18 @@ class ServiceConfig:
         Recompute interval (15 minutes in the prototype).
     ladder_increment / ladder_span:
         Bid ladder geometry (5 % rungs up to 4x the minimum).
+    max_predictors:
+        How many fitted predictors (each retaining a full history array)
+        are kept for incremental reuse; least-recently-computed ones are
+        evicted beyond this, so the service's footprint is bounded even
+        over the full 452-combination universe.
     """
 
     probabilities: tuple[float, ...] = (0.95, 0.99)
     refresh_seconds: float = 900.0
     ladder_increment: float = 0.05
     ladder_span: float = 4.0
+    max_predictors: int = 128
 
     def __post_init__(self) -> None:
         if not self.probabilities:
@@ -51,6 +59,8 @@ class ServiceConfig:
                 raise ValueError(f"probability {p} outside (0, 1)")
         if self.refresh_seconds <= 0:
             raise ValueError("refresh_seconds must be positive")
+        if self.max_predictors < 1:
+            raise ValueError("max_predictors must be >= 1")
 
 
 @dataclass
@@ -72,12 +82,27 @@ class DraftsService:
         self._api = api
         self._cfg = config or ServiceConfig()
         self._cache: dict[tuple[str, str, float], _CacheEntry] = {}
-        self._predictors: dict[tuple[str, str, float], DraftsPredictor] = {}
+        self._predictors: OrderedDict[
+            tuple[str, str, float], DraftsPredictor
+        ] = OrderedDict()
+        # Guards cache/predictor bookkeeping: the serving gateway drives
+        # this object from several threads (one recompute per key at a
+        # time, but distinct keys concurrently).
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._recomputes = 0
+        self._evictions = 0
 
     @property
     def config(self) -> ServiceConfig:
         """The service configuration."""
         return self._cfg
+
+    @property
+    def api(self) -> EC2Api:
+        """The account view the service predicts through."""
+        return self._api
 
     def _compute_curve(
         self, instance_type: str, zone: str, probability: float, now: float
@@ -92,7 +117,17 @@ class DraftsService:
             max_price=max(100.0, float(history.prices.max()) * 8.0),
         )
         predictor = DraftsPredictor(history, config)
-        self._predictors[(instance_type, zone, probability)] = predictor
+        key = (instance_type, zone, probability)
+        with self._lock:
+            # Recomputing replaces (evicts) the key's previous predictor —
+            # each retains a full history array — and the LRU bound caps
+            # the total across keys.
+            self._recomputes += 1
+            self._predictors.pop(key, None)
+            self._predictors[key] = predictor
+            while len(self._predictors) > self._cfg.max_predictors:
+                self._predictors.popitem(last=False)
+                self._evictions += 1
         return predictor.curve_at(
             len(history), instance_type=instance_type, zone=zone
         )
@@ -112,16 +147,39 @@ class DraftsService:
                 f"levels: {self._cfg.probabilities}"
             )
         key = (instance_type, zone, probability)
-        entry = self._cache.get(key)
-        stale = entry is not None and (
-            now - entry.computed_at >= self._cfg.refresh_seconds
-            or now < entry.computed_at  # backtests may query past instants
-        )
-        if entry is None or stale:
-            curve = self._compute_curve(instance_type, zone, probability, now)
-            entry = _CacheEntry(computed_at=now, curve=curve)
+        with self._lock:
+            entry = self._cache.get(key)
+            stale = entry is not None and (
+                now - entry.computed_at >= self._cfg.refresh_seconds
+                or now < entry.computed_at  # backtests may query past instants
+            )
+            if entry is not None and not stale:
+                self._hits += 1
+                return entry.curve
+            self._misses += 1
+        curve = self._compute_curve(instance_type, zone, probability, now)
+        entry = _CacheEntry(computed_at=now, curve=curve)
+        with self._lock:
             self._cache[key] = entry
         return entry.curve
+
+    def cache_info(self) -> dict:
+        """Cache and predictor occupancy counters (for the metrics layer).
+
+        ``hits``/``misses`` count :meth:`curve` lookups against the curve
+        cache; ``recomputes`` counts full QBETS refits; ``evictions``
+        counts predictors dropped by the LRU bound.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "predictors": len(self._predictors),
+                "max_predictors": self._cfg.max_predictors,
+                "hits": self._hits,
+                "misses": self._misses,
+                "recomputes": self._recomputes,
+                "evictions": self._evictions,
+            }
 
     def bid_for_duration(
         self,

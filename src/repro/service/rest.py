@@ -27,7 +27,28 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.service.drafts_service import DraftsService
 
-__all__ = ["Response", "RestRouter"]
+__all__ = ["Response", "RestRouter", "parse_floats"]
+
+
+def parse_floats(query: dict, *names: str) -> list[float]:
+    """Extract required float query parameters, naming the offender.
+
+    Raises ``ValueError`` mentioning the parameter for both a missing name
+    and a malformed value (a bare ``float('abc')`` error would otherwise
+    surface as an unhelpful "could not convert string to float" body).
+    """
+    values = []
+    for name in names:
+        if name not in query:
+            raise ValueError(f"missing query parameter {name!r}")
+        try:
+            values.append(float(query[name]))
+        except ValueError:
+            raise ValueError(
+                f"malformed query parameter {name!r}: "
+                f"{query[name]!r} is not a number"
+            ) from None
+    return values
 
 
 @dataclass(frozen=True)
@@ -64,19 +85,15 @@ class RestRouter:
             if len(segments) == 3 and segments[0] == "cheapest":
                 return self._cheapest(segments[1], segments[2], query)
         except KeyError as exc:
-            return Response(404, {"error": str(exc)})
+            # str(KeyError) wraps the message in repr quotes; unwrap it.
+            return Response(404, {"error": exc.args[0] if exc.args else str(exc)})
         except (ValueError, RuntimeError) as exc:
             return Response(400, {"error": str(exc)})
         return Response(404, {"error": f"no route for {parts.path!r}"})
 
     @staticmethod
     def _floats(query: dict, *names: str) -> list[float]:
-        values = []
-        for name in names:
-            if name not in query:
-                raise ValueError(f"missing query parameter {name!r}")
-            values.append(float(query[name]))
-        return values
+        return parse_floats(query, *names)
 
     def _predictions(
         self, instance_type: str, zone: str, query: dict
@@ -117,9 +134,14 @@ class RestRouter:
 
     def _cheapest(self, instance_type: str, region: str, query: dict) -> Response:
         probability, now = self._floats(query, "probability", "now")
-        zone, bid = self._service.cheapest_zone(
-            instance_type, region, probability, now
-        )
+        try:
+            zone, bid = self._service.cheapest_zone(
+                instance_type, region, probability, now
+            )
+        except RuntimeError as exc:
+            # Data readiness, not a client error: no AZ has enough history
+            # yet — same condition `_predictions` reports as 503.
+            return Response(503, {"error": str(exc)})
         return Response(
             200,
             {

@@ -1,0 +1,51 @@
+"""Production serving layer over the DrAFTS service (§3.3 at scale).
+
+The paper's prototype is an asynchronous read-optimised service: a cron
+recomputes every bid–duration curve every 15 minutes and client GETs are
+pure cache reads. This package is that architecture as a subsystem:
+
+* :mod:`repro.serving.store` — sharded, versioned, thread-safe curve store;
+* :mod:`repro.serving.refresher` — background recompute scheduler with
+  single-flight request coalescing;
+* :mod:`repro.serving.gateway` — the front door: admission control, load
+  shedding, deadline budgets, circuit breaking to the §4.4 On-demand
+  fallback, and a ``/metrics`` route;
+* :mod:`repro.serving.metrics` — dependency-free counters/gauges/histograms;
+* :mod:`repro.serving.loadgen` — deterministic Zipf-skewed load generation;
+* :mod:`repro.serving.clock` — injectable wall clock (deterministic tests);
+* :mod:`repro.serving.bench` — the latency/coalescing/shedding benchmark
+  harness behind ``python -m repro serve-bench``.
+"""
+
+from repro.serving.clock import Clock, ManualClock, SystemClock
+from repro.serving.gateway import GatewayConfig, ServingGateway
+from repro.serving.loadgen import LoadGenerator, LoadgenConfig, Request
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.refresher import BackgroundRefresher, SingleFlight
+from repro.serving.store import (
+    CurveEntry,
+    CurveKey,
+    EntryState,
+    ShardedCurveStore,
+)
+
+__all__ = [
+    "BackgroundRefresher",
+    "Clock",
+    "Counter",
+    "CurveEntry",
+    "CurveKey",
+    "EntryState",
+    "Gauge",
+    "GatewayConfig",
+    "Histogram",
+    "LoadGenerator",
+    "LoadgenConfig",
+    "ManualClock",
+    "MetricsRegistry",
+    "Request",
+    "ServingGateway",
+    "ShardedCurveStore",
+    "SingleFlight",
+    "SystemClock",
+]

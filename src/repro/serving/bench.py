@@ -1,0 +1,350 @@
+"""The serving benchmark harness (shared by the CLI and the bench suite).
+
+Three phases, matching the subsystem's acceptance criteria:
+
+``latency``
+    Steady-state reads with the simulation clock drifting across the
+    15-minute staleness horizon. The lazy baseline (``RestRouter`` over
+    ``DraftsService``) recomputes *inline* on the first stale read of each
+    key, so its tail latency is a full QBETS refit; the gateway serves the
+    stale curve immediately and refreshes in the background, so its tail
+    stays a cache read. Measured at several closed-loop thread counts.
+
+``coalescing``
+    K threads cold-miss one key simultaneously (behind a barrier, against
+    an artificially slowed history API): the single-flight group must run
+    exactly one recompute.
+
+``shedding``
+    More concurrency than ``max_inflight`` against cold keys: excess
+    requests come back 429 with a ``retry_after`` hint, and the metrics
+    account for every request
+    (``hits + stale_hits + misses + shed + errors == requests``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.api import EC2Api
+from repro.experiments.common import scaled_universe
+from repro.market.universe import Universe
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import RestRouter
+from repro.serving.gateway import GatewayConfig, ServingGateway
+from repro.serving.loadgen import LoadgenConfig, LoadGenerator
+from repro.serving.store import CurveKey
+from repro.util.tables import format_table
+
+__all__ = [
+    "ServingBenchConfig",
+    "format_serving_report",
+    "run_serving_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Benchmark shape.
+
+    Attributes
+    ----------
+    scale:
+        Universe preset (``test`` keeps the whole run under a minute).
+    n_keys:
+        Combinations served (popularity rank order for the Zipf skew).
+    n_requests:
+        Requests per latency run.
+    thread_counts:
+        Closed-loop worker counts for the latency/throughput phase.
+    now_drift:
+        Simulation seconds per request; sized so keys cross the staleness
+        horizon several times per run.
+    coalesce_threads:
+        K for the coalescing phase (acceptance demands K >= 8).
+    seed:
+        Load-generator seed.
+    """
+
+    scale: str = "test"
+    n_keys: int = 4
+    n_requests: int = 400
+    thread_counts: tuple[int, ...] = (1, 4, 16)
+    now_drift: float = 12.0
+    coalesce_threads: int = 8
+    seed: int = 7
+
+
+class _SlowApi:
+    """An :class:`EC2Api` view whose history reads take real wall time —
+    stands in for paper-scale histories so concurrency effects
+    (coalescing, shedding) are visible at test scale."""
+
+    def __init__(self, api: EC2Api, delay_seconds: float) -> None:
+        self._api = api
+        self._delay = delay_seconds
+
+    def __getattr__(self, name: str):
+        return getattr(self._api, name)
+
+    def describe_spot_price_history(self, instance_type, zone, now):
+        time.sleep(self._delay)
+        return self._api.describe_spot_price_history(instance_type, zone, now)
+
+
+def _serving_keys(
+    universe: Universe, n_keys: int, probability: float
+) -> tuple[list[CurveKey], float]:
+    """Predictable (type, zone, p) keys plus a warm simulation instant."""
+    combos = universe.subsample(per_class=2)
+    api = EC2Api(universe)
+    service = DraftsService(api)
+    keys: list[CurveKey] = []
+    start_now = 0.0
+    for combo in combos:
+        now = universe.trace(combo).start + 45 * 86400.0
+        curve = service.curve(
+            combo.instance_type, combo.zone.name, probability, now
+        )
+        if curve is not None:
+            keys.append((combo.instance_type, combo.zone.name, probability))
+            start_now = max(start_now, now)
+        if len(keys) >= n_keys:
+            break
+    if not keys:
+        raise RuntimeError("no combination in the universe is predictable yet")
+    return keys, start_now
+
+
+def _run_closed_loop(get, requests, n_threads: int):
+    """Drive ``get`` with ``n_threads`` closed-loop workers.
+
+    Returns (per-request latencies in seconds, wall seconds, responses).
+    """
+    chunks = [requests[i::n_threads] for i in range(n_threads)]
+    latencies: list[list[float]] = [[] for _ in range(n_threads)]
+    responses: list[list] = [[] for _ in range(n_threads)]
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        for request in chunks[index]:
+            started = time.perf_counter()
+            response = get(request.url)
+            latencies[index].append(time.perf_counter() - started)
+            responses[index].append(response)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    flat = [latency for chunk in latencies for latency in chunk]
+    flat_responses = [r for chunk in responses for r in chunk]
+    return flat, wall, flat_responses
+
+
+def _percentiles(latencies) -> dict:
+    array = np.asarray(latencies)
+    return {
+        "p50": float(np.percentile(array, 50)),
+        "p99": float(np.percentile(array, 99)),
+        "mean": float(array.mean()),
+    }
+
+
+def _accounting(snapshot: dict) -> dict:
+    counters = snapshot["counters"]
+    served = {
+        "hits": counters.get("gateway.hits", 0),
+        "stale_hits": counters.get("gateway.stale_hits", 0),
+        "misses": counters.get("gateway.misses", 0),
+        "shed": counters.get("gateway.shed", 0),
+        "errors": counters.get("gateway.errors", 0),
+    }
+    total = counters.get("gateway.requests", 0)
+    return {
+        **served,
+        "requests": total,
+        "balanced": sum(served.values()) == total,
+    }
+
+
+def _latency_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
+    probability = keys[0][2]
+    load_cfg = LoadgenConfig(
+        n_requests=cfg.n_requests,
+        seed=cfg.seed,
+        start_now=start_now,
+        now_drift=cfg.now_drift,
+    )
+    requests = list(LoadGenerator(keys, load_cfg).requests())
+    results: dict[int, dict] = {}
+    for n_threads in cfg.thread_counts:
+        # Fresh stacks per thread count so caches start identically.
+        baseline = RestRouter(DraftsService(EC2Api(universe)))
+        gateway = ServingGateway(
+            DraftsService(EC2Api(universe)),
+            GatewayConfig(max_inflight=max(64, 4 * n_threads)),
+        )
+        for key in keys:  # warm both curve caches at the stream start
+            baseline.get(
+                f"/predictions/{key[0]}/{key[1]}"
+                f"?probability={probability}&now={start_now}"
+            )
+            gateway.get(
+                f"/predictions/{key[0]}/{key[1]}"
+                f"?probability={probability}&now={start_now}"
+            )
+        base_lat, base_wall, _ = _run_closed_loop(
+            baseline.get, requests, n_threads
+        )
+        with gateway:
+            gw_lat, gw_wall, _ = _run_closed_loop(
+                gateway.get, requests, n_threads
+            )
+            # Let in-flight background refreshes settle before stopping.
+            deadline = time.monotonic() + 30.0
+            while (
+                gateway.refresher.pending_count()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        results[n_threads] = {
+            "baseline": _percentiles(base_lat),
+            "gateway": _percentiles(gw_lat),
+            "baseline_rps": len(requests) / base_wall,
+            "gateway_rps": len(requests) / gw_wall,
+            "speedup_p99": _percentiles(base_lat)["p99"]
+            / max(_percentiles(gw_lat)["p99"], 1e-9),
+            "accounting": _accounting(gateway.metrics.snapshot()),
+        }
+    return results
+
+
+def _coalescing_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
+    key = keys[0]
+    api = _SlowApi(EC2Api(universe), delay_seconds=0.25)
+    gateway = ServingGateway(DraftsService(api, ServiceConfig()))
+    url = (
+        f"/predictions/{key[0]}/{key[1]}"
+        f"?probability={key[2]}&now={start_now}"
+    )
+    k = cfg.coalesce_threads
+    barrier = threading.Barrier(k)
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        barrier.wait()
+        response = gateway.get(url)
+        with lock:
+            statuses.append(response.status)
+
+    threads = [threading.Thread(target=worker) for _ in range(k)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    counters = gateway.metrics.snapshot()["counters"]
+    return {
+        "k": k,
+        "statuses": statuses,
+        "recomputes": counters.get("serving.recomputes", 0),
+        "coalesced": counters.get("serving.coalesced", 0),
+        "misses": counters.get("gateway.misses", 0),
+    }
+
+
+def _shedding_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
+    api = _SlowApi(EC2Api(universe), delay_seconds=0.1)
+    gateway = ServingGateway(
+        DraftsService(api, ServiceConfig()),
+        GatewayConfig(max_inflight=2, retry_after_seconds=0.5),
+    )
+    load_cfg = LoadgenConfig(
+        n_requests=64, seed=cfg.seed + 1, start_now=start_now
+    )
+    requests = list(LoadGenerator(keys, load_cfg).requests())
+    _, _, responses = _run_closed_loop(gateway.get, requests, 16)
+    shed = [r for r in responses if r.status == 429]
+    return {
+        "n_requests": len(requests),
+        "shed": len(shed),
+        "shed_have_retry_after": all(
+            "retry_after" in r.body for r in shed
+        ),
+        "accounting": _accounting(gateway.metrics.snapshot()),
+    }
+
+
+def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:
+    """Run all three phases; returns a JSON-ready results dict."""
+    cfg = config or ServingBenchConfig()
+    universe = scaled_universe(cfg.scale)
+    keys, start_now = _serving_keys(universe, cfg.n_keys, probability=0.95)
+    return {
+        "keys": ["{}@{}".format(k[0], k[1]) for k in keys],
+        "latency": _latency_phase(cfg, universe, keys, start_now),
+        "coalescing": _coalescing_phase(cfg, universe, keys, start_now),
+        "shedding": _shedding_phase(cfg, universe, keys, start_now),
+    }
+
+
+def format_serving_report(results: dict) -> str:
+    """Human-readable tables for the CLI."""
+    rows = []
+    for n_threads, data in sorted(results["latency"].items()):
+        rows.append(
+            [
+                str(n_threads),
+                f"{data['baseline']['p50'] * 1e3:.2f}",
+                f"{data['baseline']['p99'] * 1e3:.2f}",
+                f"{data['gateway']['p50'] * 1e3:.2f}",
+                f"{data['gateway']['p99'] * 1e3:.2f}",
+                f"{data['speedup_p99']:.0f}x",
+                f"{data['gateway_rps']:.0f}",
+            ]
+        )
+    latency_table = format_table(
+        [
+            "Threads",
+            "lazy p50 (ms)",
+            "lazy p99 (ms)",
+            "gw p50 (ms)",
+            "gw p99 (ms)",
+            "p99 speedup",
+            "gw req/s",
+        ],
+        rows,
+        title="Serving read latency: lazy inline recompute vs gateway",
+    )
+    coalescing = results["coalescing"]
+    shedding = results["shedding"]
+    extras = format_table(
+        ["Check", "Value"],
+        [
+            [
+                f"coalescing: {coalescing['k']} concurrent cold misses",
+                f"{coalescing['recomputes']} recompute(s), "
+                f"{coalescing['coalesced']} coalesced",
+            ],
+            [
+                f"shedding: 16 workers, max_inflight=2, "
+                f"{shedding['n_requests']} requests",
+                f"{shedding['shed']} shed (429), accounting "
+                f"{'balanced' if shedding['accounting']['balanced'] else 'BROKEN'}",
+            ],
+        ],
+        title="Admission control",
+    )
+    return latency_table + "\n\n" + extras

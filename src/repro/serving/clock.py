@@ -1,0 +1,76 @@
+"""Wall-clock abstraction for the serving layer.
+
+The gateway keeps two distinct notions of time:
+
+* **simulation time** (``now=`` on every request) — the market instant a
+  curve is computed at; it drives cache staleness exactly as in
+  :class:`~repro.service.drafts_service.DraftsService`;
+* **wall time** (this module) — what admission control, deadline budgets,
+  circuit-breaker cooldowns and latency histograms are measured against.
+
+Production uses :class:`SystemClock`; tests inject a :class:`ManualClock`
+so every wall-time decision (breaker reopen instants, deadline overruns,
+``Retry-After`` hints) is deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+class Clock:
+    """Minimal monotonic-clock interface: seconds as a float."""
+
+    def now(self) -> float:
+        """Current wall time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op for non-positive values)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The process clock (monotonic, so breaker windows survive NTP steps)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A thread-safe clock advanced explicitly by tests.
+
+    ``sleep`` advances the clock instead of blocking, so single-threaded
+    deterministic tests never wait on real time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(seconds, 0.0))
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new instant."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, instant: float) -> None:
+        """Jump to an absolute instant (may move backwards, for tests)."""
+        with self._lock:
+            self._now = float(instant)

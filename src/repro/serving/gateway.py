@@ -1,0 +1,497 @@
+"""The serving gateway: admission control, coalesced reads, fallbacks.
+
+This is the production front door the prototype implies (§3.3): clients GET
+curves, point bids, AZ recommendations and a metrics snapshot; every read
+is a cache read against the sharded store. The request path never performs
+QBETS work except on a *cold miss* (a key never computed before), and even
+then K concurrent misses coalesce into one recompute via the refresher's
+single-flight group.
+
+Request lifecycle::
+
+    GET ──▶ admission (inflight ≤ max_inflight, else 429 + Retry-After)
+         ──▶ route ──▶ store lookup
+                         fresh  → serve            (hit)
+                         stale  → serve + poke     (stale-hit; refresh is
+                                                    off the request path)
+                         missing→ breaker closed?  (miss)
+                                    yes → coalesced inline recompute
+                                    no  → §4.4 On-demand fallback
+         ──▶ deadline check (504 when the wall budget is exhausted)
+
+Every curve request is classified exactly once as hit / stale-hit / miss /
+shed / error, so the metrics snapshot satisfies
+``hits + stale_hits + misses + shed + errors == requests``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.drafts_service import DraftsService
+from repro.service.rest import Response, parse_floats
+from repro.serving.clock import Clock, SystemClock
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.refresher import BackgroundRefresher, SingleFlight
+from repro.serving.store import CurveKey, EntryState, ShardedCurveStore
+
+__all__ = ["GatewayConfig", "ServingGateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway policy knobs.
+
+    Attributes
+    ----------
+    max_inflight:
+        Admission bound: concurrent curve requests beyond this are shed
+        with 429 (queue-depth load shedding — in this threaded model the
+        inflight count *is* the queue depth).
+    retry_after_seconds:
+        The ``retry_after`` hint attached to shed responses.
+    deadline_seconds:
+        Default per-request wall-time budget; ``None`` means unbounded.
+        Overridable per request with ``&deadline=``.
+    breaker_threshold:
+        Consecutive recompute failures for one key before its circuit
+        opens.
+    breaker_cooldown_seconds:
+        How long an open circuit short-circuits to the §4.4 On-demand
+        fallback before recompute is retried.
+    refresher_workers:
+        Background refresh threads started by :meth:`ServingGateway.start`.
+    """
+
+    max_inflight: int = 64
+    retry_after_seconds: float = 1.0
+    deadline_seconds: float | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 60.0
+    refresher_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError("breaker_cooldown_seconds must be >= 0")
+
+
+class _CircuitBreaker:
+    """Per-key consecutive-failure breaker on the recompute path."""
+
+    def __init__(
+        self, threshold: int, cooldown: float, clock: Clock, metrics
+    ) -> None:
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._failures: dict[CurveKey, int] = {}
+        self._open_until: dict[CurveKey, float] = {}
+
+    def is_open(self, key: CurveKey) -> bool:
+        with self._lock:
+            until = self._open_until.get(key)
+            if until is None:
+                return False
+            if self._clock.now() >= until:
+                # Cooldown elapsed: half-open — allow one probe recompute.
+                del self._open_until[key]
+                return False
+            return True
+
+    def on_result(self, key: CurveKey, error: Exception | None) -> None:
+        with self._lock:
+            if error is None:
+                self._failures.pop(key, None)
+                self._open_until.pop(key, None)
+                return
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self._threshold:
+                self._open_until[key] = self._clock.now() + self._cooldown
+                self._metrics.counter("gateway.breaker_trips").inc()
+
+
+class _BreakerOpen(Exception):
+    """Internal: a cold miss hit an open circuit — use the §4.4 fallback."""
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: the request's wall budget ran out."""
+
+
+class _RequestState:
+    """Per-request bookkeeping: deadline budget and outcome classification."""
+
+    __slots__ = ("started", "deadline", "worst")
+
+    def __init__(self, started: float, deadline: float | None) -> None:
+        self.started = started
+        self.deadline = deadline
+        self.worst: EntryState | None = None
+
+    def observe(self, state: EntryState) -> None:
+        order = (EntryState.FRESH, EntryState.STALE, EntryState.MISSING)
+        if self.worst is None or order.index(state) > order.index(self.worst):
+            self.worst = state
+
+
+class ServingGateway:
+    """REST-shaped front door over a sharded curve store.
+
+    Routes (superset of :class:`~repro.service.rest.RestRouter`):
+
+    ``GET /predictions/{type}/{zone}?probability=&now=[&deadline=]``
+    ``GET /bid/{type}/{zone}?probability=&duration=&now=[&deadline=]``
+    ``GET /cheapest/{type}/{region}?probability=&now=[&deadline=]``
+    ``GET /health``
+    ``GET /metrics``
+
+    Curves come from ``service`` (so fresh answers are bit-identical to the
+    lazy :class:`DraftsService`), but are stored, versioned and refreshed
+    by the serving layer.
+    """
+
+    def __init__(
+        self,
+        service: DraftsService,
+        config: GatewayConfig | None = None,
+        *,
+        store: ShardedCurveStore | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._service = service
+        self._cfg = config or GatewayConfig()
+        self._clock = clock or SystemClock()
+        self.metrics = metrics or MetricsRegistry()
+        self.store = store or ShardedCurveStore(
+            refresh_seconds=service.config.refresh_seconds
+        )
+        self._breaker = _CircuitBreaker(
+            self._cfg.breaker_threshold,
+            self._cfg.breaker_cooldown_seconds,
+            self._clock,
+            self.metrics,
+        )
+        self.refresher = BackgroundRefresher(
+            self.store,
+            self._compute,
+            metrics=self.metrics,
+            clock=self._clock,
+            on_result=self._breaker.on_result,
+            single_flight=SingleFlight(),
+            n_workers=self._cfg.refresher_workers,
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        # Pre-register the instrument set so /metrics always exposes the
+        # full contract (a counter that never fired still reads 0).
+        for name in (
+            "gateway.requests",
+            "gateway.hits",
+            "gateway.stale_hits",
+            "gateway.misses",
+            "gateway.shed",
+            "gateway.errors",
+            "gateway.other",
+            "gateway.deadline_exceeded",
+            "gateway.breaker_trips",
+            "gateway.breaker_short_circuits",
+            "gateway.fallbacks",
+            "serving.recomputes",
+            "serving.coalesced",
+            "serving.refresh_failures",
+        ):
+            self.metrics.counter(name)
+        self.metrics.gauge("gateway.inflight")
+        self.metrics.gauge("serving.refresh_pending")
+        self.metrics.histogram("gateway.request_seconds")
+        self.metrics.histogram("serving.recompute_seconds")
+
+    @property
+    def config(self) -> GatewayConfig:
+        """The gateway configuration."""
+        return self._cfg
+
+    @property
+    def service(self) -> DraftsService:
+        """The underlying lazy service the gateway fronts."""
+        return self._service
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServingGateway":
+        """Start the background refresh workers."""
+        self.refresher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background refresh workers."""
+        self.refresher.stop()
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def tick(self, now: float) -> int:
+        """The cron tick: enqueue every entry stale at simulation ``now``."""
+        return self.refresher.scan(now)
+
+    # -- request path --------------------------------------------------------
+
+    def get(self, url: str) -> Response:
+        """Dispatch one GET request."""
+        parts = urlsplit(url)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        if segments == ["health"]:
+            self.metrics.counter("gateway.other").inc()
+            return Response(200, {"status": "ok"})
+        if segments == ["metrics"]:
+            self.metrics.counter("gateway.other").inc()
+            return Response(200, self.snapshot())
+        if len(segments) == 3 and segments[0] in ("predictions", "bid", "cheapest"):
+            return self._admitted(segments, query)
+        self.metrics.counter("gateway.other").inc()
+        return Response(404, {"error": f"no route for {parts.path!r}"})
+
+    def _admitted(self, segments: list[str], query: dict) -> Response:
+        self.metrics.counter("gateway.requests").inc()
+        with self._inflight_lock:
+            if self._inflight >= self._cfg.max_inflight:
+                self.metrics.counter("gateway.shed").inc()
+                return Response(
+                    429,
+                    {
+                        "error": "gateway overloaded; request shed",
+                        "retry_after": self._cfg.retry_after_seconds,
+                    },
+                )
+            self._inflight += 1
+            self.metrics.gauge("gateway.inflight").set(self._inflight)
+        try:
+            return self._handle(segments, query)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self.metrics.gauge("gateway.inflight").set(self._inflight)
+
+    def _handle(self, segments: list[str], query: dict) -> Response:
+        deadline = self._cfg.deadline_seconds
+        if "deadline" in query:
+            (deadline,) = parse_floats(query, "deadline")
+        request = _RequestState(self._clock.now(), deadline)
+        try:
+            if segments[0] == "predictions":
+                response = self._predictions(segments[1], segments[2], query, request)
+            elif segments[0] == "bid":
+                response = self._bid(segments[1], segments[2], query, request)
+            else:
+                response = self._cheapest(segments[1], segments[2], query, request)
+        except _DeadlineExceeded:
+            response = self._deadline_response(request)
+        except KeyError as exc:
+            # str(KeyError) wraps the message in repr quotes; unwrap it.
+            response = Response(
+                404, {"error": exc.args[0] if exc.args else str(exc)}
+            )
+        except RuntimeError as exc:
+            response = Response(503, {"error": str(exc)})
+        except ValueError as exc:
+            response = Response(400, {"error": str(exc)})
+        finally:
+            self._classify(request)
+        elapsed = self._clock.now() - request.started
+        self.metrics.histogram("gateway.request_seconds").observe(elapsed)
+        if request.deadline is not None and elapsed > request.deadline:
+            return self._deadline_response(request)
+        return response
+
+    def _classify(self, request: _RequestState) -> None:
+        if request.worst is None:
+            self.metrics.counter("gateway.errors").inc()
+        elif request.worst is EntryState.FRESH:
+            self.metrics.counter("gateway.hits").inc()
+        elif request.worst is EntryState.STALE:
+            self.metrics.counter("gateway.stale_hits").inc()
+        else:
+            self.metrics.counter("gateway.misses").inc()
+
+    def _deadline_response(self, request: _RequestState) -> Response:
+        self.metrics.counter("gateway.deadline_exceeded").inc()
+        return Response(
+            504,
+            {
+                "error": "deadline exceeded",
+                "deadline": request.deadline,
+                "retry_after": self._cfg.retry_after_seconds,
+            },
+        )
+
+    # -- curve acquisition -----------------------------------------------------
+
+    def _compute(self, key: CurveKey, now: float):
+        """Recompute one key through the underlying service (its lazy cache
+        keeps service and gateway answers identical for a given instant)."""
+        instance_type, zone, probability = key
+        return self._service.curve(instance_type, zone, probability, now)
+
+    def _check_probability(self, probability: float) -> None:
+        levels = self._service.config.probabilities
+        if probability not in levels:
+            raise ValueError(
+                f"service does not publish probability {probability}; "
+                f"levels: {levels}"
+            )
+
+    def _serve_curve(self, key: CurveKey, now: float, request: _RequestState):
+        """Store-first read implementing stale-while-revalidate."""
+        entry, state = self.store.lookup(key, now)
+        request.observe(state)
+        if state is EntryState.FRESH:
+            return entry.curve
+        if state is EntryState.STALE:
+            # Serve the stale answer immediately; recompute off-path.
+            self.refresher.poke(key, now)
+            return entry.curve
+        # Cold miss: recompute inline (coalesced) unless the circuit is open
+        # or the deadline has no budget left for it.
+        if self._breaker.is_open(key):
+            self.metrics.counter("gateway.breaker_short_circuits").inc()
+            raise _BreakerOpen(key)
+        if (
+            request.deadline is not None
+            and self._clock.now() - request.started >= request.deadline
+        ):
+            raise _DeadlineExceeded()
+        entry, _ = self.refresher.refresh(key, now)
+        return entry.curve
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _predictions(
+        self, instance_type: str, zone: str, query: dict, request: _RequestState
+    ) -> Response:
+        probability, now = parse_floats(query, "probability", "now")
+        self._check_probability(probability)
+        try:
+            curve = self._serve_curve((instance_type, zone, probability), now, request)
+        except _BreakerOpen:
+            return Response(
+                503,
+                {
+                    "error": "recompute failing for this combination; "
+                    "circuit open",
+                    "fallback": "ondemand",
+                    "retry_after": self._cfg.breaker_cooldown_seconds,
+                },
+            )
+        if curve is None:
+            return Response(
+                503, {"error": "insufficient history for a prediction"}
+            )
+        return Response(200, curve.to_dict())
+
+    def _bid(
+        self, instance_type: str, zone: str, query: dict, request: _RequestState
+    ) -> Response:
+        probability, duration, now = parse_floats(
+            query, "probability", "duration", "now"
+        )
+        self._check_probability(probability)
+        try:
+            curve = self._serve_curve((instance_type, zone, probability), now, request)
+        except _BreakerOpen:
+            return self._ondemand_fallback(instance_type, zone, probability, duration)
+        bid = float("nan") if curve is None else curve.bid_for_duration(duration)
+        if math.isnan(bid):
+            return Response(
+                404,
+                {
+                    "error": "no published bid guarantees the requested "
+                    "duration; consider the On-demand tier"
+                },
+            )
+        return Response(
+            200,
+            {
+                "instance_type": instance_type,
+                "zone": zone,
+                "probability": probability,
+                "duration": duration,
+                "bid": bid,
+            },
+        )
+
+    def _ondemand_fallback(
+        self, instance_type: str, zone: str, probability: float, duration: float
+    ) -> Response:
+        """§4.4's client rule, applied server-side when the circuit is open:
+        quote the On-demand price, which guarantees any duration."""
+        region = zone.rstrip("abcdefghijklmnopqrstuvwxyz") or zone
+        price = self._service.api.ondemand_price(instance_type, region)
+        self.metrics.counter("gateway.fallbacks").inc()
+        return Response(
+            200,
+            {
+                "instance_type": instance_type,
+                "zone": zone,
+                "probability": probability,
+                "duration": duration,
+                "bid": price,
+                "tier": "ondemand",
+                "fallback": True,
+            },
+        )
+
+    def _cheapest(
+        self, instance_type: str, region: str, query: dict, request: _RequestState
+    ) -> Response:
+        probability, now = parse_floats(query, "probability", "now")
+        self._check_probability(probability)
+        best_zone, best_bid = "", math.inf
+        for zone in self._service.api.describe_availability_zones(region):
+            try:
+                curve = self._serve_curve(
+                    (instance_type, zone, probability), now, request
+                )
+            except (KeyError, _BreakerOpen):
+                continue
+            if curve is not None and curve.minimum_bid < best_bid:
+                best_zone, best_bid = zone, curve.minimum_bid
+        if not best_zone:
+            raise RuntimeError(
+                f"no AZ in {region} can quote {instance_type} yet"
+            )
+        return Response(
+            200,
+            {
+                "instance_type": instance_type,
+                "region": region,
+                "zone": best_zone,
+                "minimum_bid": best_bid,
+            },
+        )
+
+    # -- observability -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``GET /metrics`` body: instruments plus store occupancy."""
+        body = self.metrics.snapshot()
+        body["store"] = {
+            "n_shards": self.store.n_shards,
+            "entries": len(self.store),
+            "refresh_pending": self.refresher.pending_count(),
+        }
+        return body

@@ -1,0 +1,164 @@
+"""Deterministic load generation for the serving gateway.
+
+A seeded request stream over a key universe with a Zipf popularity skew —
+the canonical shape of read-heavy API traffic (a few hot combinations take
+most of the reads, a long tail is rarely asked for). Supports both loop
+disciplines:
+
+* **closed loop** — each worker issues its next request as soon as the
+  previous one returns (throughput benchmark);
+* **open loop** — requests carry Poisson arrival offsets independent of
+  completion times (latency/shedding benchmark: arrivals don't slow down
+  when the server does).
+
+Everything derives from the seed; the same config always produces the same
+request sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.serving.store import CurveKey
+
+__all__ = ["LoadgenConfig", "LoadGenerator", "Request"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generated request.
+
+    Attributes
+    ----------
+    url:
+        The gateway URL to GET.
+    key:
+        The curve key the request targets.
+    arrival:
+        Wall-clock offset (seconds from stream start) at which an
+        open-loop driver should issue it; 0 for closed-loop streams.
+    now:
+        The simulation instant embedded in the URL.
+    """
+
+    url: str
+    key: CurveKey
+    arrival: float
+    now: float
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Load-shape parameters.
+
+    Attributes
+    ----------
+    n_requests:
+        Stream length.
+    seed:
+        Root seed; the stream is a pure function of it.
+    zipf_exponent:
+        Popularity skew ``s``: key at popularity rank r drawn with weight
+        1/r^s (0 = uniform).
+    mode:
+        ``"closed"`` or ``"open"``.
+    arrival_rate:
+        Open-loop Poisson arrival rate (requests/second of wall time).
+    bid_fraction:
+        Fraction of requests hitting ``/bid`` (the rest ``/predictions``).
+    start_now:
+        Simulation instant of the first request.
+    now_drift:
+        Simulation seconds advanced per request — drives entries across
+        the staleness horizon mid-stream.
+    durations:
+        Candidate durations (seconds) for ``/bid`` requests.
+    """
+
+    n_requests: int = 1000
+    seed: int = 0
+    zipf_exponent: float = 1.1
+    mode: str = "closed"
+    arrival_rate: float = 500.0
+    bid_fraction: float = 0.3
+    start_now: float = 0.0
+    now_drift: float = 0.0
+    durations: tuple[float, ...] = field(
+        default=(1800.0, 3600.0, 7200.0, 14400.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be >= 0")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if not 0.0 <= self.bid_fraction <= 1.0:
+            raise ValueError("bid_fraction must lie in [0, 1]")
+
+
+class LoadGenerator:
+    """Seeded request stream over a fixed key universe."""
+
+    def __init__(
+        self, keys: Sequence[CurveKey], config: LoadgenConfig | None = None
+    ) -> None:
+        if not keys:
+            raise ValueError("at least one key required")
+        self._keys = tuple(keys)
+        self._cfg = config or LoadgenConfig()
+
+    @property
+    def config(self) -> LoadgenConfig:
+        """The load-shape configuration."""
+        return self._cfg
+
+    def key_weights(self) -> np.ndarray:
+        """The bounded-Zipf popularity law over the key universe.
+
+        Keys keep their given order: index 0 is popularity rank 1.
+        """
+        ranks = np.arange(1, len(self._keys) + 1, dtype=float)
+        weights = ranks ** -self._cfg.zipf_exponent
+        return weights / weights.sum()
+
+    def requests(self) -> Iterator[Request]:
+        """Yield the deterministic request stream."""
+        cfg = self._cfg
+        rng = np.random.default_rng(cfg.seed)
+        weights = self.key_weights()
+        key_indices = rng.choice(len(self._keys), size=cfg.n_requests, p=weights)
+        is_bid = rng.random(cfg.n_requests) < cfg.bid_fraction
+        duration_indices = rng.integers(
+            0, len(cfg.durations), size=cfg.n_requests
+        )
+        if cfg.mode == "open":
+            arrivals = np.cumsum(
+                rng.exponential(1.0 / cfg.arrival_rate, size=cfg.n_requests)
+            )
+        else:
+            arrivals = np.zeros(cfg.n_requests)
+        for i in range(cfg.n_requests):
+            key = self._keys[key_indices[i]]
+            instance_type, zone, probability = key
+            now = cfg.start_now + cfg.now_drift * i
+            if is_bid[i]:
+                duration = cfg.durations[duration_indices[i]]
+                url = (
+                    f"/bid/{instance_type}/{zone}?probability={probability}"
+                    f"&duration={duration}&now={now}"
+                )
+            else:
+                url = (
+                    f"/predictions/{instance_type}/{zone}"
+                    f"?probability={probability}&now={now}"
+                )
+            yield Request(
+                url=url, key=key, arrival=float(arrivals[i]), now=now
+            )

@@ -1,0 +1,199 @@
+"""Lightweight serving metrics: counters, gauges, fixed-bucket histograms.
+
+No external dependencies — the registry is a thread-safe dictionary of
+instruments with a JSON-ready :meth:`MetricsRegistry.snapshot`, exported by
+the gateway as ``GET /metrics``. Histogram buckets are fixed at creation
+(Prometheus-style cumulative ``le`` buckets), so concurrent observation is
+a single lock-protected increment and snapshots never re-aggregate raw
+samples.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bounds (seconds): 50 µs up to 10 s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can move in both directions (queue depth, inflight)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> float:
+        """Shift the value by ``delta`` and return the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bound histogram with cumulative buckets plus sum/count.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        self.name = name
+        bounds = tuple(bounds if bounds is not None else DEFAULT_LATENCY_BUCKETS)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, non-empty tuple")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total samples observed."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile from bucket counts.
+
+        Returns the upper edge of the bucket containing the quantile
+        (``inf`` when it falls in the overflow bucket, ``nan`` when empty).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            rank = q * self._count
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank and count:
+                    return (
+                        self.bounds[index]
+                        if index < len(self.bounds)
+                        else float("inf")
+                    )
+        return float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: per-bucket counts keyed by upper edge."""
+        with self._lock:
+            buckets = [
+                {"le": edge, "count": count}
+                for edge, count in zip(self.bounds, self._counts)
+            ]
+            buckets.append({"le": "inf", "count": self._counts[-1]})
+            return {"buckets": buckets, "sum": self._sum, "count": self._count}
+
+
+class MetricsRegistry:
+    """Named instruments with lazy creation and a JSON snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``bounds`` only applies at creation; later callers share the
+        original instrument.
+        """
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, bounds)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument (stable key order)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
+            "histograms": {
+                n: histograms[n].to_dict() for n in sorted(histograms)
+            },
+        }

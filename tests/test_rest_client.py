@@ -82,6 +82,58 @@ class TestRouter:
         assert response.body["zone"].startswith("us-east-1")
 
 
+class TestErrorPaths:
+    def test_unknown_routes_are_404(self, env):
+        router, _, _ = env
+        for url in ("/", "/frobnicate", "/predictions", "/bid/a/b/c/d"):
+            assert router.get(url).status == 404
+
+    def test_missing_params_name_the_parameter(self, env):
+        router, _, now = env
+        response = router.get("/bid/c4.large/us-east-1b?now=1")
+        assert response.status == 400
+        assert "probability" in response.body["error"]
+        response = router.get(
+            f"/bid/c4.large/us-east-1b?probability=0.95&now={now}"
+        )
+        assert response.status == 400
+        assert "duration" in response.body["error"]
+
+    def test_malformed_float_names_the_parameter(self, env):
+        router, _, _ = env
+        response = router.get(
+            "/predictions/c4.large/us-east-1b?probability=abc&now=1"
+        )
+        assert response.status == 400
+        assert "probability" in response.body["error"]
+        assert "abc" in response.body["error"]
+        response = router.get(
+            "/bid/c4.large/us-east-1b?probability=0.95&duration=soon&now=1"
+        )
+        assert response.status == 400
+        assert "duration" in response.body["error"]
+
+    def test_unpublished_probability_is_400(self, env):
+        router, _, now = env
+        response = router.get(
+            f"/predictions/c4.large/us-east-1b?probability=0.5&now={now}"
+        )
+        assert response.status == 400
+        assert "0.5" in response.body["error"]
+
+    def test_cheapest_short_history_is_503(self, env, small_universe):
+        """Data readiness is a service-side condition (503), not a client
+        error: no AZ can quote this early in the trace."""
+        router, _, _ = env
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        early = small_universe.trace(combo).start + 3600.0
+        response = router.get(
+            f"/cheapest/c4.large/us-east-1?probability=0.95&now={early}"
+        )
+        assert response.status == 503
+        assert "us-east-1" in response.body["error"]
+
+
 class TestClient:
     def test_health(self, env):
         _, client, _ = env

@@ -100,6 +100,61 @@ class TestQueries:
         assert zone in ("us-east-1b", "us-east-1c")
 
 
+class TestRefreshEdges:
+    def test_past_query_recomputes(self, small_universe):
+        """``now < computed_at`` (a backtest rewinding time) must not be
+        served from the future-computed cache entry."""
+        api = EC2Api(small_universe)
+        service = DraftsService(api)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        late = small_universe.trace(combo).start + 50 * 86400.0
+        a = service.curve("c4.large", "us-east-1b", 0.95, late)
+        b = service.curve("c4.large", "us-east-1b", 0.95, late - 5 * 86400.0)
+        assert a is not None and b is not None
+        assert a is not b  # recomputed, not served stale-from-the-future
+        # And the rewound query's answer only uses history before it.
+        assert b.computed_at <= late - 5 * 86400.0
+
+
+class TestPredictorEviction:
+    def test_lru_bound_and_cache_info(self, small_universe):
+        api = EC2Api(small_universe)
+        service = DraftsService(
+            api, ServiceConfig(probabilities=(0.95,), max_predictors=2)
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        for zone in ("us-east-1b", "us-east-1c", "us-east-1d"):
+            service.curve("c4.large", zone, 0.95, now)
+        info = service.cache_info()
+        assert info["entries"] == 3  # curves stay cached ...
+        assert info["predictors"] == 2  # ... but predictors are bounded
+        assert info["evictions"] == 1
+        assert info["recomputes"] == 3
+
+    def test_recompute_replaces_predictor(self, small_universe):
+        api = EC2Api(small_universe)
+        service = DraftsService(api, ServiceConfig(probabilities=(0.95,)))
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        service.curve("c4.large", "us-east-1b", 0.95, now)
+        service.curve("c4.large", "us-east-1b", 0.95, now + 3600.0)
+        info = service.cache_info()
+        assert info["recomputes"] == 2
+        assert info["predictors"] == 1  # replaced, not accumulated
+
+    def test_hit_miss_counters(self, small_universe):
+        api = EC2Api(small_universe)
+        service = DraftsService(api, ServiceConfig(probabilities=(0.95,)))
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        service.curve("c4.large", "us-east-1b", 0.95, now)
+        service.curve("c4.large", "us-east-1b", 0.95, now + 10.0)
+        info = service.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+
+
 class TestServiceInvariants:
     def test_published_minimum_bid_is_admissible(self, service_env, small_universe):
         """A curve's minimum bid must exceed the quoted market price at

@@ -1,0 +1,445 @@
+"""Integration tests for the serving gateway.
+
+Uses the session-scoped ``small_universe`` and a :class:`ManualClock`, so
+every wall-time decision (deadlines, breaker cooldowns) is deterministic.
+"""
+
+import threading
+
+import pytest
+
+from repro.cloud.api import EC2Api
+from repro.service.client import DraftsClient
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.serving.clock import ManualClock
+from repro.serving.gateway import GatewayConfig, ServingGateway
+from repro.serving.store import EntryState
+
+
+def _wait_until(predicate, timeout=5.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+@pytest.fixture(scope="module")
+def env(request):
+    small_universe = request.getfixturevalue("small_universe")
+    api = EC2Api(small_universe)
+    gateway = ServingGateway(DraftsService(api), clock=ManualClock())
+    combo = small_universe.combo("c4.large", "us-east-1b")
+    now = small_universe.trace(combo).start + 45 * 86400.0
+    return gateway, now
+
+
+class _FlakyApi:
+    """Delegating API whose history reads can be switched to fail."""
+
+    def __init__(self, api):
+        self._api = api
+        self.fail = False
+
+    def __getattr__(self, name):
+        return getattr(self._api, name)
+
+    def describe_spot_price_history(self, instance_type, zone, now):
+        if self.fail:
+            raise RuntimeError("history API down")
+        return self._api.describe_spot_price_history(instance_type, zone, now)
+
+
+class _BlockingApi:
+    """Delegating API whose history reads block on an event."""
+
+    def __init__(self, api):
+        self._api = api
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.block = False
+
+    def __getattr__(self, name):
+        return getattr(self._api, name)
+
+    def describe_spot_price_history(self, instance_type, zone, now):
+        if self.block:
+            self.entered.set()
+            assert self.release.wait(10.0)
+        return self._api.describe_spot_price_history(instance_type, zone, now)
+
+
+class TestRoutes:
+    def test_health_and_unknown(self, env):
+        gateway, _ = env
+        assert gateway.get("/health").ok
+        assert gateway.get("/nope").status == 404
+
+    def test_predictions_bid_cheapest(self, env):
+        gateway, now = env
+        pred = gateway.get(
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        )
+        assert pred.status == 200
+        assert len(pred.body["bids"]) == len(pred.body["durations"])
+
+        bid = gateway.get(
+            f"/bid/c4.large/us-east-1b?probability=0.95&duration=1800&now={now}"
+        )
+        assert bid.status == 200 and bid.body["bid"] > 0
+
+        cheapest = gateway.get(
+            f"/cheapest/c4.large/us-east-1?probability=0.95&now={now}"
+        )
+        assert cheapest.status == 200
+        assert cheapest.body["zone"].startswith("us-east-1")
+
+    def test_error_statuses_match_router_semantics(self, env):
+        gateway, now = env
+        # missing param → 400, malformed float → 400 naming the parameter
+        assert gateway.get("/predictions/c4.large/us-east-1b?now=1").status == 400
+        bad = gateway.get(
+            "/predictions/c4.large/us-east-1b?probability=abc&now=1"
+        )
+        assert bad.status == 400 and "probability" in bad.body["error"]
+        # unpublished probability level → 400
+        assert (
+            gateway.get(
+                f"/predictions/c4.large/us-east-1b?probability=0.5&now={now}"
+            ).status
+            == 400
+        )
+        # unknown combination → 404
+        assert (
+            gateway.get(
+                f"/predictions/cg1.4xlarge/us-west-2a?probability=0.95&now={now}"
+            ).status
+            == 404
+        )
+
+    def test_metrics_route(self, env):
+        gateway, now = env
+        gateway.get(f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}")
+        snap = gateway.get("/metrics")
+        assert snap.status == 200
+        assert "counters" in snap.body and "store" in snap.body
+        assert snap.body["store"]["entries"] >= 1
+
+
+class TestDifferential:
+    def test_fresh_answers_bit_identical_across_universe(self, small_universe):
+        """Cold gateway reads must serialise byte-for-byte like the lazy
+        service across the (subsampled) universe — the gateway is a cache
+        in front of DraftsService, never a different predictor."""
+        api = EC2Api(small_universe)
+        gateway = ServingGateway(DraftsService(api), clock=ManualClock())
+        reference = DraftsService(EC2Api(small_universe))
+        for combo in small_universe.subsample(per_class=1):
+            now = small_universe.trace(combo).start + 45 * 86400.0
+            expected = reference.curve(
+                combo.instance_type, combo.zone.name, 0.95, now
+            )
+            response = gateway.get(
+                f"/predictions/{combo.instance_type}/{combo.zone.name}"
+                f"?probability=0.95&now={now}"
+            )
+            if expected is None:
+                assert response.status == 503
+            else:
+                assert response.status == 200
+                assert response.body == expected.to_dict()
+
+    def test_deterministic_replay(self, small_universe):
+        """Same universe, same clock, same request sequence → identical
+        bodies and identical metrics counters."""
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        urls = [
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}",
+            f"/bid/c4.large/us-east-1b?probability=0.95&duration=1800&now={now}",
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now + 1800}",
+        ]
+
+        def run():
+            gateway = ServingGateway(
+                DraftsService(EC2Api(small_universe)), clock=ManualClock()
+            )
+            bodies = [gateway.get(url).body for url in urls]
+            gateway.refresher.run_pending()
+            return bodies, gateway.metrics.snapshot()["counters"]
+
+        assert run() == run()
+
+
+class TestStaleWhileRevalidate:
+    def test_stale_read_serves_old_curve_and_refreshes_off_path(
+        self, small_universe
+    ):
+        api = EC2Api(small_universe)
+        gateway = ServingGateway(DraftsService(api), clock=ManualClock())
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = "/predictions/c4.large/us-east-1b?probability=0.95&now={}"
+
+        first = gateway.get(url.format(now))
+        key = ("c4.large", "us-east-1b", 0.95)
+        generation_before = gateway.store.peek(key).generation
+
+        stale = gateway.get(url.format(now + 3600.0))
+        # Served immediately from the stale entry (same body) ...
+        assert stale.body == first.body
+        assert gateway.metrics.counter("gateway.stale_hits").value == 1
+        # ... while the recompute waits in the background queue.
+        assert gateway.refresher.pending_count() == 1
+        gateway.refresher.run_pending()
+        entry = gateway.store.peek(key)
+        assert entry.generation == generation_before + 1
+        assert entry.computed_at == now + 3600.0
+        assert gateway.store.state_of(entry, now + 3600.0) is EntryState.FRESH
+
+
+class TestCoalescing:
+    def test_concurrent_cold_misses_single_recompute(self, small_universe):
+        api = _BlockingApi(EC2Api(small_universe))
+        gateway = ServingGateway(DraftsService(api), clock=ManualClock())
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        key = ("c4.large", "us-east-1b", 0.95)
+
+        api.block = True
+        statuses = []
+        lock = threading.Lock()
+
+        def fetch():
+            response = gateway.get(url)
+            with lock:
+                statuses.append(response.status)
+
+        leader = threading.Thread(target=fetch)
+        leader.start()
+        assert api.entered.wait(10.0)  # leader is inside the recompute
+
+        followers = [threading.Thread(target=fetch) for _ in range(7)]
+        for thread in followers:
+            thread.start()
+        assert _wait_until(
+            lambda: gateway.refresher.single_flight.followers(key) == 7
+        )
+        api.release.set()
+        leader.join()
+        for thread in followers:
+            thread.join()
+
+        counters = gateway.metrics.snapshot()["counters"]
+        assert statuses == [200] * 8
+        assert counters["serving.recomputes"] == 1  # K misses, one compute
+        assert counters["serving.coalesced"] == 7
+        assert counters["gateway.misses"] == 8
+
+
+class TestLoadShedding:
+    def test_excess_inflight_sheds_with_retry_after(self, small_universe):
+        api = _BlockingApi(EC2Api(small_universe))
+        gateway = ServingGateway(
+            DraftsService(api),
+            GatewayConfig(max_inflight=1, retry_after_seconds=2.5),
+            clock=ManualClock(),
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+
+        api.block = True
+        holder_status = []
+        holder = threading.Thread(
+            target=lambda: holder_status.append(gateway.get(url).status)
+        )
+        holder.start()
+        assert api.entered.wait(10.0)  # the one slot is taken
+
+        shed = gateway.get(url)
+        assert shed.status == 429
+        assert shed.body["retry_after"] == 2.5
+
+        api.release.set()
+        holder.join()
+        assert holder_status == [200]
+
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.shed"] == 1
+        assert (
+            counters["gateway.hits"]
+            + counters["gateway.stale_hits"]
+            + counters["gateway.misses"]
+            + counters["gateway.shed"]
+            + counters.get("gateway.errors", 0)
+            == counters["gateway.requests"]
+        )
+
+
+class TestCircuitBreaker:
+    def _broken_gateway(self, small_universe, clock):
+        api = _FlakyApi(EC2Api(small_universe))
+        gateway = ServingGateway(
+            DraftsService(api),
+            GatewayConfig(breaker_threshold=3, breaker_cooldown_seconds=60.0),
+            clock=clock,
+        )
+        return api, gateway
+
+    def test_trips_to_ondemand_fallback_and_recovers(self, small_universe):
+        clock = ManualClock()
+        api, gateway = self._broken_gateway(small_universe, clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        bid_url = (
+            f"/bid/c4.large/us-east-1b?probability=0.95&duration=1800&now={now}"
+        )
+
+        api.fail = True
+        for _ in range(3):  # three failing recomputes trip the breaker
+            assert gateway.get(bid_url).status == 503
+
+        fallback = gateway.get(bid_url)
+        assert fallback.status == 200
+        assert fallback.body["tier"] == "ondemand"
+        assert fallback.body["fallback"] is True
+        assert fallback.body["bid"] == pytest.approx(
+            gateway.service.api.ondemand_price("c4.large", "us-east-1")
+        )
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.breaker_trips"] == 1
+        assert counters["gateway.breaker_short_circuits"] == 1
+        assert counters["gateway.fallbacks"] == 1
+
+        # After the cooldown the circuit half-opens; a healthy recompute
+        # closes it and real answers come back.
+        api.fail = False
+        clock.advance(61.0)
+        recovered = gateway.get(bid_url)
+        assert recovered.status == 200
+        assert "fallback" not in recovered.body
+
+    def test_predictions_while_open_is_503_with_hint(self, small_universe):
+        clock = ManualClock()
+        api, gateway = self._broken_gateway(small_universe, clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        api.fail = True
+        for _ in range(3):
+            gateway.get(url)
+        response = gateway.get(url)
+        assert response.status == 503
+        assert response.body["fallback"] == "ondemand"
+        assert response.body["retry_after"] == 60.0
+
+
+class TestDeadlines:
+    def test_no_budget_left_skips_recompute(self, small_universe):
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        response = gateway.get(
+            f"/predictions/c4.large/us-east-1b"
+            f"?probability=0.95&now={now}&deadline=0"
+        )
+        assert response.status == 504
+        assert gateway.metrics.counter("gateway.deadline_exceeded").value == 1
+        # The recompute was skipped entirely.
+        assert gateway.metrics.counter("serving.recomputes").value == 0
+
+    def test_slow_recompute_returns_504(self, small_universe):
+        clock = ManualClock()
+        api = EC2Api(small_universe)
+
+        class _SlowApi:
+            def __getattr__(self, name):
+                return getattr(api, name)
+
+            def describe_spot_price_history(self, instance_type, zone, now):
+                clock.advance(9.0)  # the recompute "takes" 9 wall seconds
+                return api.describe_spot_price_history(instance_type, zone, now)
+
+        gateway = ServingGateway(DraftsService(_SlowApi()), clock=clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = (
+            f"/predictions/c4.large/us-east-1b"
+            f"?probability=0.95&now={now}&deadline=5"
+        )
+        assert gateway.get(url).status == 504
+        # The curve *was* computed and cached, so a retry is instant.
+        assert gateway.get(url).status == 200
+
+
+class TestGatewayClient:
+    def test_client_over_gateway(self, small_universe):
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        client = DraftsClient(gateway)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        assert client.health()
+        curve = client.fetch_curve("c4.large", "us-east-1b", 0.95, now)
+        assert curve is not None and curve.minimum_bid > 0
+        assert client.bid_for("c4.large", "us-east-1b", 0.95, 1800.0, now) > 0
+        snapshot = client.metrics()
+        assert snapshot is not None and snapshot["counters"]["gateway.misses"] >= 1
+
+    def test_client_retries_sheds(self):
+        class _ShedOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def get(self, url):
+                from repro.service.rest import Response
+
+                self.calls += 1
+                if self.calls == 1:
+                    return Response(429, {"retry_after": 1.5})
+                return Response(200, {"status": "ok"})
+
+        sleeps = []
+        endpoint = _ShedOnce()
+        client = DraftsClient(endpoint, shed_retries=2, sleep=sleeps.append)
+        assert client.health()
+        assert endpoint.calls == 2
+        assert sleeps == [1.5]
+
+
+class TestAccounting:
+    def test_identity_over_mixed_traffic(self, small_universe):
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        urls = [
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}",  # miss
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}",  # hit
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={now + 3600}",  # stale
+            "/predictions/c4.large/us-east-1b?probability=abc&now=1",  # error
+            f"/bid/c4.large/us-east-1b?probability=0.95&duration=1800&now={now + 3600}",
+            "/health",  # not a curve request: counted as "other"
+        ]
+        for url in urls:
+            gateway.get(url)
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.requests"] == 5
+        assert (
+            counters["gateway.hits"]
+            + counters["gateway.stale_hits"]
+            + counters["gateway.misses"]
+            + counters.get("gateway.shed", 0)
+            + counters["gateway.errors"]
+            == counters["gateway.requests"]
+        )
+        assert counters["gateway.other"] == 1

@@ -1,0 +1,108 @@
+"""Unit tests for the deterministic load generator."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.serving.loadgen import LoadgenConfig, LoadGenerator
+
+KEYS = [
+    ("c4.large", "us-east-1b", 0.95),
+    ("m3.medium", "us-east-1c", 0.95),
+    ("c3.2xlarge", "us-west-1a", 0.95),
+    ("r3.large", "eu-west-1a", 0.95),
+    ("c4.xlarge", "us-east-1d", 0.95),
+]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(mode="burst")
+        with pytest.raises(ValueError):
+            LoadgenConfig(zipf_exponent=-1)
+        with pytest.raises(ValueError):
+            LoadgenConfig(bid_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadGenerator([], LoadgenConfig())
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        config = LoadgenConfig(n_requests=200, seed=42, bid_fraction=0.5)
+        a = [r.url for r in LoadGenerator(KEYS, config).requests()]
+        b = [r.url for r in LoadGenerator(KEYS, config).requests()]
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = [
+            r.url
+            for r in LoadGenerator(
+                KEYS, LoadgenConfig(n_requests=200, seed=1)
+            ).requests()
+        ]
+        b = [
+            r.url
+            for r in LoadGenerator(
+                KEYS, LoadgenConfig(n_requests=200, seed=2)
+            ).requests()
+        ]
+        assert a != b
+
+
+class TestShape:
+    def test_zipf_skew_prefers_low_ranks(self):
+        config = LoadgenConfig(n_requests=3000, seed=3, zipf_exponent=1.5)
+        counts = collections.Counter(
+            r.key for r in LoadGenerator(KEYS, config).requests()
+        )
+        assert counts[KEYS[0]] > counts[KEYS[-1]]
+        assert counts[KEYS[0]] > 3000 / len(KEYS)  # far above uniform share
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        generator = LoadGenerator(
+            KEYS, LoadgenConfig(n_requests=5000, seed=3, zipf_exponent=0.0)
+        )
+        assert np.allclose(generator.key_weights(), 1.0 / len(KEYS))
+
+    def test_weights_sum_to_one(self):
+        generator = LoadGenerator(KEYS, LoadgenConfig(zipf_exponent=1.1))
+        assert generator.key_weights().sum() == pytest.approx(1.0)
+
+    def test_bid_fraction_mix(self):
+        config = LoadgenConfig(n_requests=2000, seed=5, bid_fraction=0.3)
+        urls = [r.url for r in LoadGenerator(KEYS, config).requests()]
+        bid_share = sum(u.startswith("/bid/") for u in urls) / len(urls)
+        assert 0.25 < bid_share < 0.35
+        assert all(
+            u.startswith("/bid/") or u.startswith("/predictions/")
+            for u in urls
+        )
+
+    def test_now_drift_advances_simulation_time(self):
+        config = LoadgenConfig(
+            n_requests=10, seed=1, start_now=1000.0, now_drift=5.0
+        )
+        nows = [r.now for r in LoadGenerator(KEYS, config).requests()]
+        assert nows == [1000.0 + 5.0 * i for i in range(10)]
+
+
+class TestArrivals:
+    def test_closed_loop_has_zero_offsets(self):
+        requests = list(
+            LoadGenerator(KEYS, LoadgenConfig(n_requests=50, seed=1)).requests()
+        )
+        assert all(r.arrival == 0.0 for r in requests)
+
+    def test_open_loop_arrivals_increase_at_rate(self):
+        config = LoadgenConfig(
+            n_requests=4000, seed=9, mode="open", arrival_rate=100.0
+        )
+        arrivals = [r.arrival for r in LoadGenerator(KEYS, config).requests()]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        # Mean inter-arrival ~ 1/rate.
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert mean_gap == pytest.approx(0.01, rel=0.1)

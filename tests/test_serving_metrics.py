@@ -1,0 +1,100 @@
+"""Unit tests for the serving metrics registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("c")
+
+        def bump():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        assert gauge.add(-1.5) == 1.5
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        data = hist.to_dict()
+        counts = [bucket["count"] for bucket in data["buckets"]]
+        assert counts == [1, 2, 1, 1]  # last is the overflow bucket
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(5.0605)
+
+    def test_quantile_upper_bound(self):
+        hist = Histogram("h", bounds=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            hist.observe(0.0005)
+        hist.observe(0.05)
+        assert hist.quantile(0.5) == 0.001
+        assert hist.quantile(1.0) == 0.1
+
+    def test_overflow_quantile_is_inf(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(5.0)
+        assert math.isinf(hist.quantile(0.99))
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("h", bounds=(1.0,)).quantile(0.99))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_lazy_creation_and_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat", bounds=(0.1, 1.0)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests": 3}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must not raise
