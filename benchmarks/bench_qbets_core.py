@@ -32,8 +32,10 @@ def test_online_update_latency(benchmark, warm_predictor):
         qb.update(float(next(stream)))
 
     benchmark(one_update)
-    # "A few milliseconds": require well under 2 ms per update.
-    assert benchmark.stats["mean"] < 2e-3
+    # "A few milliseconds": require well under 2 ms per update. (stats is
+    # None in the --benchmark-disable smoke run.)
+    if benchmark.stats is not None:
+        assert benchmark.stats["mean"] < 2e-3
 
 
 def test_three_month_fit_time(benchmark):
@@ -49,7 +51,8 @@ def test_three_month_fit_time(benchmark):
 
     bound = benchmark.pedantic(fit, rounds=3, iterations=1)
     assert bound > 0
-    assert benchmark.stats["mean"] < 30.0
+    if benchmark.stats is not None:
+        assert benchmark.stats["mean"] < 30.0
 
 
 def test_online_drafts_update_latency(benchmark):
@@ -71,4 +74,5 @@ def test_online_drafts_update_latency(benchmark):
         online.observe(clock["t"], float(next(prices)))
 
     benchmark(one_update)
-    assert benchmark.stats["mean"] < 2e-3
+    if benchmark.stats is not None:
+        assert benchmark.stats["mean"] < 2e-3

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Measure the backtest performance trajectory and emit ``BENCH_backtest.json``.
+
+Times the two numbers the batched-kernel work is gated on —
+
+* the cold sequential bench-scale backtest matrix (the Table 1 hot path),
+* QBETS per-update latency on a warm three-month predictor —
+
+plus the warm (predictor-cache) matrix re-run, and writes them next to the
+recorded pre-optimisation baselines so the speedups are tracked in one
+artefact. Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py
+
+Use ``--scale test`` for a seconds-long smoke run (the JSON then carries no
+baseline comparison: the baselines were recorded at the bench scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Pre-optimisation numbers, recorded on the reference machine at the seed
+#: revision (sequential bench-scale matrix; volatile-trace warm predictor).
+BASELINE = {
+    "backtest_matrix_bench_seq_s": 63.710,
+    "qbets_update_mean_us": 23.357,
+    "qbets_fit_3mo_ms": 550.6,
+}
+
+
+def _time_backtest(scale: str) -> tuple[float, float, dict]:
+    from repro.backtest import predcache
+    from repro.experiments.parallel import backtest_matrix
+
+    predcache.clear()
+    start = time.perf_counter()
+    cold = backtest_matrix(scale=scale, probability=0.99, workers=0)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = backtest_matrix(scale=scale, probability=0.99, workers=0)
+    warm_s = time.perf_counter() - start
+    if warm != cold:
+        raise AssertionError("warm-cache matrix diverged from cold run")
+    return cold_s, warm_s, predcache.cache_info()
+
+
+def _time_qbets_updates(n_updates: int = 20_000) -> float:
+    from repro.core.qbets import QBETS, QBETSConfig
+    from repro.market.synthetic import generate_trace
+
+    trace = generate_trace("volatile", 0.42, n_epochs=26_000, rng=3)
+    qb = QBETS(QBETSConfig(q=0.975, c=0.99))
+    qb.bound_series(trace.prices)
+    tail = generate_trace("volatile", 0.42, n_epochs=4000, rng=4)
+    updates = np.tile(tail.prices, 1 + n_updates // tail.prices.size)
+    updates = updates[:n_updates].tolist()
+    start = time.perf_counter()
+    for value in updates:
+        qb.update(value)
+    return (time.perf_counter() - start) / n_updates * 1e6
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("test", "bench"),
+        default="bench",
+        help="backtest scale (default: bench; 'test' for a smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_backtest.json",
+        help="output path (default: BENCH_backtest.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    print(f"timing backtest_matrix(scale={args.scale!r}, workers=0) ...")
+    cold_s, warm_s, cache = _time_backtest(args.scale)
+    print(f"  cold: {cold_s:.2f} s   warm cache: {warm_s:.2f} s   {cache}")
+    print("timing QBETS per-update latency ...")
+    update_us = _time_qbets_updates()
+    print(f"  {update_us:.2f} us/update")
+
+    report = {
+        "scale": args.scale,
+        "platform": platform.platform(),
+        "measured": {
+            "backtest_matrix_seq_s": round(cold_s, 3),
+            "backtest_matrix_warm_cache_s": round(warm_s, 3),
+            "qbets_update_mean_us": round(update_us, 3),
+        },
+        "predcache": cache,
+    }
+    if args.scale == "bench":
+        report["baseline"] = BASELINE
+        report["speedup"] = {
+            "backtest_matrix": round(
+                BASELINE["backtest_matrix_bench_seq_s"] / cold_s, 2
+            ),
+            "qbets_update": round(
+                BASELINE["qbets_update_mean_us"] / update_us, 2
+            ),
+        }
+        print(
+            f"speedup vs baseline: matrix x{report['speedup']['backtest_matrix']}"
+            f", qbets update x{report['speedup']['qbets_update']}"
+        )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,3 +15,12 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+# Smoke-run the benchmark suite: --benchmark-disable executes every bench
+# body once without timing rounds, so import errors and broken experiment
+# plumbing surface here instead of in a long benchmark session. Skippable
+# for quick local iterations with CHECK_SKIP_BENCH=1.
+if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
+    echo "== benchmark smoke (--benchmark-disable) =="
+    PYTHONPATH=src python -m pytest benchmarks/ -q --benchmark-disable
+fi

@@ -25,7 +25,10 @@ from repro.experiments.common import SCALES, scaled_universe
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
-    return experiments_main([args.experiment, "--scale", args.scale])
+    argv = [args.experiment, "--scale", args.scale]
+    if args.workers:
+        argv += ["--workers", str(args.workers)]
+    return experiments_main(argv)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -122,6 +125,13 @@ def main(argv: list[str] | None = None) -> int:
     p_exp = sub.add_parser("experiments", help="reproduce paper artefacts")
     p_exp.add_argument("experiment")
     p_exp.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p_exp.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the backtest-shaped experiments "
+        "(0 = sequential)",
+    )
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_export = sub.add_parser("export", help="write a price archive")

@@ -25,7 +25,14 @@ from repro.cloud.spot import SpotTier, TerminationCause
 from repro.market.universe import Combo, Universe
 from repro.util.rng import RngFactory
 
-__all__ = ["CostOptRow", "CostOptTable", "run_costopt"]
+__all__ = [
+    "ComboCosts",
+    "CostOptRow",
+    "CostOptTable",
+    "aggregate_costs",
+    "combo_costs",
+    "run_costopt",
+]
 
 
 @dataclass(frozen=True)
@@ -123,36 +130,66 @@ def _request_cost(
     return run.charge.cost + retry, True, True
 
 
-def run_costopt(
-    universe: Universe,
-    combos: list[Combo],
-    config: BacktestConfig,
-) -> CostOptTable:
-    """Run the §4.4 strategy over ``combos`` and aggregate per AZ.
+@dataclass(frozen=True)
+class ComboCosts:
+    """Per-request cost breakdown of one combination (pre-aggregation).
 
-    Uses the same request-sampling distribution as the correctness
-    backtest (§4.4 prices "all of the backtested instances used to generate
-    the results in Section 4.1").
+    Keeping the request-level series (rather than per-combo sums) lets the
+    parallel Table 4/5 path accumulate in exactly the sequential order —
+    float addition is not associative, and the tables must not depend on
+    how the work was scattered.
     """
+
+    zone: str
+    ondemand_costs: tuple[float, ...]
+    strategy_costs: tuple[float, ...]
+    used_spot: tuple[bool, ...]
+    terminated: tuple[bool, ...]
+
+
+def combo_costs(
+    universe: Universe, combo: Combo, config: BacktestConfig
+) -> ComboCosts:
+    """Cost the §4.4 strategy for every sampled request of one combination."""
+    trace = universe.trace(combo)
+    strategy = DraftsBid.for_combo(combo, trace, config.probability)
+    tier = SpotTier(trace)
+    rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
+    t_indices, durations = sample_requests(trace, config, rng)
+    bids = strategy.bid_at_many(t_indices, durations)
+    od_costs, costs, spots, terms = [], [], [], []
+    for t_idx, duration, bid in zip(t_indices, durations, bids):
+        start = float(trace.times[t_idx])
+        duration = float(duration)
+        od_costs.append(charge_ondemand(combo.ondemand_price, duration).cost)
+        cost, used_spot, terminated = _request_cost(
+            tier, combo, start, duration, float(bid)
+        )
+        costs.append(cost)
+        spots.append(used_spot)
+        terms.append(terminated)
+    return ComboCosts(
+        zone=combo.zone.name,
+        ondemand_costs=tuple(od_costs),
+        strategy_costs=tuple(costs),
+        used_spot=tuple(spots),
+        terminated=tuple(terms),
+    )
+
+
+def aggregate_costs(
+    probability: float, per_combo: list[ComboCosts]
+) -> CostOptTable:
+    """Fold per-combination cost series into the per-AZ Table 4/5 rows."""
     per_zone: dict[str, dict[str, float]] = {}
-    for combo in combos:
-        trace = universe.trace(combo)
-        strategy = DraftsBid.for_combo(combo, trace, config.probability)
-        tier = SpotTier(trace)
-        rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
-        t_indices, durations = sample_requests(trace, config, rng)
+    for cc in per_combo:
         acc = per_zone.setdefault(
-            combo.zone.name,
+            cc.zone,
             {"od": 0.0, "strategy": 0.0, "spot": 0, "ondemand": 0, "term": 0},
         )
-        for t_idx, duration in zip(t_indices, durations):
-            start = float(trace.times[t_idx])
-            duration = float(duration)
-            bid = strategy.bid_at(int(t_idx), duration)
-            od_cost = charge_ondemand(combo.ondemand_price, duration).cost
-            cost, used_spot, terminated = _request_cost(
-                tier, combo, start, duration, bid
-            )
+        for od_cost, cost, used_spot, terminated in zip(
+            cc.ondemand_costs, cc.strategy_costs, cc.used_spot, cc.terminated
+        ):
             acc["od"] += od_cost
             acc["strategy"] += cost
             acc["spot"] += int(used_spot)
@@ -169,4 +206,21 @@ def run_costopt(
         )
         for zone, acc in sorted(per_zone.items())
     )
-    return CostOptTable(probability=config.probability, rows=rows)
+    return CostOptTable(probability=probability, rows=rows)
+
+
+def run_costopt(
+    universe: Universe,
+    combos: list[Combo],
+    config: BacktestConfig,
+) -> CostOptTable:
+    """Run the §4.4 strategy over ``combos`` and aggregate per AZ.
+
+    Uses the same request-sampling distribution as the correctness
+    backtest (§4.4 prices "all of the backtested instances used to generate
+    the results in Section 4.1").
+    """
+    return aggregate_costs(
+        config.probability,
+        [combo_costs(universe, combo, config) for combo in combos],
+    )

@@ -172,10 +172,10 @@ def run_backtest(
     strategy = strategy_cls.for_combo(combo, trace, config.probability)
     rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
     t_indices, durations = sample_requests(trace, config, rng)
+    bids = strategy.bid_at_many(t_indices, durations)
     outcomes = []
-    for t_idx, duration in zip(t_indices, durations):
-        bid = strategy.bid_at(int(t_idx), float(duration))
-        survived = check_survival(trace, int(t_idx), float(duration), bid)
+    for t_idx, duration, bid in zip(t_indices, durations, bids):
+        survived = check_survival(trace, int(t_idx), float(duration), float(bid))
         outcomes.append(
             RequestOutcome(
                 t_idx=int(t_idx),

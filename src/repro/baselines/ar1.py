@@ -54,7 +54,9 @@ class AR1Bid(BidStrategy):
                 q=probability, c=0.99, side="upper", max_value=max_price
             )
         )
-        qb.bound_series(self._prices)
+        # scan() evolves the detector state exactly like bound_series()
+        # but skips the per-step bound selection this baseline never reads.
+        qb.scan(self._prices)
         self._changepoints = np.asarray(qb.changepoints, dtype=np.int64)
 
     @classmethod

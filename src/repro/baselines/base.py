@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.market.traces import PriceTrace
 from repro.market.universe import Combo
 
@@ -55,3 +57,21 @@ class BidStrategy(abc.ABC):
         Returns ``nan`` when the strategy cannot produce a bid (e.g. not
         enough history); the backtest records such requests separately.
         """
+
+    def bid_at_many(
+        self, t_idxs: np.ndarray, duration_seconds: np.ndarray
+    ) -> np.ndarray:
+        """Bids for a batch of parallel ``(t_idx, duration)`` queries.
+
+        The default simply loops :meth:`bid_at`; strategies with a
+        vectorised query path (DrAFTS) override this. Must return exactly
+        the values the scalar loop would — the backtest engine treats the
+        two as interchangeable.
+        """
+        return np.array(
+            [
+                self.bid_at(int(t), float(d))
+                for t, d in zip(t_idxs, duration_seconds)
+            ],
+            dtype=np.float64,
+        )

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.baselines.base import BidStrategy
 from repro.core.drafts import DraftsConfig, DraftsPredictor
 from repro.market.traces import PriceTrace
@@ -45,9 +47,14 @@ class DraftsBid(BidStrategy):
     def for_combo(
         cls, combo: Combo, trace: PriceTrace, probability: float
     ) -> "DraftsBid":
+        # The predictor cache shares the expensive phase-1 fit with every
+        # other experiment cell that queries the same (trace, config) —
+        # e.g. the cost optimiser of Tables 4/5 at the same probability.
+        from repro.backtest import predcache
+
         max_price = max(100.0, float(trace.prices.max()) * 8.0)
         config = DraftsConfig(probability=probability, max_price=max_price)
-        return cls(DraftsPredictor(trace, config))
+        return cls(predcache.get_predictor(trace, config))
 
     @property
     def predictor(self) -> DraftsPredictor:
@@ -64,3 +71,16 @@ class DraftsBid(BidStrategy):
         if math.isnan(min_bid):
             return float("nan")
         return min_bid * self._predictor.config.ladder_span
+
+    def bid_at_many(
+        self, t_idxs: np.ndarray, duration_seconds: np.ndarray
+    ) -> np.ndarray:
+        bids = self._predictor.bid_for_many(duration_seconds, t_idxs)
+        if self._fallback == "none":
+            return bids
+        span = self._predictor.config.ladder_span
+        for i in np.flatnonzero(np.isnan(bids)).tolist():
+            min_bid = self._predictor.min_bid_at(int(t_idxs[i]))
+            if not math.isnan(min_bid):
+                bids[i] = min_bid * span
+        return bids

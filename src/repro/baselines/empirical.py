@@ -11,6 +11,7 @@ under-covers (6 % of combinations in the paper's test).
 from __future__ import annotations
 
 import math
+from bisect import insort
 
 import numpy as np
 
@@ -43,19 +44,23 @@ class EmpiricalCDFBid(BidStrategy):
 
     @staticmethod
     def _running_quantiles(prices: np.ndarray, q: float) -> np.ndarray:
-        """``out[i]`` = empirical q-quantile of ``prices[:i]`` (nan early)."""
+        """``out[i]`` = empirical q-quantile of ``prices[:i]`` (nan early).
+
+        Maintains the prefix as a Python list via ``bisect.insort``: the
+        insertion is a single C-level pointer memmove, an order of magnitude
+        cheaper than shifting a numpy buffer slice per step, and the
+        order-statistic read is a plain index.
+        """
         n = prices.size
         out = np.full(n, np.nan)
-        buffer = np.empty(n, dtype=np.float64)
-        size = 0
-        for i in range(n):
-            if size >= EmpiricalCDFBid.MIN_HISTORY:
+        buffer: list[float] = []
+        min_history = EmpiricalCDFBid.MIN_HISTORY
+        for i, price in enumerate(prices.tolist()):
+            size = len(buffer)
+            if size >= min_history:
                 k = max(int(math.ceil(q * size)) - 1, 0)
                 out[i] = buffer[k]
-            pos = int(np.searchsorted(buffer[:size], prices[i]))
-            buffer[pos + 1 : size + 1] = buffer[pos:size]
-            buffer[pos] = prices[i]
-            size += 1
+            insort(buffer, price)
         return out
 
     @classmethod

@@ -31,6 +31,7 @@ the backtest evaluates bound indices for every prefix of a price history.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 from scipy import stats
@@ -38,6 +39,7 @@ from scipy import stats
 from repro.util.validation import check_probability
 
 __all__ = [
+    "index_table",
     "lower_bound_index",
     "lower_bound_value",
     "min_history_lower",
@@ -113,6 +115,39 @@ def lower_bound_index(
     # Lower bound on Q_q in ascending order is the mirror image of the upper
     # bound on Q_{1-q} in descending order.
     return upper_bound_index(n, 1.0 - q, c)
+
+
+_tables_lock = threading.Lock()
+_k_tables: dict[tuple[str, float, float], list[int]] = {}
+
+
+def index_table(side: str, q: float, c: float, n: int) -> list[int]:
+    """Shared memoised bound-index table covering at least ``0..n``.
+
+    ``index_table(side, q, c, n)[m]`` equals
+    ``upper_bound_index(m, q, c)`` (``side="upper"``) or
+    ``lower_bound_index(m, q, c)`` (``side="lower"``) for every ``m <= n``.
+
+    The index depends only on ``(side, q, c, n)`` and the scipy evaluation
+    behind it dominates a QBETS fit when recomputed per predictor, so the
+    tables are process-wide: every fit and every phase-2 query against the
+    same parameters shares one list, grown geometrically (and only over the
+    *new* range) on demand. The returned list is shared — callers must
+    treat it as append-only and never mutate entries.
+    """
+    if side not in ("upper", "lower"):
+        raise ValueError(f"side must be 'upper' or 'lower', got {side!r}")
+    key = (side, q, c)
+    table = _k_tables.setdefault(key, [])
+    if n >= len(table):
+        with _tables_lock:
+            if n >= len(table):
+                start = len(table)
+                stop = max(2 * n + 1, 1024)
+                ns = np.arange(start, stop, dtype=np.int64)
+                fn = upper_bound_index if side == "upper" else lower_bound_index
+                table.extend(np.asarray(fn(ns, q, c)).tolist())
+    return table
 
 
 def upper_bound_value(values: np.ndarray, q: float, c: float) -> float:

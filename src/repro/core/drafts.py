@@ -165,6 +165,9 @@ class DraftsPredictor:
         self._min_duration_n = binomial.min_history_lower(
             self._cfg.duration_quantile, self._cfg.confidence
         )
+        self._duration_k_table = binomial.index_table(
+            "lower", self._cfg.duration_quantile, self._cfg.confidence, 0
+        )
 
     def _build_ladder(self) -> DurationLadder:
         cfg = self._cfg
@@ -222,6 +225,59 @@ class DraftsPredictor:
             return 0
         return int(self._changepoints[pos])
 
+    def _query_window(self, t_idx: int) -> tuple[int, int]:
+        """Start index and length of the usable duration series at ``t_idx``.
+
+        Applies the change-point truncation and the minimum-history floor.
+        Both depend only on the instant, not on the bid, so every rung
+        queried at ``t_idx`` shares one window.
+        """
+        s0 = self._duration_start(t_idx)
+        s0 = min(s0, max(0, t_idx - self._min_duration_n))
+        return s0, t_idx - s0
+
+    def _duration_k(self, n: int) -> int:
+        """Order-statistic index of the phase-2 bound for ``n`` durations."""
+        table = self._duration_k_table
+        if n >= len(table):
+            binomial.index_table(
+                "lower", self._cfg.duration_quantile, self._cfg.confidence, n
+            )
+        return table[n]
+
+    def _rung_bounds(self, rungs: np.ndarray, t_idx: int) -> np.ndarray:
+        """Phase-2 duration bounds for several ladder rungs at one instant.
+
+        Batched counterpart of :meth:`duration_bound` (bit-identical per
+        rung): one :meth:`DurationLadder.duration_matrix` pass builds the
+        censored series for every requested rung, then a single axis-wise
+        ``np.partition`` selects all order statistics at once.
+        """
+        cfg = self._cfg
+        out = np.full(len(rungs), np.nan)
+        s0, n = self._query_window(t_idx)
+        if n < self._min_duration_n:
+            return out
+        mat = self._ladder.duration_matrix(t_idx, s0, rungs=rungs)
+        if not cfg.autocorr_durations:
+            k = self._duration_k(n)
+            if k < 0:
+                return out
+            return np.partition(mat, k, axis=1)[:, k]
+        # Ablation path: the effective-sample-size correction makes the
+        # order-statistic index rung-dependent, so after the shared matrix
+        # pass each row is finished individually.
+        qd = cfg.duration_quantile
+        k_thr = min(max(int(math.ceil(qd * n)) - 1, 0), n - 1)
+        thresholds = np.partition(mat, k_thr, axis=1)[:, k_thr]
+        for i in range(mat.shape[0]):
+            rho = lag1_autocorr((mat[i] < thresholds[i]).astype(np.float64))
+            n_eff = effective_sample_size(n, rho)
+            k = binomial.lower_bound_index(n_eff, qd, cfg.confidence)
+            if k >= 0:
+                out[i] = np.partition(mat[i], int(k))[int(k)]
+        return out
+
     def duration_bound(self, bid: float, t_idx: int) -> float:
         """Phase-2 guaranteed duration (seconds) for ``bid`` at ``t_idx``.
 
@@ -278,16 +334,122 @@ class DraftsPredictor:
         cap = min_bid * self._cfg.ladder_span
         levels = self._ladder.levels
         start = int(np.searchsorted(levels, min_bid, side="left"))
-        best = float("nan")
-        for i in range(start, levels.size):
-            bid = float(levels[i])
-            if bid > cap * (1.0 + 1e-12):
-                break
-            d = self.duration_bound(bid, t_idx)
-            if not math.isnan(d) and d >= duration_seconds:
-                best = bid
-                break
-        return best
+        stop = int(np.searchsorted(levels, cap * (1.0 + 1e-12), side="right"))
+        rung = self._first_rung_covering(duration_seconds, t_idx, start, stop)
+        if rung < 0:
+            return float("nan")
+        return float(levels[rung])
+
+    # Block width of the linear candidate scan used when the per-rung
+    # order-statistic index varies (the autocorr_durations ablation): the
+    # answer is usually within a few rungs of the minimum bid, so
+    # materialising the duration matrix for the whole ladder span would
+    # waste the early-exit that the scalar walk enjoyed.
+    _SCAN_BLOCK: int = 4
+
+    def _first_rung_covering(
+        self, duration_seconds: float, t_idx: int, start: int, stop: int
+    ) -> int:
+        """Smallest rung in ``[start, stop)`` whose bound covers the request.
+
+        Returns -1 when none qualifies. Two exact shortcuts over the naive
+        per-rung selection:
+
+        * *Counting instead of selecting*: for ``n`` censored durations the
+          k-th smallest is ``>= D`` exactly when at most ``k`` of them are
+          ``< D`` — one comparison pass per rung, no partition.
+        * *Binary search over rungs*: a higher rung's threshold is reached
+          no sooner at every start, so its censored durations dominate a
+          lower rung's elementwise and the qualification predicate is
+          monotone along the ladder. The first qualifying rung is found in
+          ``O(log rungs)`` probes (after one probe of the top rung to
+          dismiss unsatisfiable requests), identical to the linear walk.
+        """
+        if stop <= start:
+            return -1
+        cfg = self._cfg
+        if cfg.autocorr_durations:
+            # Rung-dependent order-statistic index: the effective-sample
+            # correction breaks the monotonicity argument, so scan
+            # linearly (in small blocks) exactly like the scalar walk.
+            for i in range(start, stop, self._SCAN_BLOCK):
+                block = np.arange(i, min(i + self._SCAN_BLOCK, stop))
+                vals = self._rung_bounds(block, t_idx)
+                hits = np.flatnonzero(
+                    ~np.isnan(vals) & (vals >= duration_seconds)
+                )
+                if hits.size:
+                    return int(block[hits[0]])
+            return -1
+        s0, n = self._query_window(t_idx)
+        if n < self._min_duration_n:
+            return -1
+        k = self._duration_k(n)
+        if k < 0:
+            return -1
+        ladder = self._ladder
+
+        def covers(rung: int) -> bool:
+            row = ladder.duration_matrix(t_idx, s0, rungs=[rung])
+            return int(np.count_nonzero(row < duration_seconds)) <= k
+
+        if not covers(stop - 1):
+            return -1
+        lo, hi = start, stop - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if covers(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def bid_for_many(
+        self, duration_seconds: np.ndarray, t_idxs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`bid_for` over parallel query arrays.
+
+        Returns one bid (or nan) per ``(duration_seconds[i], t_idxs[i])``
+        query, bit-identical to the scalar loop. Queries are processed in
+        ascending ``t_idx`` order so repeated instants share the candidate
+        scan, and the phase-1 lookups plus the binomial index are batched
+        across the whole query set.
+        """
+        dur = np.asarray(duration_seconds, dtype=np.float64)
+        tis = np.asarray(t_idxs, dtype=np.int64)
+        if dur.shape != tis.shape or dur.ndim != 1:
+            raise ValueError("duration_seconds and t_idxs must be 1-D and equal length")
+        if dur.size and float(dur.min()) < 0:
+            raise ValueError("duration must be non-negative")
+        out = np.full(dur.size, np.nan)
+        if dur.size == 0:
+            return out
+        if self._cfg.autocorr_durations:
+            for i in range(dur.size):
+                out[i] = self.bid_for(float(dur[i]), int(tis[i]))
+            return out
+        levels = self._ladder.levels
+        span = self._cfg.ladder_span
+        order = np.argsort(tis, kind="stable")
+        last: tuple[int, float, int] | None = None
+        for i in order.tolist():
+            t_idx = int(tis[i])
+            d = float(dur[i])
+            if last is not None and last[0] == t_idx and last[1] == d:
+                out[i] = out[last[2]]
+                continue
+            min_bid = self.min_bid_at(t_idx)
+            if not math.isnan(min_bid):
+                cap = min_bid * span
+                start = int(np.searchsorted(levels, min_bid, side="left"))
+                stop = int(
+                    np.searchsorted(levels, cap * (1.0 + 1e-12), side="right")
+                )
+                rung = self._first_rung_covering(d, t_idx, start, stop)
+                if rung >= 0:
+                    out[i] = float(levels[rung])
+            last = (t_idx, d, i)
+        return out
 
     def curve_at(
         self, t_idx: int, instance_type: str = "", zone: str = ""
@@ -306,9 +468,16 @@ class DraftsPredictor:
         rungs = bid_ladder(
             min_bid, self._cfg.ladder_increment, self._cfg.ladder_span
         )
-        durations = np.array(
-            [self.duration_bound(float(b), t_idx) for b in rungs]
+        # Map curve bids onto precomputed ladder rungs (next rung up, as in
+        # duration_bound; above-ladder bids clamp to the conservative top
+        # rung), then evaluate every distinct rung in one matrix pass.
+        levels = self._ladder.levels
+        ridx = np.minimum(
+            np.searchsorted(levels, np.asarray(rungs), side="left"),
+            levels.size - 1,
         )
+        uniq, inverse = np.unique(ridx, return_inverse=True)
+        durations = self._rung_bounds(uniq, t_idx)[inverse]
         filled = np.where(np.isnan(durations), -np.inf, durations)
         mono = np.maximum.accumulate(filled)
         durations = np.where(np.isinf(mono), np.nan, mono)

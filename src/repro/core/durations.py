@@ -92,9 +92,15 @@ class DurationLadder:
         if np.any(np.diff(lv) <= 0):
             raise ValueError("levels must be strictly increasing")
         self._levels = lv
-        self._exceed = np.vstack(
+        exceed = np.vstack(
             [next_exceed_indices(self._prices, b) for b in lv]
         )
+        # Entries are bounded by the trace length, so int32 halves the
+        # footprint of the dominant precomputed structure — this is what a
+        # cached predictor mostly weighs (repro/backtest/predcache.py).
+        if self._times.size < np.iinfo(np.int32).max:
+            exceed = exceed.astype(np.int32)
+        self._exceed = exceed
 
     @property
     def levels(self) -> np.ndarray:
@@ -133,6 +139,34 @@ class DurationLadder:
     def durations_at(self, rung: int, t_idx: int) -> np.ndarray:
         """Censored duration series observable at ``t_idx`` for ``rung``."""
         return censored_durations(self._times, self._exceed[rung], t_idx)
+
+    def duration_matrix(
+        self,
+        t_idx: int,
+        s0: int = 0,
+        rungs: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Censored durations for many rungs at one instant, as a matrix.
+
+        Row ``r`` equals ``durations_at(rungs[r], t_idx)[s0:]`` (all rungs
+        when ``rungs`` is None), but every row is produced in one 2-D
+        vectorised pass — a single ``minimum`` against the censor index, one
+        gather of end times and one broadcast subtraction — instead of a
+        Python-level loop re-slicing the exceedance table per rung. This is
+        the phase-2 kernel behind :meth:`DraftsPredictor.curve_at` and
+        :meth:`DraftsPredictor.bid_for`.
+        """
+        t = self._times
+        if not 0 <= t_idx <= t.size:
+            raise IndexError(f"t_idx {t_idx} out of range for {t.size} samples")
+        if not 0 <= s0 <= t_idx:
+            raise ValueError(f"s0 {s0} out of range for t_idx {t_idx}")
+        sub = self._exceed if rungs is None else self._exceed[rungs]
+        if t_idx == s0:
+            return np.empty((sub.shape[0], 0), dtype=np.float64)
+        censor = min(t_idx, t.size - 1)
+        ends = np.minimum(sub[:, s0:t_idx], censor)
+        return t[ends] - t[s0:t_idx]
 
     def survival_time(self, rung: int, t_idx: int) -> float:
         """Realised time from ``t_idx`` until the rung's level is reached.

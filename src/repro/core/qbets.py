@@ -14,22 +14,20 @@ statistic of the recent stationary segment of the series:
    effective sample size for positively dependent series, pushing the chosen
    order statistic toward the extremes.
 
-The online implementation keeps its history in a Fenwick-backed
-order-statistic tracker, so processing one new observation costs
-``O(log m)`` — this is what makes the paper's "incremental update in a few
-milliseconds" claim (§3.3) hold.
+The online implementation keeps its history in an incremental
+order-statistic tracker (:mod:`repro.core.quantile_tracker`), so processing
+one new observation costs far less than re-sorting — this is what makes the
+paper's "incremental update in a few milliseconds" claim (§3.3) hold.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core import binomial
-from repro.core.autocorr import effective_sample_size
 from repro.core.changepoint import ChangePointDetector, ChangeSignal
 from repro.core.quantile_tracker import QuantileTracker
 from repro.util.stats import lag1_autocorr
@@ -168,17 +166,25 @@ class QBETS:
             if config.changepoint
             else None
         )
-        self._recent: deque[float] = deque(maxlen=config.autocorr_window)
+        # Last `autocorr_window` observations, kept in a preallocated ring
+        # buffer: the per-update cost is one array store, and the
+        # chronological view is materialised only when the autocorrelation
+        # estimate is actually refreshed.
+        self._recent_buf = np.empty(config.autocorr_window, dtype=np.float64)
+        self._recent_n = 0
+        self._recent_pos = 0
         self._min_history = config.min_history()
-        self._rho = 0.0
         self._updates_since_rho = 0
         self._bound = float("nan")
+        self._bound_stale = False
         self._changepoints: list[int] = []
         self._n_seen = 0
+        self._set_rho(0.0)
         # The order-statistic index depends only on (n, q, c); computing it
-        # through scipy per update dominates the profile, so it is
-        # memoised as a lookup table grown geometrically.
-        self._k_table = np.empty(0, dtype=np.int64)
+        # through scipy per update dominates the profile, so every instance
+        # indexes the process-wide memoised table (predictors for different
+        # combinations share identical (q, c) and therefore one table).
+        self._k_table = binomial.index_table(config.side, config.q, config.c, 0)
         self._artable = None  # built lazily when autocorr_mode == "table"
 
     @property
@@ -199,6 +205,9 @@ class QBETS:
     @property
     def bound(self) -> float:
         """Current bound prediction for the next observation (nan if none)."""
+        if self._bound_stale:
+            self._recompute_bound()
+            self._bound_stale = False
         return self._bound
 
     @property
@@ -211,11 +220,29 @@ class QBETS:
         """Indices (in ``n_seen`` terms) at which change points fired."""
         return list(self._changepoints)
 
+    def _set_rho(self, rho: float) -> None:
+        """Store a new autocorrelation estimate plus its ESS factors.
+
+        The effective-sample-size correction (see
+        :func:`repro.core.autocorr.effective_sample_size`) is applied on
+        every update while ``rho`` changes at most every
+        ``autocorr_refresh``-th; caching the clamped numerator/denominator
+        keeps the per-update cost to one multiply and one divide. The
+        expression order matches the original function exactly, so the
+        resulting ``n_eff`` is bit-identical.
+        """
+        self._rho = float(rho)
+        r = min(max(self._rho, 0.0), 0.99)
+        self._ess_num = 1.0 - r
+        self._ess_den = 1.0 + r
+
     def _effective_n(self) -> int:
         n = len(self._tracker)
         if not self._cfg.autocorr:
             return n
-        n_eff = effective_sample_size(n, self._rho)
+        n_eff = int(n * self._ess_num / self._ess_den)
+        if n_eff < 1:
+            n_eff = 1
         # The correction makes the bound more conservative (k closer to the
         # extreme) but must never silence a predictor that has enough raw
         # history: floor at the minimum sample a bound needs. Strongly
@@ -224,18 +251,13 @@ class QBETS:
         return max(n_eff, min(n, self._min_history))
 
     def _k_for(self, n_eff: int) -> int:
-        if n_eff >= self._k_table.size:
-            grown = max(2 * n_eff + 1, 1024)
-            ns = np.arange(grown, dtype=np.int64)
-            if self._cfg.side == "upper":
-                self._k_table = np.asarray(
-                    binomial.upper_bound_index(ns, self._cfg.q, self._cfg.c)
-                )
-            else:
-                self._k_table = np.asarray(
-                    binomial.lower_bound_index(ns, self._cfg.q, self._cfg.c)
-                )
-        return int(self._k_table[n_eff])
+        table = self._k_table
+        if n_eff >= len(table):
+            # Grows the shared list in place; the local reference stays valid.
+            binomial.index_table(
+                self._cfg.side, self._cfg.q, self._cfg.c, n_eff
+            )
+        return table[n_eff]
 
     def _table_k(self, n: int) -> int:
         """Order-statistic index via the Monte-Carlo correction table.
@@ -275,6 +297,37 @@ class QBETS:
         else:
             self._bound = self._tracker.kth_smallest(k)
 
+    def _recent_append(self, value: float) -> None:
+        if self._recent_n < self._recent_buf.size:
+            self._recent_buf[self._recent_n] = value
+            self._recent_n += 1
+        else:
+            self._recent_buf[self._recent_pos] = value
+            pos = self._recent_pos + 1
+            self._recent_pos = 0 if pos == self._recent_buf.size else pos
+
+    def _recent_reset(self, values) -> None:
+        """Refill the ring with the tail of ``values`` (change-point path)."""
+        window = self._recent_buf.size
+        tail = values[-window:] if len(values) > window else values
+        self._recent_n = len(tail)
+        self._recent_pos = 0
+        self._recent_buf[: self._recent_n] = tail
+
+    def _recent_view(self) -> np.ndarray:
+        """Chronologically ordered recent observations.
+
+        A zero-copy view while the ring has not wrapped; one small
+        concatenation (at most ``autocorr_window`` elements, only on
+        refresh steps) afterwards.
+        """
+        if self._recent_n < self._recent_buf.size:
+            return self._recent_buf[: self._recent_n]
+        pos = self._recent_pos
+        if pos == 0:
+            return self._recent_buf
+        return np.concatenate((self._recent_buf[pos:], self._recent_buf[:pos]))
+
     def _refresh_rho(self) -> None:
         if not self._cfg.autocorr:
             return
@@ -282,10 +335,10 @@ class QBETS:
         if self._updates_since_rho < self._cfg.autocorr_refresh:
             return
         self._updates_since_rho = 0
-        recent = np.asarray(self._recent, dtype=np.float64)
-        if recent.size < 8 or len(self._tracker) < 4:
-            self._rho = 0.0
+        if self._recent_n < 8 or len(self._tracker) < 4:
+            self._set_rho(0.0)
             return
+        recent = self._recent_view()
         if self._cfg.autocorr_mode == "table":
             # The correction table is parameterised by the *latent series*
             # AR(1) coefficient. A rank (Spearman) lag-1 autocorrelation is
@@ -293,7 +346,7 @@ class QBETS:
             # the latent Gaussian rho via 2 sin(pi * rho_s / 6).
             ranks = np.argsort(np.argsort(recent)).astype(np.float64)
             rho_s = lag1_autocorr(ranks)
-            self._rho = float(2.0 * math.sin(math.pi * rho_s / 6.0))
+            self._set_rho(float(2.0 * math.sin(math.pi * rho_s / 6.0)))
             return
         # ESS mode: exceedance indicators relative to the empirical
         # q-quantile of the tracked segment — dependence of the rare
@@ -301,32 +354,52 @@ class QBETS:
         n = len(self._tracker)
         idx = min(max(int(math.ceil(self._cfg.q * n)) - 1, 0), n - 1)
         threshold = self._tracker.kth_smallest(idx)
-        self._rho = lag1_autocorr((recent > threshold).astype(np.float64))
+        self._set_rho(lag1_autocorr((recent > threshold).astype(np.float64)))
 
-    def update(self, value: float) -> float:
+    def update(self, value: float, need_bound: bool = True) -> float:
         """Consume one observation; return the new bound prediction.
 
         The returned value is the bound for the *next* (not yet seen)
         observation, mirroring the paper's use of the history up to time
         ``t`` to predict a bid valid at ``t``.
+
+        ``need_bound=False`` defers the order-statistic selection: the
+        state evolves identically (the detector still sees the exact bound
+        in effect at each decimated step, recomputed on demand from the
+        unchanged pre-push state) but the per-step selection is skipped and
+        the return value is meaningless. Callers that only consume
+        :attr:`changepoints` — see :meth:`scan` — avoid ~a third of the
+        per-update cost; :attr:`bound` stays correct either way because the
+        property recomputes when stale.
         """
         self._n_seen += 1
-        exceeded = (not math.isnan(self._bound)) and value > self._bound
-        below_low = False
-        n = len(self._tracker)
-        if n >= 16:
-            k_low = max(
-                int(math.ceil(self._cfg.cp_down_quantile * n)) - 1, 0
-            )
-            below_low = value < self._tracker.kth_smallest(k_low)
-
-        self._tracker.push(value)
-        self._recent.append(value)
-
-        if (
+        tracker = self._tracker
+        # The change-point detector samples every cp_decimation-th
+        # observation, so its features (bound exceedance, below-median
+        # indicator) are computed only on the steps it actually consumes —
+        # they describe pre-push state, so they must be extracted before
+        # the push below.
+        feed_detector = (
             self._detector is not None
             and self._n_seen % self._cfg.cp_decimation == 0
-        ):
+        )
+        if feed_detector:
+            if self._bound_stale:
+                self._recompute_bound()
+                self._bound_stale = False
+            exceeded = (not math.isnan(self._bound)) and value > self._bound
+            below_low = False
+            n = len(tracker)
+            if n >= 16:
+                k_low = max(
+                    int(math.ceil(self._cfg.cp_down_quantile * n)) - 1, 0
+                )
+                below_low = value < tracker.kth_smallest(k_low)
+
+        tracker.push(value)
+        self._recent_append(value)
+
+        if feed_detector:
             signal = self._detector.observe(exceeded, below_low)
             if signal is not ChangeSignal.NONE:
                 self._changepoints.append(self._n_seen)
@@ -336,11 +409,11 @@ class QBETS:
                 # worse than retaining a little pre-change data.
                 keep = max(
                     self._detector.window * self._cfg.cp_decimation,
-                    self._cfg.min_history(),
+                    self._min_history,
                 )
-                keep = min(keep, len(self._tracker))
-                self._tracker.truncate_to(keep)
-                kept = self._tracker.recent(keep)
+                keep = min(keep, len(tracker))
+                tracker.truncate_to(keep)
+                kept = tracker.recent(keep)
                 if signal is ChangeSignal.DOWN and len(kept) >= 8:
                     # A level *drop* leaves stale high observations inside
                     # the kept window (the detector fires shortly after the
@@ -361,15 +434,18 @@ class QBETS:
                         pad = removed[: self._min_history - len(filtered)]
                         filtered = pad + filtered
                     kept = filtered
-                    self._tracker.clear()
-                    self._tracker.extend(kept)
-                self._recent.clear()
-                self._recent.extend(kept)
-                self._rho = 0.0
+                    tracker.clear()
+                    tracker.extend(kept)
+                self._recent_reset(kept)
+                self._set_rho(0.0)
                 self._updates_since_rho = 0
 
         self._refresh_rho()
-        self._recompute_bound()
+        if need_bound:
+            self._recompute_bound()
+            self._bound_stale = False
+        else:
+            self._bound_stale = True
         return self._bound
 
     def bound_series(self, values: np.ndarray) -> np.ndarray:
@@ -381,7 +457,24 @@ class QBETS:
         """
         x = np.asarray(values, dtype=np.float64)
         out = np.empty(x.size, dtype=np.float64)
-        for i in range(x.size):
+        update = self.update
+        # tolist() converts to Python floats in one C pass; per-step work
+        # is then one update plus one array store, with no allocations.
+        for i, v in enumerate(x.tolist()):
             out[i] = self._bound
-            self.update(float(x[i]))
+            update(v)
         return out
+
+    def scan(self, values: np.ndarray) -> None:
+        """Feed a whole series without materialising per-step bounds.
+
+        State (history, change points, autocorrelation) evolves exactly as
+        with :meth:`bound_series`; only the per-step order-statistic
+        selection is skipped. For consumers that need the change-point
+        segmentation but not the bounds (the AR(1) baseline), this is the
+        cheaper fit.
+        """
+        x = np.asarray(values, dtype=np.float64)
+        update = self.update
+        for v in x.tolist():
+            update(v, need_bound=False)

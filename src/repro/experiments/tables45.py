@@ -7,9 +7,15 @@ savings, small tolerated termination rate). Rows aggregate per AZ.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.backtest.costopt import CostOptTable, run_costopt
+from repro.backtest.costopt import (
+    ComboCosts,
+    CostOptTable,
+    aggregate_costs,
+    combo_costs,
+)
 from repro.experiments.common import SCALES, scaled_universe
 from repro.util.tables import format_table
 
@@ -37,7 +43,27 @@ class CostOptResult:
         )
 
 
-def _run(scale: str, probability: float, label: str) -> CostOptResult:
+@dataclass(frozen=True)
+class _CostAssignment:
+    """One combination of the cost-optimisation sweep (worker payload)."""
+
+    scale: str
+    probability: float
+    combo_key: str
+
+
+def _costopt_combo(assignment: _CostAssignment) -> ComboCosts:
+    """Worker entry: rebuild the (process-cached) universe, cost one combo."""
+    universe = scaled_universe(assignment.scale)
+    instance_type, zone = assignment.combo_key.split("@")
+    combo = universe.combo(instance_type, zone)
+    config = SCALES[assignment.scale].backtest_config(assignment.probability)
+    return combo_costs(universe, combo, config)
+
+
+def _run(
+    scale: str, probability: float, label: str, workers: int = 0
+) -> CostOptResult:
     universe = scaled_universe(scale)
     # Cost aggregation needs the natural per-AZ class mix, not the
     # class-stratified sample the correctness backtest uses (the latter
@@ -48,15 +74,31 @@ def _run(scale: str, probability: float, label: str) -> CostOptResult:
     else:
         combos = list(universe.sample_per_zone(per_zone))
     config = SCALES[scale].backtest_config(probability)
-    table = run_costopt(universe, combos, config)
+    if workers <= 0:
+        per_combo = [combo_costs(universe, combo, config) for combo in combos]
+    else:
+        assignments = [
+            _CostAssignment(
+                scale=scale, probability=probability, combo_key=combo.key
+            )
+            for combo in combos
+        ]
+        chunksize = max(1, len(assignments) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            per_combo = list(
+                pool.map(_costopt_combo, assignments, chunksize=chunksize)
+            )
+    # Aggregation folds the request-level series in the same order either
+    # way, so the parallel path is bit-identical to the sequential one.
+    table = aggregate_costs(config.probability, per_combo)
     return CostOptResult(scale=scale, label=label, table=table)
 
 
-def run_table4(scale: str = "bench") -> CostOptResult:
+def run_table4(scale: str = "bench", workers: int = 0) -> CostOptResult:
     """Table 4: durability 0.99."""
-    return _run(scale, 0.99, "Table 4")
+    return _run(scale, 0.99, "Table 4", workers=workers)
 
 
-def run_table5(scale: str = "bench") -> CostOptResult:
+def run_table5(scale: str = "bench", workers: int = 0) -> CostOptResult:
     """Table 5: durability 0.95 (greater savings, §4.4)."""
-    return _run(scale, 0.95, "Table 5")
+    return _run(scale, 0.95, "Table 5", workers=workers)

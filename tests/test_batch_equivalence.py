@@ -1,0 +1,247 @@
+"""Bit-level equivalence of the batched phase-2 kernels and scalar paths.
+
+The batched kernels (``DurationLadder.duration_matrix``, ``bid_for_many``,
+``curve_at``) and the counting/binary-search rung selection are pure
+optimisations: every test here pins them to the original scalar reference
+implementations (``durations_at``, ``duration_bound``, ``bid_for``) with
+exact (``==``, not ``approx``) comparisons over randomised traces and the
+edge cases that shaped the code — nan bids at early instants, queries at
+the trace boundaries, and the ablation configs that disable the fast paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.curves import bid_ladder
+from repro.market.synthetic import generate_trace
+
+#: Epochs per day at the 5-minute epoch length.
+EPD = 288
+
+
+@pytest.fixture(scope="module", params=["calm", "spiky", "volatile"])
+def predictor(request) -> DraftsPredictor:
+    """A fitted 20-day predictor per volatility class."""
+    trace = generate_trace(request.param, 0.42, n_epochs=20 * EPD, rng=11)
+    return DraftsPredictor(trace, DraftsConfig(probability=0.95))
+
+
+def _query_instants(pred: DraftsPredictor, rng: np.random.Generator) -> list[int]:
+    """Instants spanning warm-up, steady state and both trace boundaries."""
+    n = len(pred.trace)
+    sampled = rng.integers(0, n + 1, size=40).tolist()
+    return sorted(set(sampled) | {0, 1, 2, n - 1, n})
+
+
+class TestDurationMatrix:
+    """``duration_matrix`` row-for-row against scalar ``durations_at``."""
+
+    def test_rows_match_durations_at(self, predictor, rng):
+        ladder = predictor._ladder
+        n_rungs = ladder.levels.size
+        for t_idx in _query_instants(predictor, rng)[::3]:
+            for s0 in {0, t_idx // 2, t_idx}:
+                matrix = ladder.duration_matrix(t_idx, s0)
+                assert matrix.shape == (n_rungs, t_idx - s0)
+                for rung in range(0, n_rungs, max(1, n_rungs // 7)):
+                    expected = ladder.durations_at(rung, t_idx)[s0:]
+                    np.testing.assert_array_equal(matrix[rung], expected)
+
+    def test_rung_subset_matches_full_matrix(self, predictor, rng):
+        ladder = predictor._ladder
+        t_idx = len(predictor.trace) // 2
+        rungs = np.sort(
+            rng.choice(ladder.levels.size, size=5, replace=False)
+        )
+        full = ladder.duration_matrix(t_idx)
+        sub = ladder.duration_matrix(t_idx, rungs=rungs)
+        np.testing.assert_array_equal(sub, full[rungs])
+
+    def test_empty_window_and_validation(self, predictor):
+        ladder = predictor._ladder
+        empty = ladder.duration_matrix(5, s0=5)
+        assert empty.shape == (ladder.levels.size, 0)
+        with pytest.raises(IndexError):
+            ladder.duration_matrix(len(predictor.trace) + 1)
+        with pytest.raises(ValueError):
+            ladder.duration_matrix(3, s0=4)
+
+
+class TestBidForMany:
+    """Batched bid queries against the scalar loop, bit for bit."""
+
+    def _assert_matches_scalar(self, pred, durations, t_idxs):
+        batched = pred.bid_for_many(durations, t_idxs)
+        scalar = np.array(
+            [
+                pred.bid_for(float(d), int(t))
+                for d, t in zip(durations, t_idxs)
+            ]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+        return batched
+
+    def test_randomised_queries(self, predictor, rng):
+        n = len(predictor.trace)
+        t_idxs = rng.integers(0, n + 1, size=120)
+        durations = rng.uniform(300.0, 12 * 3600.0, size=120)
+        bids = self._assert_matches_scalar(predictor, durations, t_idxs)
+        # The sweep must exercise both outcomes to mean anything.
+        assert np.isnan(bids).any()
+        assert np.isfinite(bids).any()
+
+    def test_duplicate_and_unsorted_queries(self, predictor, rng):
+        # The batched path sorts by instant and reuses duplicate queries;
+        # results must still come back in caller order.
+        n = len(predictor.trace)
+        base_t = rng.integers(0, n + 1, size=20)
+        base_d = rng.uniform(600.0, 6 * 3600.0, size=20)
+        t_idxs = np.concatenate([base_t, base_t[::-1], base_t])
+        durations = np.concatenate([base_d, base_d[::-1], base_d])
+        self._assert_matches_scalar(predictor, durations, t_idxs)
+
+    def test_warmup_instants_are_nan(self, predictor):
+        # Early instants have no phase-1 bound yet: nan from both paths.
+        t_idxs = np.arange(0, 6)
+        durations = np.full(t_idxs.size, 3600.0)
+        bids = self._assert_matches_scalar(predictor, durations, t_idxs)
+        assert np.isnan(bids).all()
+
+    def test_trace_boundary_instants(self, predictor):
+        n = len(predictor.trace)
+        t_idxs = np.array([0, n - 1, n, n - 1, 0])
+        durations = np.array([3600.0, 3600.0, 3600.0, 1e9, 1e9])
+        self._assert_matches_scalar(predictor, durations, t_idxs)
+
+    def test_unsatisfiable_durations_are_nan(self, predictor):
+        # A duration beyond the whole trace defeats every ladder rung.
+        t_idx = len(predictor.trace) - 1
+        bids = self._assert_matches_scalar(
+            predictor, np.array([1e12]), np.array([t_idx])
+        )
+        assert np.isnan(bids[0])
+
+    def test_empty_and_invalid_input(self, predictor):
+        assert predictor.bid_for_many(np.array([]), np.array([])).size == 0
+        with pytest.raises(ValueError):
+            predictor.bid_for_many(np.array([-1.0]), np.array([10]))
+        with pytest.raises(ValueError):
+            predictor.bid_for_many(np.array([1.0, 2.0]), np.array([10]))
+
+
+class TestFirstRungCovering:
+    """The binary search returns the *first* covering rung, certified by
+    the independent partition-based ``duration_bound`` reference."""
+
+    def test_returned_rung_is_first_covering(self, predictor, rng):
+        levels = predictor._ladder.levels
+        n = len(predictor.trace)
+        checked = 0
+        for t_idx in rng.integers(n // 2, n + 1, size=25).tolist():
+            duration = float(rng.uniform(1800.0, 8 * 3600.0))
+            bid = predictor.bid_for(duration, t_idx)
+            if math.isnan(bid):
+                continue
+            checked += 1
+            bound = predictor.duration_bound(bid, t_idx)
+            assert bound >= duration
+            rung = int(np.searchsorted(levels, bid, side="left"))
+            min_bid = predictor.min_bid_at(t_idx)
+            start = int(np.searchsorted(levels, min_bid, side="left"))
+            if rung > start:
+                below = predictor.duration_bound(
+                    float(levels[rung - 1]), t_idx
+                )
+                assert math.isnan(below) or below < duration
+        assert checked > 5
+
+
+def _reference_curve_durations(pred: DraftsPredictor, t_idx: int) -> np.ndarray:
+    """Scalar Figure-4 curve: per-rung ``duration_bound`` + running max."""
+    cfg = pred.config
+    min_bid = pred.min_bid_at(t_idx)
+    rungs = bid_ladder(min_bid, cfg.ladder_increment, cfg.ladder_span)
+    durations = np.array(
+        [pred.duration_bound(float(b), t_idx) for b in rungs]
+    )
+    filled = np.where(np.isnan(durations), -np.inf, durations)
+    mono = np.maximum.accumulate(filled)
+    return np.where(np.isinf(mono), np.nan, mono)
+
+
+class TestCurveAt:
+    def test_matches_scalar_reference(self, predictor, rng):
+        n = len(predictor.trace)
+        for t_idx in rng.integers(n // 4, n + 1, size=10).tolist():
+            curve = predictor.curve_at(t_idx)
+            if curve is None:
+                assert math.isnan(predictor.min_bid_at(t_idx))
+                continue
+            expected = _reference_curve_durations(predictor, t_idx)
+            np.testing.assert_array_equal(
+                np.array(curve.durations), expected
+            )
+
+    def test_warmup_returns_none(self, predictor):
+        assert predictor.curve_at(0) is None
+
+
+class TestAblationConfigs:
+    """The slow ablation paths must agree with the scalar loop too."""
+
+    @pytest.fixture(scope="class", params=["autocorr", "truncate"])
+    def ablated(self, request) -> DraftsPredictor:
+        overrides = {
+            "autocorr": {"autocorr_durations": True},
+            "truncate": {"truncate_durations": True},
+        }[request.param]
+        trace = generate_trace("spiky", 0.42, n_epochs=15 * EPD, rng=13)
+        config = DraftsConfig(probability=0.95).with_(**overrides)
+        return DraftsPredictor(trace, config)
+
+    def test_bid_for_many_matches_scalar(self, ablated, rng):
+        n = len(ablated.trace)
+        t_idxs = rng.integers(0, n + 1, size=60)
+        durations = rng.uniform(600.0, 10 * 3600.0, size=60)
+        batched = ablated.bid_for_many(durations, t_idxs)
+        scalar = np.array(
+            [
+                ablated.bid_for(float(d), int(t))
+                for d, t in zip(durations, t_idxs)
+            ]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_curve_matches_scalar_reference(self, ablated, rng):
+        n = len(ablated.trace)
+        for t_idx in rng.integers(n // 2, n + 1, size=5).tolist():
+            curve = ablated.curve_at(t_idx)
+            if curve is None:
+                continue
+            expected = _reference_curve_durations(ablated, t_idx)
+            np.testing.assert_array_equal(
+                np.array(curve.durations), expected
+            )
+
+
+class TestParallelEquivalence:
+    """Worker fan-out must not change a single bit of any artefact."""
+
+    def test_table4_workers_identical(self):
+        from repro.experiments.tables45 import run_table4
+
+        seq = run_table4(scale="test", workers=0)
+        par = run_table4(scale="test", workers=2)
+        assert par == seq
+
+    def test_figure1_workers_identical(self):
+        from repro.experiments.figure1 import run_figure1
+
+        seq = run_figure1(scale="test", workers=0)
+        par = run_figure1(scale="test", workers=2)
+        assert par == seq

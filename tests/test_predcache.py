@@ -1,0 +1,103 @@
+"""Tests for the process-wide predictor cache (`repro.backtest.predcache`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backtest import predcache
+from repro.core.drafts import DraftsConfig
+from repro.market.synthetic import generate_trace
+
+EPD = 288
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test from process-wide cache state."""
+    predcache.clear()
+    predcache.set_max_entries(predcache.DEFAULT_MAX_ENTRIES)
+    yield
+    predcache.clear()
+    predcache.set_max_entries(predcache.DEFAULT_MAX_ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("calm", 0.42, n_epochs=5 * EPD, rng=21)
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_sensitive(self, trace):
+        assert predcache.trace_fingerprint(trace) == predcache.trace_fingerprint(
+            trace
+        )
+        other = generate_trace("calm", 0.42, n_epochs=5 * EPD, rng=22)
+        assert predcache.trace_fingerprint(trace) != predcache.trace_fingerprint(
+            other
+        )
+
+    def test_identity_sensitive(self, trace):
+        # Same price series under a different combo identity is a
+        # different key (predictors embed the combo identity).
+        clone = type(trace)(
+            instance_type=trace.instance_type,
+            zone="other-zone-1a",
+            times=trace.times,
+            prices=trace.prices,
+        )
+        assert predcache.trace_fingerprint(trace) != predcache.trace_fingerprint(
+            clone
+        )
+
+
+class TestGetPredictor:
+    def test_second_fetch_is_a_hit_and_shares_the_object(self, trace):
+        config = DraftsConfig(probability=0.95)
+        first = predcache.get_predictor(trace, config)
+        second = predcache.get_predictor(trace, config)
+        assert second is first
+        info = predcache.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_config_is_part_of_the_key(self, trace):
+        a = predcache.get_predictor(trace, DraftsConfig(probability=0.95))
+        b = predcache.get_predictor(trace, DraftsConfig(probability=0.99))
+        assert a is not b
+        assert predcache.cache_info()["misses"] == 2
+
+    def test_predictions_match_a_fresh_fit(self, trace):
+        from repro.core.drafts import DraftsPredictor
+
+        config = DraftsConfig(probability=0.95)
+        cached = predcache.get_predictor(trace, config)
+        fresh = DraftsPredictor(trace, config)
+        t_idx = len(trace) - 1
+        assert cached.bid_for(3600.0, t_idx) == fresh.bid_for(3600.0, t_idx)
+
+    def test_lru_eviction(self, trace):
+        predcache.set_max_entries(2)
+        configs = [DraftsConfig(probability=p) for p in (0.9, 0.95, 0.99)]
+        for config in configs:
+            predcache.get_predictor(trace, config)
+        info = predcache.cache_info()
+        assert info["size"] == 2
+        # The oldest entry (0.9) was evicted: refetching it misses again.
+        predcache.get_predictor(trace, configs[0])
+        assert predcache.cache_info()["misses"] == 4
+
+    def test_set_max_entries_validates(self):
+        with pytest.raises(ValueError):
+            predcache.set_max_entries(0)
+
+    def test_clear_resets_counters(self, trace):
+        predcache.get_predictor(trace, DraftsConfig(probability=0.95))
+        predcache.clear()
+        info = predcache.cache_info()
+        assert info == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "max_entries": predcache.DEFAULT_MAX_ENTRIES,
+        }
