@@ -10,7 +10,10 @@ acceptance properties:
 2. K >= 8 concurrent cold misses on one key trigger exactly 1 recompute
    (request coalescing);
 3. shed requests return 429 and the metrics snapshot accounts for every
-   request (hits + stale-hits + misses + shed + errors == requests).
+   request (hits + stale-hits + misses + shed + errors == requests);
+4. steady-state refresh of a warm key through delta-fed online predictors
+   is >= 10x faster than the full-refit path, while publishing curves
+   bit-identical to from-scratch fits at every refresh boundary.
 """
 
 import pytest
@@ -62,6 +65,32 @@ def test_concurrent_cold_misses_coalesce(serving_results):
     assert coalescing["recomputes"] == 1
     assert coalescing["coalesced"] == coalescing["k"] - 1
     assert coalescing["misses"] == coalescing["k"]
+
+
+def test_incremental_refresh_speedup_and_equivalence(benchmark, serving_results):
+    def report():
+        return serving_results["refresh"]
+
+    refresh = benchmark.pedantic(report, rounds=1, iterations=1)
+    benchmark.extra_info["refit_steady_p50_ms"] = round(
+        refresh["refit"]["steady"]["p50"] * 1e3, 3
+    )
+    benchmark.extra_info["incremental_steady_p50_ms"] = round(
+        refresh["incremental"]["steady"]["p50"] * 1e3, 3
+    )
+    benchmark.extra_info["speedup_steady_p50"] = round(
+        refresh["speedup_steady_p50"], 2
+    )
+    # Acceptance (d): the incremental path must actually be used ...
+    assert refresh["incremental"]["incremental_refreshes"] > 0
+    assert refresh["incremental"]["refits"] < refresh["refit"]["refits"]
+    # ... be >= 10x faster at steady state ...
+    assert refresh["speedup_steady_p50"] >= 10.0, (
+        f"steady-state incremental refresh only "
+        f"{refresh['speedup_steady_p50']:.1f}x faster than full refit"
+    )
+    # ... and publish bit-identical curves at every refresh boundary.
+    assert refresh["equivalent"]
 
 
 def test_shedding_and_metrics_accounting(serving_results):

@@ -1,19 +1,25 @@
 #!/usr/bin/env python
-"""Measure the backtest performance trajectory and emit ``BENCH_backtest.json``.
+"""Measure the performance trajectory: ``BENCH_backtest.json`` + ``BENCH_serving.json``.
 
-Times the two numbers the batched-kernel work is gated on —
+Times the numbers the optimisation work is gated on —
 
 * the cold sequential bench-scale backtest matrix (the Table 1 hot path),
-* QBETS per-update latency on a warm three-month predictor —
+* QBETS per-update latency on a warm three-month predictor,
+* the warm (predictor-cache) matrix re-run,
 
-plus the warm (predictor-cache) matrix re-run, and writes them next to the
-recorded pre-optimisation baselines so the speedups are tracked in one
-artefact. Run from the repository root::
+written to ``BENCH_backtest.json`` next to the recorded pre-optimisation
+baselines, and
+
+* the serving refresh phase (cold fit vs steady-state per-key refresh,
+  incremental delta-fed predictors A/B'd against the full-refit baseline),
+
+written to ``BENCH_serving.json``. Run from the repository root::
 
     PYTHONPATH=src python scripts/bench_trajectory.py
 
-Use ``--scale test`` for a seconds-long smoke run (the JSON then carries no
-baseline comparison: the baselines were recorded at the bench scale).
+Use ``--scale test`` for a seconds-long smoke run (the backtest JSON then
+carries no baseline comparison: the baselines were recorded at the bench
+scale).
 """
 
 from __future__ import annotations
@@ -68,6 +74,12 @@ def _time_qbets_updates(n_updates: int = 20_000) -> float:
     return (time.perf_counter() - start) / n_updates * 1e6
 
 
+def _time_serving_refresh(scale: str) -> dict:
+    from repro.serving.bench import ServingBenchConfig, run_refresh_benchmark
+
+    return run_refresh_benchmark(ServingBenchConfig(scale=scale))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -81,6 +93,12 @@ def main() -> int:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_backtest.json",
         help="output path (default: BENCH_backtest.json at the repo root)",
+    )
+    parser.add_argument(
+        "--serving-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+        help="serving-refresh output path (default: BENCH_serving.json)",
     )
     args = parser.parse_args()
 
@@ -117,6 +135,27 @@ def main() -> int:
         )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    print("timing serving refresh (incremental vs full refit) ...")
+    serving = _time_serving_refresh(args.scale)
+    refresh = serving["refresh"]
+    print(
+        f"  steady p50: refit {refresh['refit']['steady']['p50'] * 1e3:.1f} ms"
+        f" -> incremental {refresh['incremental']['steady']['p50'] * 1e3:.2f} ms"
+        f" (x{refresh['speedup_steady_p50']:.1f}); curves "
+        f"{'bit-identical' if refresh['equivalent'] else 'DIVERGED'}"
+    )
+    serving_report = {
+        "scale": args.scale,
+        "platform": platform.platform(),
+        **serving,
+    }
+    args.serving_output.write_text(json.dumps(serving_report, indent=2) + "\n")
+    print(f"wrote {args.serving_output}")
+    if not refresh["equivalent"]:
+        raise AssertionError(
+            "incremental refresh diverged from full refit curves"
+        )
     return 0
 
 

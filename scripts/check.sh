@@ -19,8 +19,13 @@ PYTHONPATH=src python -m pytest -x -q "$@"
 # Smoke-run the benchmark suite: --benchmark-disable executes every bench
 # body once without timing rounds, so import errors and broken experiment
 # plumbing surface here instead of in a long benchmark session. Skippable
-# for quick local iterations with CHECK_SKIP_BENCH=1.
+# for quick local iterations with CHECK_SKIP_BENCH=1 — except the serving
+# bench, whose acceptance checks (refresh equivalence, coalescing,
+# accounting) are fast enough to always run.
 if [ "${CHECK_SKIP_BENCH:-0}" != "1" ]; then
     echo "== benchmark smoke (--benchmark-disable) =="
     PYTHONPATH=src python -m pytest benchmarks/ -q --benchmark-disable
+else
+    echo "== serving bench smoke (--benchmark-disable) =="
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q --benchmark-disable
 fi

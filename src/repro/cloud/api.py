@@ -102,17 +102,35 @@ class EC2Api:
         return SpotTier(self._universe.trace(combo))
 
     def describe_spot_price_history(
-        self, instance_type: str, zone: str, now: float
-    ) -> PriceTrace:
+        self, instance_type: str, zone: str, now: float, since: float | None = None
+    ) -> PriceTrace | None:
         """Price history visible at time ``now`` — at most the last 90 days.
 
         The returned trace is labelled with the *account's* zone name, as
         the real API labels rows with the requester's view.
+
+        ``since`` is the cursor form the incremental service uses: only
+        announcements with ``since < time < now`` are returned (still
+        clipped to the same 90-day window, through the same obfuscation
+        path), and ``None`` signals an empty delta. Pass the timestamp of
+        the last announcement already consumed; rows are never re-stamped
+        in this form, so a cold full fetch followed by delta fetches sees
+        the exact announcement sequence a one-shot full fetch would.
         """
         combo = self._universe.combo(instance_type, self._physical_zone(zone))
         trace = self._universe.trace(combo)
         window = trace.window_before(now, HISTORY_WINDOW_SECONDS)
-        return window.with_labels(instance_type, zone)
+        if since is None:
+            return window.with_labels(instance_type, zone)
+        keep = window.times > since
+        if not keep.any():
+            return None
+        return PriceTrace(
+            window.times[keep].copy(),
+            window.prices[keep].copy(),
+            instance_type,
+            zone,
+        )
 
     def current_spot_price(
         self, instance_type: str, zone: str, now: float

@@ -39,10 +39,24 @@ from repro.market.traces import PriceTrace
 from repro.util.stats import lag1_autocorr
 from repro.util.validation import check_probability
 
-__all__ = ["DraftsConfig", "DraftsPredictor"]
+__all__ = ["DraftsConfig", "DraftsPredictor", "ladder_levels"]
 
 #: Smallest cost increment the Spot tier interface allows (§3.2).
 PRICE_TICK: float = 1e-4
+
+
+def ladder_levels(lo: float, hi: float, config: "DraftsConfig") -> np.ndarray:
+    """Geometric bid-ladder levels covering the bound candidates ``[lo, hi]``.
+
+    ``lo``/``hi`` are the extreme phase-1 bound candidates observed over the
+    history (or the raw price range when no bound ever existed). Shared by
+    the batch and online predictors so both lay out bit-identical ladders
+    from identical phase-1 state.
+    """
+    lo = max(lo + config.premium, PRICE_TICK)
+    hi = max((hi + config.premium) * config.ladder_span, lo * config.ladder_span)
+    n = int(math.ceil(math.log(hi / lo) / math.log1p(config.ladder_increment)))
+    return lo * (1.0 + config.ladder_increment) ** np.arange(n + 1)
 
 
 @dataclass(frozen=True)
@@ -170,7 +184,6 @@ class DraftsPredictor:
         )
 
     def _build_ladder(self) -> DurationLadder:
-        cfg = self._cfg
         valid = self._bounds[~np.isnan(self._bounds)]
         candidates = np.concatenate([valid, [self._final_bound]])
         candidates = candidates[~np.isnan(candidates)]
@@ -183,11 +196,44 @@ class DraftsPredictor:
         else:
             lo = float(candidates.min())
             hi = float(candidates.max())
-        lo = max(lo + cfg.premium, PRICE_TICK)
-        hi = max((hi + cfg.premium) * cfg.ladder_span, lo * cfg.ladder_span)
-        n = int(math.ceil(math.log(hi / lo) / math.log1p(cfg.ladder_increment)))
-        levels = lo * (1.0 + cfg.ladder_increment) ** np.arange(n + 1)
+        levels = ladder_levels(lo, hi, self._cfg)
         return DurationLadder(self._trace.times, self._trace.prices, levels)
+
+    @classmethod
+    def from_phase1(
+        cls,
+        trace: PriceTrace,
+        config: DraftsConfig | None,
+        *,
+        bounds: np.ndarray,
+        final_bound: float,
+        changepoints,
+        ladder,
+    ) -> "DraftsPredictor":
+        """Assemble a predictor from precomputed phase-1 artefacts.
+
+        The online predictor maintains the phase-1 state (per-announcement
+        bounds, change points, ladder exceedance index) incrementally and
+        uses this constructor to materialise a view that answers every query
+        through the *same* code paths as a from-scratch fit — which is what
+        makes incrementally refreshed serving curves bit-identical to full
+        refits. ``ladder`` may be any object with the
+        :class:`~repro.core.durations.DurationLadder` query surface.
+        """
+        self = cls.__new__(cls)
+        self._trace = trace
+        self._cfg = config or DraftsConfig()
+        self._bounds = np.asarray(bounds, dtype=np.float64)
+        self._final_bound = float(final_bound)
+        self._changepoints = np.asarray(changepoints, dtype=np.int64)
+        self._ladder = ladder
+        self._min_duration_n = binomial.min_history_lower(
+            self._cfg.duration_quantile, self._cfg.confidence
+        )
+        self._duration_k_table = binomial.index_table(
+            "lower", self._cfg.duration_quantile, self._cfg.confidence, 0
+        )
+        return self
 
     @property
     def config(self) -> DraftsConfig:

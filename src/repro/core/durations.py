@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DurationLadder", "censored_durations", "next_exceed_indices"]
+__all__ = [
+    "DurationLadder",
+    "IncrementalDurationLadder",
+    "censored_durations",
+    "next_exceed_indices",
+]
 
 
 def next_exceed_indices(prices: np.ndarray, threshold: float) -> np.ndarray:
@@ -168,6 +173,12 @@ class DurationLadder:
         ends = np.minimum(sub[:, s0:t_idx], censor)
         return t[ends] - t[s0:t_idx]
 
+    def view(self, n: int | None = None) -> "DurationLadder":
+        """Interface parity with :class:`IncrementalDurationLadder`."""
+        if n is not None and n != self._times.size:
+            raise ValueError("a batch ladder can only view its full history")
+        return self
+
     def survival_time(self, rung: int, t_idx: int) -> float:
         """Realised time from ``t_idx`` until the rung's level is reached.
 
@@ -181,3 +192,197 @@ class DurationLadder:
         if j >= self._times.size:
             return float("inf")
         return float(self._times[j] - self._times[t_idx])
+
+
+class IncrementalDurationLadder:
+    """Growable counterpart of :class:`DurationLadder`.
+
+    Announcements are consumed one at a time instead of precomputed in bulk:
+    each rung keeps the index of its most recent exceedance, and because
+    "never exceeded since s" is a *suffix* property, one pointer per rung
+    fully describes the unresolved set — a new announcement that reaches a
+    rung's level resolves the whole unresolved suffix at once (amortised
+    ``O(1)`` per (rung, announcement), the paper's §3.3 incremental update).
+
+    :meth:`freeze` pins the history length at ``n``, returning a view with
+    the exact :class:`DurationLadder` query surface and bit-identical
+    results for the shared prefix — later appends only write exceedance
+    indices ``>= n``, which the censor clamp maps to the same end times a
+    batch fit of the first ``n`` announcements stores.
+    """
+
+    #: Unresolved-exceedance marker (int32 to match DurationLadder's table).
+    _SENTINEL: int = np.iinfo(np.int32).max
+
+    def __init__(
+        self,
+        levels: np.ndarray,
+        times: np.ndarray | None = None,
+        prices: np.ndarray | None = None,
+    ) -> None:
+        lv = np.asarray(levels, dtype=np.float64)
+        if lv.ndim != 1 or lv.size == 0:
+            raise ValueError("levels must be a non-empty 1-D array")
+        if np.any(np.diff(lv) <= 0):
+            raise ValueError("levels must be strictly increasing")
+        self._levels = lv
+        self._n = 0
+        self._capacity = 0
+        self._times = np.empty(0, dtype=np.float64)
+        self._exceed = np.empty((lv.size, 0), dtype=np.int32)
+        self._last_exceed = np.full(lv.size, -1, dtype=np.int64)
+        if times is not None:
+            self._bulk_init(times, prices)
+
+    def _bulk_init(self, times: np.ndarray, prices: np.ndarray) -> None:
+        """Vectorised construction from an existing history (cold start)."""
+        t = np.asarray(times, dtype=np.float64)
+        p = np.asarray(prices, dtype=np.float64)
+        if t.shape != p.shape or t.ndim != 1:
+            raise ValueError("times and prices must be 1-D and aligned")
+        n = t.size
+        if n == 0:
+            return
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("times must be strictly increasing")
+        self._grow(n)
+        self._times[:n] = t
+        for r, level in enumerate(self._levels):
+            idx = next_exceed_indices(p, float(level))
+            hits = idx < n
+            self._exceed[r, :n][hits] = idx[hits]
+            resolved = np.flatnonzero(hits)
+            self._last_exceed[r] = int(resolved[-1]) if resolved.size else -1
+        self._n = n
+
+    @property
+    def levels(self) -> np.ndarray:
+        """The precomputed bid levels (read-only view)."""
+        v = self._levels.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n_samples(self) -> int:
+        """Announcements consumed so far."""
+        return self._n
+
+    def _grow(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = max(2 * self._capacity, needed, 1024)
+        times = np.empty(capacity, dtype=np.float64)
+        times[: self._n] = self._times[: self._n]
+        exceed = np.full(
+            (self._levels.size, capacity), self._SENTINEL, dtype=np.int32
+        )
+        exceed[:, : self._n] = self._exceed[:, : self._n]
+        self._times = times
+        self._exceed = exceed
+        self._capacity = capacity
+
+    def append(self, time: float, price: float) -> None:
+        """Consume one announcement (strictly increasing times)."""
+        t = self._n
+        if t and time <= self._times[t - 1]:
+            raise ValueError("announcements must arrive in time order")
+        self._grow(t + 1)
+        self._times[t] = time
+        # Resolve every rung whose level this price reaches: all currently
+        # unresolved starts (a suffix) terminate at t. Each entry resolves
+        # at most once across the ladder's lifetime.
+        reached = int(np.searchsorted(self._levels, price, side="right"))
+        for r in range(reached):
+            start = int(self._last_exceed[r]) + 1
+            self._exceed[r, start : t + 1] = t
+            self._last_exceed[r] = t
+        self._n = t + 1
+
+    def extend(self, times, prices) -> None:
+        """Consume many announcements in order."""
+        for time, price in zip(times, prices):
+            self.append(float(time), float(price))
+
+    def view(self, n: int | None = None) -> "_FrozenLadderView":
+        """Length-``n`` frozen view with the batch-ladder query surface."""
+        if n is None:
+            n = self._n
+        if not 0 <= n <= self._n:
+            raise ValueError(f"cannot view {n} of {self._n} announcements")
+        return _FrozenLadderView(self, n)
+
+    # Direct queries evaluate against the current full history.
+
+    def rung_at_least(self, bid: float) -> int:
+        """Index of the smallest precomputed level ``>= bid`` (see batch)."""
+        i = int(np.searchsorted(self._levels, bid, side="left"))
+        if i >= self._levels.size:
+            raise ValueError(f"bid {bid} above ladder maximum {self._levels[-1]}")
+        return i
+
+    def durations_at(self, rung: int, t_idx: int) -> np.ndarray:
+        """Censored duration series observable at ``t_idx`` for ``rung``."""
+        return self.view().durations_at(rung, t_idx)
+
+    def duration_matrix(
+        self, t_idx: int, s0: int = 0, rungs: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Censored durations for many rungs at one instant (see batch)."""
+        return self.view().duration_matrix(t_idx, s0, rungs)
+
+
+class _FrozenLadderView:
+    """Length-frozen view over an :class:`IncrementalDurationLadder`.
+
+    Pins the history length so a snapshot taken at ``n`` announcements keeps
+    answering exactly like a batch :class:`DurationLadder` over those ``n``
+    even while the parent grows: later appends only resolve exceedances at
+    indices ``>= n``, and the censor clamp (``min(·, n - 1)``) maps both the
+    sentinel and any such future index to the identical censored end time.
+    """
+
+    __slots__ = ("_parent", "_n")
+
+    def __init__(self, parent: IncrementalDurationLadder, n: int) -> None:
+        self._parent = parent
+        self._n = n
+
+    @property
+    def levels(self) -> np.ndarray:
+        return self._parent.levels
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def rung_at_least(self, bid: float) -> int:
+        return self._parent.rung_at_least(bid)
+
+    def rung_at_most(self, bid: float) -> int:
+        return int(np.searchsorted(self._parent.levels, bid, side="right")) - 1
+
+    def durations_at(self, rung: int, t_idx: int) -> np.ndarray:
+        t = self._parent._times
+        if not 0 <= t_idx <= self._n:
+            raise IndexError(f"t_idx {t_idx} out of range for {self._n} samples")
+        if t_idx == 0:
+            return np.empty(0, dtype=np.float64)
+        censor = min(t_idx, self._n - 1)
+        ends = np.minimum(self._parent._exceed[rung, :t_idx], censor)
+        return t[ends] - t[:t_idx]
+
+    def duration_matrix(
+        self, t_idx: int, s0: int = 0, rungs: np.ndarray | None = None
+    ) -> np.ndarray:
+        t = self._parent._times
+        if not 0 <= t_idx <= self._n:
+            raise IndexError(f"t_idx {t_idx} out of range for {self._n} samples")
+        if not 0 <= s0 <= t_idx:
+            raise ValueError(f"s0 {s0} out of range for t_idx {t_idx}")
+        exceed = self._parent._exceed
+        sub = exceed[:, s0:t_idx] if rungs is None else exceed[rungs, s0:t_idx]
+        if t_idx == s0:
+            return np.empty((sub.shape[0], 0), dtype=np.float64)
+        censor = min(t_idx, self._n - 1)
+        ends = np.minimum(sub, censor)
+        return t[ends] - t[s0:t_idx]

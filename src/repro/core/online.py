@@ -9,13 +9,21 @@ the production predictor updates incrementally ("in a few milliseconds",
 State per new announcement:
 
 * the phase-1 QBETS price bound advances in ``O(log m)`` (Fenwick tree);
-* each bid-ladder rung keeps the index of its most recent exceedance —
-  because "never exceeded since s" is a *suffix* property, one pointer per
-  rung fully describes the unresolved set, and a new announcement resolves
-  a whole suffix at once (amortised ``O(1)`` per (rung, announcement));
-* duration queries then materialise censored durations per rung exactly as
-  the batch predictor does, so both predictors agree bit-for-bit on shared
-  history (verified by tests).
+* the bound in effect *before* the announcement is recorded, exactly as
+  ``QBETS.bound_series`` records it during a batch fit;
+* the running envelope of valid bounds (and of raw prices, the batch
+  fallback) is updated, which is all the batch ladder layout consumes;
+* the shared exceedance index advances lazily through
+  :class:`~repro.core.durations.IncrementalDurationLadder` (amortised
+  ``O(1)`` per (rung, announcement)).
+
+Queries materialise a :class:`DraftsPredictor` *snapshot* via
+:meth:`DraftsPredictor.from_phase1` over the accumulated state — every
+query then executes the batch code verbatim, so the online predictor is
+bit-identical to a from-scratch fit of the same history at every instant
+(verified by tests/test_online.py). The snapshot is cached per history
+length, so a steady-state service refresh costs only the delta updates
+plus one curve evaluation.
 """
 
 from __future__ import annotations
@@ -24,10 +32,11 @@ import math
 
 import numpy as np
 
-from repro.core import binomial
-from repro.core.curves import BidDurationCurve, bid_ladder
-from repro.core.drafts import PRICE_TICK, DraftsConfig
+from repro.core.curves import BidDurationCurve
+from repro.core.drafts import DraftsConfig, DraftsPredictor, ladder_levels
+from repro.core.durations import IncrementalDurationLadder
 from repro.core.qbets import QBETS
+from repro.market.traces import PriceTrace
 
 __all__ = ["OnlineDraftsPredictor"]
 
@@ -39,49 +48,32 @@ class OnlineDraftsPredictor:
     ----------
     config:
         The DrAFTS configuration (same object the batch predictor takes).
-    ladder_lo / ladder_hi:
-        Fixed bid-ladder range to precompute rungs over. A live service
-        knows its instrument's plausible price range (e.g. one tick up to
-        ``ladder_span`` times the On-demand price); the ladder is laid out
-        once so per-update work stays O(rungs).
+        The ladder is derived from the observed phase-1 bounds exactly as
+        the batch predictor derives it, so no fixed price range needs to be
+        guessed up front.
     """
 
-    def __init__(
-        self,
-        config: DraftsConfig | None = None,
-        ladder_lo: float = PRICE_TICK,
-        ladder_hi: float = 100.0,
-    ) -> None:
-        if ladder_hi <= ladder_lo:
-            raise ValueError("ladder_hi must exceed ladder_lo")
-        if ladder_lo <= 0:
-            raise ValueError("ladder_lo must be positive")
+    def __init__(self, config: DraftsConfig | None = None) -> None:
         self._cfg = config or DraftsConfig()
         self._qbets = QBETS(self._cfg.qbets_config())
-        n = int(
-            math.ceil(
-                math.log(ladder_hi / ladder_lo)
-                / math.log1p(self._cfg.ladder_increment)
-            )
-        )
-        self._levels = ladder_lo * (
-            (1.0 + self._cfg.ladder_increment) ** np.arange(n + 1)
-        )
-        self._times: list[float] = []
-        self._prices: list[float] = []
-        # Per rung: first-exceedance index for every past announcement.
-        # Unresolved entries hold the sentinel (a large int) and form a
-        # suffix; _last_exceed[r] is the newest resolved boundary.
-        self._exceed: list[np.ndarray] = [
-            np.empty(0, dtype=np.int64) for _ in self._levels
-        ]
-        self._last_exceed = np.full(len(self._levels), -1, dtype=np.int64)
+        self._n = 0
         self._capacity = 0
-        self._min_duration_n = binomial.min_history_lower(
-            self._cfg.duration_quantile, self._cfg.confidence
-        )
-
-    _SENTINEL = np.iinfo(np.int64).max
+        self._times = np.empty(0, dtype=np.float64)
+        self._prices = np.empty(0, dtype=np.float64)
+        # Bound in effect before each announcement (bound_series parity).
+        self._bounds = np.empty(0, dtype=np.float64)
+        # Running envelope of the batch ladder's candidate set: valid
+        # recorded bounds, plus the raw price range as the no-bound
+        # fallback. Running min/max over the same floats the batch
+        # candidate arrays hold, so the extremes agree bit-for-bit.
+        self._bounds_lo = math.inf
+        self._bounds_hi = -math.inf
+        self._prices_lo = math.inf
+        self._prices_hi = -math.inf
+        self._ladder: IncrementalDurationLadder | None = None
+        self._ladder_anchor: tuple[float, float] | None = None
+        self._ladder_n = 0
+        self._snapshot: tuple[int, DraftsPredictor] | None = None
 
     @property
     def config(self) -> DraftsConfig:
@@ -91,43 +83,136 @@ class OnlineDraftsPredictor:
     @property
     def n(self) -> int:
         """Announcements consumed so far."""
-        return len(self._times)
+        return self._n
+
+    @property
+    def span(self) -> float:
+        """Seconds between the first and last consumed announcement."""
+        if self._n == 0:
+            return 0.0
+        return float(self._times[self._n - 1] - self._times[0])
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the latest announcement (nan when empty)."""
+        if self._n == 0:
+            return float("nan")
+        return float(self._times[self._n - 1])
 
     def _grow(self, needed: int) -> None:
         if needed <= self._capacity:
             return
-        new_capacity = max(2 * self._capacity, needed, 1024)
-        for r, row in enumerate(self._exceed):
-            grown = np.full(new_capacity, self._SENTINEL, dtype=np.int64)
-            grown[: row.size] = row
-            self._exceed[r] = grown
-        self._capacity = new_capacity
+        capacity = max(2 * self._capacity, needed, 1024)
+        for name in ("_times", "_prices", "_bounds"):
+            grown = np.empty(capacity, dtype=np.float64)
+            old = getattr(self, name)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+        self._capacity = capacity
 
     def observe(self, time: float, price: float) -> None:
         """Consume one price announcement."""
-        if self._times and time <= self._times[-1]:
+        if self._n and time <= self._times[self._n - 1]:
             raise ValueError("announcements must arrive in time order")
+        price = float(price)
         if price <= 0:
             raise ValueError("price must be positive")
-        t = len(self._times)
+        t = self._n
         self._grow(t + 1)
-        self._times.append(float(time))
-        self._prices.append(float(price))
-        # Resolve every rung whose level this price reaches: all currently
-        # unresolved starts (a suffix) terminate at t. Each entry resolves
-        # at most once across the predictor's lifetime.
-        reached = int(np.searchsorted(self._levels, price, side="right"))
-        for r in range(reached):
-            row = self._exceed[r]
-            start = int(self._last_exceed[r]) + 1
-            row[start : t + 1] = t
-            self._last_exceed[r] = t
-        self._qbets.update(float(price))
+        bound = self._qbets.bound
+        self._times[t] = float(time)
+        self._prices[t] = price
+        self._bounds[t] = bound
+        if not math.isnan(bound):
+            self._bounds_lo = min(self._bounds_lo, bound)
+            self._bounds_hi = max(self._bounds_hi, bound)
+        self._prices_lo = min(self._prices_lo, price)
+        self._prices_hi = max(self._prices_hi, price)
+        self._qbets.update(price)
+        self._n = t + 1
+        self._snapshot = None
 
-    def extend(self, times, prices) -> None:
-        """Consume many announcements in order."""
+    def extend(self, times, prices=None) -> None:
+        """Consume many announcements in order.
+
+        Accepts parallel ``(times, prices)`` arrays or a single
+        :class:`~repro.market.traces.PriceTrace` delta (the form the
+        service's delta fetches produce).
+        """
+        if prices is None:
+            trace = times
+            times, prices = trace.times, trace.prices
         for time, price in zip(times, prices):
             self.observe(float(time), float(price))
+
+    def history(self) -> PriceTrace | None:
+        """The accumulated announcements as an immutable trace."""
+        if self._n == 0:
+            return None
+        return PriceTrace(
+            self._times[: self._n].copy(), self._prices[: self._n].copy()
+        )
+
+    # -- snapshot machinery -------------------------------------------------
+
+    def _candidates(self) -> tuple[float, float]:
+        """Extremes of the batch ladder candidate set for current state."""
+        lo, hi = self._bounds_lo, self._bounds_hi
+        final = self._qbets.bound
+        if not math.isnan(final):
+            lo = min(lo, final)
+            hi = max(hi, final)
+        if math.isinf(lo):
+            # No bound ever existed — the batch raw-price-range fallback.
+            return self._prices_lo, self._prices_hi
+        return lo, hi
+
+    def _ensure_ladder(self) -> IncrementalDurationLadder:
+        """Advance (or re-anchor) the lazy exceedance index to cover n."""
+        anchor = self._candidates()
+        if self._ladder is None or anchor != self._ladder_anchor:
+            # The candidate envelope moved past the ladder it was laid out
+            # for (running min only decreases / max only increases, so this
+            # goes quiet once the market's range has been seen): rebase on a
+            # fresh ladder, vectorised over the full accumulated history.
+            self._ladder = IncrementalDurationLadder(
+                ladder_levels(anchor[0], anchor[1], self._cfg),
+                self._times[: self._n],
+                self._prices[: self._n],
+            )
+            self._ladder_anchor = anchor
+        elif self._ladder_n < self._n:
+            self._ladder.extend(
+                self._times[self._ladder_n : self._n],
+                self._prices[self._ladder_n : self._n],
+            )
+        self._ladder_n = self._n
+        return self._ladder
+
+    def as_batch(self) -> DraftsPredictor | None:
+        """A batch-identical :class:`DraftsPredictor` over the history.
+
+        Every query below delegates here; a fresh snapshot is only
+        assembled when announcements arrived since the last one (O(n) array
+        copies plus the ladder delta — no QBETS refit, no exceedance
+        rebuild). Returns ``None`` before the first announcement.
+        """
+        if self._n == 0:
+            return None
+        if self._snapshot is not None and self._snapshot[0] == self._n:
+            return self._snapshot[1]
+        n = self._n
+        ladder = self._ensure_ladder().view(n)
+        predictor = DraftsPredictor.from_phase1(
+            self.history(),
+            self._cfg,
+            bounds=self._bounds[:n].copy(),
+            final_bound=self._qbets.bound,
+            changepoints=self._qbets.changepoints,
+            ladder=ladder,
+        )
+        self._snapshot = (n, predictor)
+        return predictor
 
     # -- queries (all "as of now") ------------------------------------------
 
@@ -139,66 +224,35 @@ class OnlineDraftsPredictor:
         """Current minimum admissible DrAFTS bid (bound + premium)."""
         return self._qbets.bound + self._cfg.premium
 
-    def _durations_for_rung(self, rung: int) -> np.ndarray:
-        t = len(self._times)
-        if t == 0:
-            return np.empty(0, dtype=np.float64)
-        times = np.asarray(self._times)
-        ends = np.minimum(self._exceed[rung][:t], t - 1)
-        return times[ends] - times
-
     def duration_bound(self, bid: float) -> float:
         """Certified duration for ``bid`` as of the latest announcement."""
-        if math.isnan(bid):
+        snapshot = self.as_batch()
+        if snapshot is None:
             return float("nan")
-        rung = int(np.searchsorted(self._levels, bid, side="left"))
-        rung = min(rung, len(self._levels) - 1)
-        durations = self._durations_for_rung(rung)
-        n = durations.size
-        if n < self._min_duration_n:
-            return float("nan")
-        k = binomial.lower_bound_index(
-            n, self._cfg.duration_quantile, self._cfg.confidence
-        )
-        if k < 0:
-            return float("nan")
-        return float(np.partition(durations, int(k))[int(k)])
+        return snapshot.duration_bound(bid, self._n)
 
     def bid_for(self, duration_seconds: float) -> float:
         """Minimum ladder bid guaranteeing ``duration_seconds`` now."""
         if duration_seconds < 0:
             raise ValueError("duration must be non-negative")
-        lo = self.min_bid()
-        if math.isnan(lo):
+        snapshot = self.as_batch()
+        if snapshot is None:
             return float("nan")
-        cap = lo * self._cfg.ladder_span
-        start = int(np.searchsorted(self._levels, lo, side="left"))
-        for r in range(start, len(self._levels)):
-            bid = float(self._levels[r])
-            if bid > cap * (1.0 + 1e-12):
-                break
-            certified = self.duration_bound(bid)
-            if not math.isnan(certified) and certified >= duration_seconds:
-                return bid
-        return float("nan")
+        return snapshot.bid_for(duration_seconds, self._n)
+
+    def curve_at(
+        self, t_idx: int | None = None, instance_type: str = "", zone: str = ""
+    ) -> BidDurationCurve | None:
+        """Bid–duration curve at ``t_idx`` (defaults to "now", i.e. ``n``)."""
+        snapshot = self.as_batch()
+        if snapshot is None:
+            return None
+        if t_idx is None:
+            t_idx = self._n
+        return snapshot.curve_at(t_idx, instance_type, zone)
 
     def curve(
         self, instance_type: str = "", zone: str = ""
     ) -> BidDurationCurve | None:
         """Current bid-duration curve (the service's published artefact)."""
-        lo = self.min_bid()
-        if math.isnan(lo):
-            return None
-        rungs = bid_ladder(lo, self._cfg.ladder_increment, self._cfg.ladder_span)
-        durations = np.array([self.duration_bound(float(b)) for b in rungs])
-        filled = np.where(np.isnan(durations), -np.inf, durations)
-        mono = np.maximum.accumulate(filled)
-        durations = np.where(np.isinf(mono), np.nan, mono)
-        return BidDurationCurve(
-            bids=tuple(float(b) for b in rungs),
-            durations=tuple(float(d) for d in durations),
-            probability=self._cfg.probability,
-            instance_type=instance_type,
-            zone=zone,
-            computed_at=self._times[-1] if self._times else 0.0,
-        )
+        return self.curve_at(None, instance_type, zone)

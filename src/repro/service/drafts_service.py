@@ -5,11 +5,36 @@ asynchronously: it periodically queries the price-history API, recomputes a
 set of maximum-bid predictions for every instance type and AZ — bid ladders
 in 5 % increments from the smallest bid that can guarantee *any* duration
 up to 4x that minimum, at both the 0.95 and 0.99 probability levels — and
-serves them to clients over REST. It recomputes every 15 minutes.
+serves them to clients over REST. It recomputes every 15 minutes — and the
+paper is explicit that each recompute is *incremental*: predictor state is
+updated "in a few milliseconds" per new price announcement (§3.3), not
+refitted from scratch.
 
 This module is that service against the simulated EC2: a curve cache with
 the same refresh policy, exposed through the in-process REST router in
-:mod:`repro.service.rest`.
+:mod:`repro.service.rest`. Each (type, AZ, probability) key keeps one
+long-lived :class:`~repro.core.online.OnlineDraftsPredictor`; a refresh
+delta-fetches only the announcements after the key's cursor and feeds them
+in, publishing ``curve_at(n)``. A full QBETS refit happens only on:
+
+* **cold** — no predictor state for the key (first request, or the key was
+  LRU-evicted);
+* **rewind** — ``now`` moved to or before the cursor (backtest replays);
+* **gap** — the 90-day API window no longer reaches back to the cursor, so
+  announcements were missed;
+* **rewindow** — the accumulated history span exceeded
+  ``rewindow_factor`` x the 90-day window (incremental refreshes
+  accumulate history rather than sliding the window, trading a bounded
+  amount of extra — older — data for O(delta) refresh cost; the periodic
+  refit re-clips to the API window and bounds the footprint);
+* **ladder_change** — a delta price exceeded the key's pinned ``max_price``
+  ladder domain, which requires a new quantile-tracker domain.
+
+``cache_info()`` splits ``recomputes`` into ``refits`` (full fits) and
+``incremental_refreshes`` (delta updates), with per-reason refit counts.
+At every refresh boundary the published curve is bit-identical to a
+from-scratch :class:`~repro.core.drafts.DraftsPredictor` fit of the same
+accumulated history (tests/test_service.py).
 """
 
 from __future__ import annotations
@@ -17,11 +42,12 @@ from __future__ import annotations
 import math
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.cloud.api import EC2Api
+from repro.cloud.api import HISTORY_WINDOW_SECONDS, EC2Api
 from repro.core.curves import BidDurationCurve
 from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.online import OnlineDraftsPredictor
 
 __all__ = ["DraftsService", "ServiceConfig"]
 
@@ -39,10 +65,18 @@ class ServiceConfig:
     ladder_increment / ladder_span:
         Bid ladder geometry (5 % rungs up to 4x the minimum).
     max_predictors:
-        How many fitted predictors (each retaining a full history array)
-        are kept for incremental reuse; least-recently-computed ones are
-        evicted beyond this, so the service's footprint is bounded even
-        over the full 452-combination universe.
+        How many per-key predictors (each retaining a full history array)
+        are kept; least-recently-used ones are evicted beyond this, so the
+        service's footprint is bounded even over the full 452-combination
+        universe. An evicted key refits from a cold fetch on next touch.
+    incremental:
+        Feed per-key online predictors with delta fetches (the §3.3
+        production behaviour). Off, every refresh is a full refit — kept
+        for A/B benchmarking of the refresh cost.
+    rewindow_factor:
+        Full-refit threshold on accumulated history span, as a multiple of
+        the 90-day API window. Bounds both per-key memory and how far the
+        oldest retained announcement can lag the API's own horizon.
     """
 
     probabilities: tuple[float, ...] = (0.95, 0.99)
@@ -50,6 +84,8 @@ class ServiceConfig:
     ladder_increment: float = 0.05
     ladder_span: float = 4.0
     max_predictors: int = 128
+    incremental: bool = True
+    rewindow_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.probabilities:
@@ -61,12 +97,35 @@ class ServiceConfig:
             raise ValueError("refresh_seconds must be positive")
         if self.max_predictors < 1:
             raise ValueError("max_predictors must be >= 1")
+        if self.rewindow_factor < 1.0:
+            raise ValueError("rewindow_factor must be >= 1")
 
 
 @dataclass
 class _CacheEntry:
     computed_at: float
     curve: BidDurationCurve | None
+
+
+@dataclass
+class _KeyState:
+    """Long-lived per-(type, AZ, probability) predictor state.
+
+    ``lock`` serialises refreshes of one key without blocking other keys;
+    ``cursor`` is the timestamp of the last announcement consumed;
+    ``max_price`` is the quantile-tracker domain pinned at the first fit so
+    refreshes of the same key can never silently lay out different ladders
+    (the pre-incremental service re-derived it from whatever price spike
+    happened to be inside the window).
+    """
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    online: OnlineDraftsPredictor | None = None
+    predictor: DraftsPredictor | None = None
+    curve: BidDurationCurve | None = None
+    cursor: float = math.nan
+    last_now: float = math.nan
+    max_price: float | None = None
 
 
 class DraftsService:
@@ -82,16 +141,19 @@ class DraftsService:
         self._api = api
         self._cfg = config or ServiceConfig()
         self._cache: dict[tuple[str, str, float], _CacheEntry] = {}
-        self._predictors: OrderedDict[
-            tuple[str, str, float], DraftsPredictor
-        ] = OrderedDict()
-        # Guards cache/predictor bookkeeping: the serving gateway drives
-        # this object from several threads (one recompute per key at a
-        # time, but distinct keys concurrently).
+        self._states: OrderedDict[tuple[str, str, float], _KeyState] = (
+            OrderedDict()
+        )
+        # Guards cache/state bookkeeping: the serving gateway drives this
+        # object from several threads (one refresh per key at a time, but
+        # distinct keys concurrently). Per-key work runs under the key's
+        # own lock only.
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        self._recomputes = 0
+        self._refits = 0
+        self._incremental_refreshes = 0
+        self._refit_reasons: dict[str, int] = {}
         self._evictions = 0
 
     @property
@@ -104,33 +166,137 @@ class DraftsService:
         """The account view the service predicts through."""
         return self._api
 
-    def _compute_curve(
-        self, instance_type: str, zone: str, probability: float, now: float
-    ) -> BidDurationCurve | None:
-        history = self._api.describe_spot_price_history(
-            instance_type, zone, now
-        )
-        config = DraftsConfig(
+    def _drafts_config(self, probability: float, max_price: float) -> DraftsConfig:
+        return DraftsConfig(
             probability=probability,
             ladder_increment=self._cfg.ladder_increment,
             ladder_span=self._cfg.ladder_span,
-            max_price=max(100.0, float(history.prices.max()) * 8.0),
+            max_price=max_price,
         )
-        predictor = DraftsPredictor(history, config)
+
+    def _full_refit(
+        self,
+        state: _KeyState,
+        instance_type: str,
+        zone: str,
+        probability: float,
+        now: float,
+        reason: str,
+    ) -> BidDurationCurve | None:
+        history = self._api.describe_spot_price_history(instance_type, zone, now)
+        # Pin the ladder domain at the first fit; only an out-of-domain
+        # price (the explicit ladder_change refit) may raise it. Without
+        # the pin, a spike entering/leaving the 90-day window would change
+        # max_price between refreshes of the *same* key and silently alter
+        # the quantile-tracker domain mid-stream.
+        peak = float(history.prices.max())
+        max_price = state.max_price
+        if max_price is None or peak >= max_price:
+            max_price = max(100.0, peak * 8.0)
+        config = self._drafts_config(probability, max_price)
+        if self._cfg.incremental:
+            online = OnlineDraftsPredictor(config)
+            online.extend(history)
+            curve = online.curve_at(
+                online.n, instance_type=instance_type, zone=zone
+            )
+            state.online = online
+            state.predictor = None
+        else:
+            predictor = DraftsPredictor(history, config)
+            curve = predictor.curve_at(
+                len(history), instance_type=instance_type, zone=zone
+            )
+            state.predictor = predictor
+            state.online = None
+        state.curve = curve
+        state.max_price = max_price
+        state.cursor = history.end
+        state.last_now = now
+        with self._lock:
+            self._refits += 1
+            self._refit_reasons[reason] = self._refit_reasons.get(reason, 0) + 1
+        return curve
+
+    def _refit_reason(self, state: _KeyState, now: float) -> str | None:
+        """Why this refresh cannot be served incrementally (None = it can)."""
+        if not self._cfg.incremental or state.online is None:
+            return "cold"
+        if now <= state.cursor:
+            return "rewind"
+        if now - HISTORY_WINDOW_SECONDS > state.cursor:
+            return "gap"
+        if state.online.span > self._cfg.rewindow_factor * HISTORY_WINDOW_SECONDS:
+            return "rewindow"
+        return None
+
+    def _refresh_key(
+        self,
+        state: _KeyState,
+        instance_type: str,
+        zone: str,
+        probability: float,
+        now: float,
+    ) -> BidDurationCurve | None:
+        reason = self._refit_reason(state, now)
+        delta = None
+        if reason is None:
+            delta = self._api.describe_spot_price_history(
+                instance_type, zone, now, since=state.cursor
+            )
+            if (
+                delta is not None
+                and float(delta.prices.max()) >= state.max_price
+            ):
+                # Out of the pinned quantile-tracker domain: the ladder
+                # must be re-laid-out, which is a full refit by design.
+                reason = "ladder_change"
+        if reason is not None:
+            return self._full_refit(
+                state, instance_type, zone, probability, now, reason
+            )
+        online = state.online
+        if delta is not None:
+            online.extend(delta)
+            state.cursor = delta.end
+            state.curve = online.curve_at(
+                online.n, instance_type=instance_type, zone=zone
+            )
+        # A zero-announcement delta republishes the identical curve: the
+        # market said nothing new, so the predictor state is untouched.
+        state.last_now = now
+        with self._lock:
+            self._incremental_refreshes += 1
+        return state.curve
+
+    def _compute_curve(
+        self, instance_type: str, zone: str, probability: float, now: float
+    ) -> BidDurationCurve | None:
         key = (instance_type, zone, probability)
         with self._lock:
-            # Recomputing replaces (evicts) the key's previous predictor —
-            # each retains a full history array — and the LRU bound caps
-            # the total across keys.
-            self._recomputes += 1
-            self._predictors.pop(key, None)
-            self._predictors[key] = predictor
-            while len(self._predictors) > self._cfg.max_predictors:
-                self._predictors.popitem(last=False)
+            state = self._states.get(key)
+            fresh = state is None
+            if fresh:
+                state = _KeyState()
+                self._states[key] = state
+            else:
+                self._states.move_to_end(key)
+            while len(self._states) > self._cfg.max_predictors:
+                self._states.popitem(last=False)
                 self._evictions += 1
-        return predictor.curve_at(
-            len(history), instance_type=instance_type, zone=zone
-        )
+        try:
+            with state.lock:
+                return self._refresh_key(
+                    state, instance_type, zone, probability, now
+                )
+        except BaseException:
+            if fresh:
+                # Unknown combination (or a failed cold fetch): do not
+                # leave an empty placeholder occupying an LRU slot.
+                with self._lock:
+                    if self._states.get(key) is state and state.online is None:
+                        del self._states[key]
+            raise
 
     def curve(
         self, instance_type: str, zone: str, probability: float, now: float
@@ -167,18 +333,41 @@ class DraftsService:
         """Cache and predictor occupancy counters (for the metrics layer).
 
         ``hits``/``misses`` count :meth:`curve` lookups against the curve
-        cache; ``recomputes`` counts full QBETS refits; ``evictions``
-        counts predictors dropped by the LRU bound.
+        cache; ``refits`` counts full QBETS fits (split by trigger in
+        ``refit_reasons``), ``incremental_refreshes`` counts delta-fed
+        refreshes, and ``recomputes`` is their sum (the pre-incremental
+        service's counter); ``evictions`` counts predictor states dropped
+        by the LRU bound.
         """
         with self._lock:
             return {
                 "entries": len(self._cache),
-                "predictors": len(self._predictors),
+                "predictors": len(self._states),
                 "max_predictors": self._cfg.max_predictors,
                 "hits": self._hits,
                 "misses": self._misses,
-                "recomputes": self._recomputes,
+                "recomputes": self._refits + self._incremental_refreshes,
+                "refits": self._refits,
+                "incremental_refreshes": self._incremental_refreshes,
+                "refit_reasons": dict(self._refit_reasons),
                 "evictions": self._evictions,
+            }
+
+    def key_info(
+        self, instance_type: str, zone: str, probability: float
+    ) -> dict | None:
+        """Observability snapshot of one key's predictor state (or None)."""
+        with self._lock:
+            state = self._states.get((instance_type, zone, probability))
+        if state is None:
+            return None
+        with state.lock:
+            return {
+                "mode": "incremental" if state.online is not None else "batch",
+                "cursor": state.cursor,
+                "last_now": state.last_now,
+                "max_price": state.max_price,
+                "n": state.online.n if state.online is not None else None,
             }
 
     def bid_for_duration(

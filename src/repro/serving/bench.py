@@ -1,6 +1,6 @@
 """The serving benchmark harness (shared by the CLI and the bench suite).
 
-Three phases, matching the subsystem's acceptance criteria:
+Four phases, matching the subsystem's acceptance criteria:
 
 ``latency``
     Steady-state reads with the simulation clock drifting across the
@@ -8,7 +8,10 @@ Three phases, matching the subsystem's acceptance criteria:
     ``DraftsService``) recomputes *inline* on the first stale read of each
     key, so its tail latency is a full QBETS refit; the gateway serves the
     stale curve immediately and refreshes in the background, so its tail
-    stays a cache read. Measured at several closed-loop thread counts.
+    stays a cache read. Measured at several closed-loop thread counts,
+    with incremental refresh pinned off on both stacks so the phase
+    isolates the off-path-refresh effect (the ``refresh`` phase measures
+    the incremental effect separately).
 
 ``coalescing``
     K threads cold-miss one key simultaneously (behind a barrier, against
@@ -20,6 +23,13 @@ Three phases, matching the subsystem's acceptance criteria:
     requests come back 429 with a ``retry_after`` hint, and the metrics
     account for every request
     (``hits + stale_hits + misses + shed + errors == requests``).
+
+``refresh``
+    Cold fit vs steady-state refresh cost, incremental (delta-fed online
+    predictors, the §3.3 production behaviour) against the full-refit
+    baseline, A/B over the same keys and instants. Also asserts the two
+    modes publish identical curves at every refresh boundary — the
+    equivalence invariant the incremental path is allowed to exist under.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from repro.util.tables import format_table
 __all__ = [
     "ServingBenchConfig",
     "format_serving_report",
+    "run_refresh_benchmark",
     "run_serving_benchmark",
 ]
 
@@ -68,6 +79,8 @@ class ServingBenchConfig:
         K for the coalescing phase (acceptance demands K >= 8).
     seed:
         Load-generator seed.
+    refresh_steps:
+        Steady-state refresh rounds per key in the refresh phase.
     """
 
     scale: str = "test"
@@ -77,6 +90,7 @@ class ServingBenchConfig:
     now_drift: float = 12.0
     coalesce_threads: int = 8
     seed: int = 7
+    refresh_steps: int = 12
 
 
 class _SlowApi:
@@ -91,9 +105,11 @@ class _SlowApi:
     def __getattr__(self, name: str):
         return getattr(self._api, name)
 
-    def describe_spot_price_history(self, instance_type, zone, now):
+    def describe_spot_price_history(self, instance_type, zone, now, since=None):
         time.sleep(self._delay)
-        return self._api.describe_spot_price_history(instance_type, zone, now)
+        return self._api.describe_spot_price_history(
+            instance_type, zone, now, since
+        )
 
 
 def _serving_keys(
@@ -189,11 +205,18 @@ def _latency_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
     )
     requests = list(LoadGenerator(keys, load_cfg).requests())
     results: dict[int, dict] = {}
+    # Both stacks pin incremental refresh *off* so this phase isolates the
+    # gateway effect (recomputes moved off the read path) from the service
+    # effect (delta-fed recomputes), which the refresh phase measures on
+    # its own; with incremental on, the lazy baseline's inline recompute
+    # becomes cheap enough to blur the comparison. Published answers are
+    # bit-identical either way.
+    service_cfg = ServiceConfig(incremental=False)
     for n_threads in cfg.thread_counts:
         # Fresh stacks per thread count so caches start identically.
-        baseline = RestRouter(DraftsService(EC2Api(universe)))
+        baseline = RestRouter(DraftsService(EC2Api(universe), service_cfg))
         gateway = ServingGateway(
-            DraftsService(EC2Api(universe)),
+            DraftsService(EC2Api(universe), service_cfg),
             GatewayConfig(max_inflight=max(64, 4 * n_threads)),
         )
         for key in keys:  # warm both curve caches at the stream start
@@ -287,8 +310,83 @@ def _shedding_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
     }
 
 
+def _curves_match(a, b) -> bool:
+    """Bit-equality of two published curves, with nan == nan allowed."""
+    if a is None or b is None:
+        return a is b
+    if a.bids != b.bids or len(a.durations) != len(b.durations):
+        return False
+    return all(
+        x == y or (np.isnan(x) and np.isnan(y))
+        for x, y in zip(a.durations, b.durations)
+    )
+
+
+def _refresh_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
+    """Per-key refresh cost: cold fit vs steady state, incremental vs refit.
+
+    Both modes walk the same keys through the same refresh instants (each
+    step lands past the staleness horizon, so every ``curve()`` call does a
+    real refresh), timing each call. The published curves are compared
+    across modes at every boundary — bit-identical or the phase reports
+    ``equivalent: False`` and the bench suite fails.
+    """
+    probability = keys[0][2]
+    interval = ServiceConfig().refresh_seconds + 60.0
+    out: dict = {}
+    published: dict[str, list] = {}
+    for mode in ("refit", "incremental"):
+        service = DraftsService(
+            EC2Api(universe),
+            ServiceConfig(
+                probabilities=(probability,),
+                incremental=(mode == "incremental"),
+            ),
+        )
+        cold: list[float] = []
+        steady: list[float] = []
+        curves: list = []
+        for step in range(cfg.refresh_steps + 1):
+            now = start_now + step * interval
+            for key in keys:
+                started = time.perf_counter()
+                curve = service.curve(key[0], key[1], probability, now)
+                elapsed = time.perf_counter() - started
+                (cold if step == 0 else steady).append(elapsed)
+                curves.append(curve)
+        info = service.cache_info()
+        published[mode] = curves
+        out[mode] = {
+            "cold": _percentiles(cold),
+            "steady": _percentiles(steady),
+            "refits": info["refits"],
+            "incremental_refreshes": info["incremental_refreshes"],
+        }
+    out["equivalent"] = all(
+        _curves_match(a, b)
+        for a, b in zip(published["refit"], published["incremental"])
+    )
+    for stat in ("p50", "p99"):
+        out[f"speedup_steady_{stat}"] = out["refit"]["steady"][stat] / max(
+            out["incremental"]["steady"][stat], 1e-9
+        )
+    return out
+
+
+def run_refresh_benchmark(config: ServingBenchConfig | None = None) -> dict:
+    """The refresh phase alone (the BENCH_serving.json trajectory hook)."""
+    cfg = config or ServingBenchConfig()
+    universe = scaled_universe(cfg.scale)
+    keys, start_now = _serving_keys(universe, cfg.n_keys, probability=0.95)
+    return {
+        "keys": ["{}@{}".format(k[0], k[1]) for k in keys],
+        "refresh_steps": cfg.refresh_steps,
+        "refresh": _refresh_phase(cfg, universe, keys, start_now),
+    }
+
+
 def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:
-    """Run all three phases; returns a JSON-ready results dict."""
+    """Run all four phases; returns a JSON-ready results dict."""
     cfg = config or ServingBenchConfig()
     universe = scaled_universe(cfg.scale)
     keys, start_now = _serving_keys(universe, cfg.n_keys, probability=0.95)
@@ -297,6 +395,7 @@ def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:
         "latency": _latency_phase(cfg, universe, keys, start_now),
         "coalescing": _coalescing_phase(cfg, universe, keys, start_now),
         "shedding": _shedding_phase(cfg, universe, keys, start_now),
+        "refresh": _refresh_phase(cfg, universe, keys, start_now),
     }
 
 
@@ -347,4 +446,36 @@ def format_serving_report(results: dict) -> str:
         ],
         title="Admission control",
     )
-    return latency_table + "\n\n" + extras
+    report = latency_table + "\n\n" + extras
+    refresh = results.get("refresh")
+    if refresh is not None:
+        rows = [
+            [
+                mode,
+                f"{refresh[mode]['cold']['p50'] * 1e3:.1f}",
+                f"{refresh[mode]['steady']['p50'] * 1e3:.2f}",
+                f"{refresh[mode]['steady']['p99'] * 1e3:.2f}",
+                str(refresh[mode]["refits"]),
+                str(refresh[mode]["incremental_refreshes"]),
+            ]
+            for mode in ("refit", "incremental")
+        ]
+        refresh_table = format_table(
+            [
+                "Mode",
+                "cold p50 (ms)",
+                "steady p50 (ms)",
+                "steady p99 (ms)",
+                "refits",
+                "incr",
+            ],
+            rows,
+            title=(
+                "Per-key refresh cost "
+                f"(steady-state speedup p50 {refresh['speedup_steady_p50']:.0f}x, "
+                f"p99 {refresh['speedup_steady_p99']:.0f}x; curves "
+                f"{'bit-identical' if refresh['equivalent'] else 'DIVERGED'})"
+            ),
+        )
+        report += "\n\n" + refresh_table
+    return report

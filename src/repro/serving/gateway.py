@@ -64,6 +64,11 @@ class GatewayConfig:
         fallback before recompute is retried.
     refresher_workers:
         Background refresh threads started by :meth:`ServingGateway.start`.
+    refresh_budget_per_tick:
+        How many stale keys one cron tick may enqueue (highest priority
+        first). Incremental refreshes cost milliseconds, so the default
+        covers the full 452-combination universe at both probability
+        levels with headroom; ``None`` removes the cap.
     """
 
     max_inflight: int = 64
@@ -72,6 +77,7 @@ class GatewayConfig:
     breaker_threshold: int = 3
     breaker_cooldown_seconds: float = 60.0
     refresher_workers: int = 2
+    refresh_budget_per_tick: int | None = 1024
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -80,6 +86,11 @@ class GatewayConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_cooldown_seconds < 0:
             raise ValueError("breaker_cooldown_seconds must be >= 0")
+        if (
+            self.refresh_budget_per_tick is not None
+            and self.refresh_budget_per_tick < 1
+        ):
+            raise ValueError("refresh_budget_per_tick must be >= 1 or None")
 
 
 class _CircuitBreaker:
@@ -245,8 +256,9 @@ class ServingGateway:
         self.stop()
 
     def tick(self, now: float) -> int:
-        """The cron tick: enqueue every entry stale at simulation ``now``."""
-        return self.refresher.scan(now)
+        """The cron tick: enqueue entries stale at simulation ``now``,
+        bounded by the configured per-tick refresh budget."""
+        return self.refresher.scan(now, self._cfg.refresh_budget_per_tick)
 
     # -- request path --------------------------------------------------------
 
@@ -494,4 +506,5 @@ class ServingGateway:
             "entries": len(self.store),
             "refresh_pending": self.refresher.pending_count(),
         }
+        body["service"] = self._service.cache_info()
         return body

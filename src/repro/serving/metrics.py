@@ -138,14 +138,18 @@ class Histogram:
         return float("inf")
 
     def to_dict(self) -> dict:
-        """JSON-ready form: per-bucket counts keyed by upper edge."""
+        """JSON-ready form: per-bucket counts keyed by upper edge, plus
+        the p50/p99 bucket-edge estimates dashboards plot directly."""
         with self._lock:
             buckets = [
                 {"le": edge, "count": count}
                 for edge, count in zip(self.bounds, self._counts)
             ]
             buckets.append({"le": "inf", "count": self._counts[-1]})
-            return {"buckets": buckets, "sum": self._sum, "count": self._count}
+            body = {"buckets": buckets, "sum": self._sum, "count": self._count}
+        body["p50"] = self.quantile(0.5)
+        body["p99"] = self.quantile(0.99)
+        return body
 
 
 class MetricsRegistry:

@@ -159,20 +159,23 @@ class BackgroundRefresher:
             )
             self._cond.notify()
 
-    def scan(self, now: float) -> int:
-        """The cron tick: enqueue every stored entry stale at ``now``.
+    def scan(self, now: float, budget: int | None = None) -> int:
+        """The cron tick: enqueue stored entries stale at ``now``.
 
-        Returns how many keys were enqueued.
+        ``budget`` caps how many keys one tick may enqueue; when it binds,
+        the highest-priority stale keys (staleness age × popularity) win
+        and the rest wait for the next tick, so one giant key universe
+        cannot swamp the worker pool. Returns how many keys were enqueued.
         """
-        from repro.serving.store import EntryState
-
-        enqueued = 0
-        for key in self._store.keys():
-            entry = self._store.peek(key)
-            if self._store.state_of(entry, now) is EntryState.STALE:
-                self.poke(key, now)
-                enqueued += 1
-        return enqueued
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        stale = self._store.stale_keys(now)
+        if budget is not None and len(stale) > budget:
+            stale.sort(key=lambda k: self._priority(k, now), reverse=True)
+            stale = stale[:budget]
+        for key in stale:
+            self.poke(key, now)
+        return len(stale)
 
     def pending_count(self) -> int:
         """Keys currently awaiting refresh."""

@@ -190,6 +190,22 @@ class ShardedCurveStore:
                 keys.extend(shard.entries)
         return sorted(keys)
 
+    def stale_keys(self, now: float) -> list[CurveKey]:
+        """Every stored key whose entry is stale at ``now`` (sorted).
+
+        One pass per shard under its own lock — the refresher's cron tick
+        uses this instead of a peek per key, which would take and release
+        a shard lock per stored combination.
+        """
+        stale: list[CurveKey] = []
+        for shard in self._shards:
+            with shard.lock:
+                entries = list(shard.entries.items())
+            for key, entry in entries:
+                if self.state_of(entry, now) is EntryState.STALE:
+                    stale.append(key)
+        return sorted(stale)
+
     def requested_keys(self) -> list[CurveKey]:
         """Every key ever looked up, stored or not (sorted)."""
         keys: set[CurveKey] = set()

@@ -69,6 +69,65 @@ class TestSpotAccess:
         assert run.ran_seconds > 0
 
 
+class TestDeltaHistory:
+    """The ``since`` cursor form powering incremental curve refreshes."""
+
+    def test_delta_matches_full_window_tail(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        full = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        since = full.times[-40]
+        delta = api.describe_spot_price_history(
+            "c4.large", "us-east-1b", now, since=since
+        )
+        assert delta is not None
+        np.testing.assert_array_equal(delta.times, full.times[-39:])
+        np.testing.assert_array_equal(delta.prices, full.prices[-39:])
+        assert delta.instance_type == full.instance_type
+        assert delta.zone == "us-east-1b"
+
+    def test_empty_delta_is_none(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        full = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        assert (
+            api.describe_spot_price_history(
+                "c4.large", "us-east-1b", now, since=full.end
+            )
+            is None
+        )
+
+    def test_since_before_window_returns_whole_window(self, small_universe):
+        api = EC2Api(small_universe)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        full = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        delta = api.describe_spot_price_history(
+            "c4.large", "us-east-1b", now, since=full.start - 86400.0
+        )
+        np.testing.assert_array_equal(delta.times, full.times)
+        np.testing.assert_array_equal(delta.prices, full.prices)
+
+    def test_delta_respects_obfuscated_zone_names(self, small_universe):
+        view = AccountView("us-east-1", {"b": "c", "c": "d", "d": "e", "e": "b"})
+        obfuscated = EC2Api(small_universe, {"us-east-1": view})
+        plain = EC2Api(small_universe)
+        now = small_universe.trace(
+            small_universe.combo("c4.large", "us-east-1c")
+        ).start + 45 * 86400.0
+        since = now - 86400.0
+        a = obfuscated.describe_spot_price_history(
+            "c4.large", "us-east-1b", now, since=since
+        )
+        b = plain.describe_spot_price_history(
+            "c4.large", "us-east-1c", now, since=since
+        )
+        np.testing.assert_array_equal(a.prices, b.prices)
+        assert a.zone == "us-east-1b"  # labelled with the account's name
+
+
 class TestObfuscatedAccount:
     def test_zone_names_translated(self, small_universe):
         view = AccountView("us-east-1", {"b": "c", "c": "d", "d": "e", "e": "b"})

@@ -1,4 +1,13 @@
-"""Unit tests for the incremental DrAFTS predictor."""
+"""Unit tests for the incremental DrAFTS predictor.
+
+The contract under test is *bit-identity*: at every instant, the online
+predictor must answer exactly as a from-scratch batch
+:class:`~repro.core.drafts.DraftsPredictor` fit of the same accumulated
+history — including the curve the serving path publishes, across QBETS
+change-point resets, and regardless of how the history was chunked into
+deltas. That invariant is what lets the service refresh keys in
+O(new announcements) without changing a single published number.
+"""
 
 import math
 import time
@@ -9,8 +18,30 @@ import pytest
 from repro.core.drafts import DraftsConfig, DraftsPredictor
 from repro.core.online import OnlineDraftsPredictor
 from repro.market.synthetic import generate_trace
+from repro.market.traces import PriceTrace
 
 EPD = 288
+
+
+def curves_equal(a, b) -> bool:
+    """Bit-equality of curves, with nan == nan allowed per rung."""
+    if a is None or b is None:
+        return a is b
+    if a.bids != b.bids:
+        return False
+    if (a.probability, a.computed_at) != (b.probability, b.computed_at):
+        return False
+    return all(
+        x == y or (math.isnan(x) and math.isnan(y))
+        for x, y in zip(a.durations, b.durations)
+    )
+
+
+def assert_floats_equal(a: float, b: float) -> None:
+    if math.isnan(a) or math.isnan(b):
+        assert math.isnan(a) and math.isnan(b)
+    else:
+        assert a == b
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +50,7 @@ def pair():
     trace = generate_trace("spiky", 0.42, n_epochs=20 * EPD, rng=8)
     config = DraftsConfig(probability=0.95, max_price=100.0)
     batch = DraftsPredictor(trace, config)
-    online = OnlineDraftsPredictor(config, ladder_hi=100.0)
+    online = OnlineDraftsPredictor(config)
     online.extend(trace.times, trace.prices)
     return trace, batch, online
 
@@ -27,35 +58,117 @@ def pair():
 class TestEquivalence:
     def test_price_bounds_agree(self, pair):
         trace, batch, online = pair
-        np.testing.assert_allclose(
-            online.price_bound(), batch.price_bound_at(len(trace))
+        assert online.price_bound() == batch.price_bound_at(len(trace))
+        assert online.min_bid() == batch.min_bid_at(len(trace))
+
+    def test_phase1_state_is_identical(self, pair):
+        trace, batch, online = pair
+        snapshot = online.as_batch()
+        np.testing.assert_array_equal(
+            snapshot.changepoints, batch.changepoints
         )
-        np.testing.assert_allclose(
-            online.min_bid(), batch.min_bid_at(len(trace))
+        np.testing.assert_array_equal(
+            snapshot._bounds, batch._bounds
+        )
+        np.testing.assert_array_equal(
+            snapshot._ladder.levels, batch._ladder.levels
         )
 
-    def test_bids_agree_at_ladder_granularity(self, pair):
+    def test_bids_agree_exactly(self, pair):
         trace, batch, online = pair
-        for hours in (0.5, 1, 2, 4):
-            a = batch.bid_for(hours * 3600.0, len(trace))
-            b = online.bid_for(hours * 3600.0)
-            if math.isnan(a) or math.isnan(b):
-                assert math.isnan(a) == math.isnan(b)
-            else:
-                # The two predictors lay their ladders out from different
-                # anchors; agreement is within one 5% rung.
-                assert b == pytest.approx(a, rel=0.06)
+        for hours in (0.0, 0.5, 1, 2, 4, 24, 24 * 14):
+            assert_floats_equal(
+                online.bid_for(hours * 3600.0),
+                batch.bid_for(hours * 3600.0, len(trace)),
+            )
 
-    def test_curves_agree_in_shape(self, pair):
+    def test_duration_bounds_agree_exactly(self, pair):
         trace, batch, online = pair
-        curve_b = batch.curve_at(len(trace))
-        curve_o = online.curve()
-        assert curve_b is not None and curve_o is not None
-        assert curve_o.minimum_bid == pytest.approx(
-            curve_b.minimum_bid, rel=1e-9
-        )
-        finite_o = [d for d in curve_o.durations if not math.isnan(d)]
-        assert finite_o == sorted(finite_o)
+        min_bid = batch.min_bid_at(len(trace))
+        for bid in (min_bid, min_bid * 1.5, min_bid * 4.0, 1e9):
+            assert_floats_equal(
+                online.duration_bound(bid),
+                batch.duration_bound(bid, len(trace)),
+            )
+
+    def test_curves_bit_identical(self, pair):
+        trace, batch, online = pair
+        curve_b = batch.curve_at(len(trace), "it", "z")
+        curve_o = online.curve("it", "z")
+        assert curve_b is not None
+        assert curves_equal(curve_o, curve_b)
+
+    def test_historical_curves_bit_identical(self, pair):
+        """curve_at at past instants also flows through batch code."""
+        trace, batch, online = pair
+        for t_idx in (len(trace) // 2, len(trace) - 1):
+            assert curves_equal(
+                online.curve_at(t_idx), batch.curve_at(t_idx)
+            )
+
+
+class TestDeltaFeeding:
+    """Equivalence must survive any chunking of the announcement stream —
+    the serving conditions: deltas of any size, zero-announcement deltas,
+    deltas spanning a QBETS change point, queries between deltas."""
+
+    def _batch_for(self, trace, config, n):
+        sub = PriceTrace(trace.times[:n].copy(), trace.prices[:n].copy())
+        return DraftsPredictor(sub, config)
+
+    def test_chunked_equals_batch_at_every_boundary(self):
+        trace = generate_trace("spiky", 0.42, n_epochs=12 * EPD, rng=11)
+        config = DraftsConfig(probability=0.95)
+        online = OnlineDraftsPredictor(config)
+        fed = 0
+        for size in (900, 1, 0, 700, 13, 800, 42):
+            online.extend(
+                trace.times[fed : fed + size], trace.prices[fed : fed + size]
+            )
+            fed += size
+            batch = self._batch_for(trace, config, fed)
+            assert curves_equal(
+                online.curve(), batch.curve_at(fed)
+            ), f"diverged after {fed} announcements"
+        assert fed <= len(trace)
+
+    def test_delta_spanning_changepoint(self):
+        """A regime shift mid-delta must reset QBETS identically."""
+        trace = generate_trace("spiky", 0.42, n_epochs=12 * EPD, rng=8)
+        config = DraftsConfig(probability=0.95)
+        batch = DraftsPredictor(trace, config)
+        cps = batch.changepoints
+        assert len(cps) > 0, "fixture must trigger a reset"
+        split = int(cps[0]) - 50  # the next delta spans the change point
+
+        online = OnlineDraftsPredictor(config)
+        online.extend(trace.times[:split], trace.prices[:split])
+        _ = online.curve()  # force mid-stream ladder + snapshot state
+        online.extend(trace.times[split:], trace.prices[split:])
+
+        snapshot = online.as_batch()
+        np.testing.assert_array_equal(snapshot.changepoints, cps)
+        assert curves_equal(online.curve(), batch.curve_at(len(trace)))
+
+    def test_zero_announcement_delta_is_noop(self, pair):
+        trace, batch, online = pair
+        before = online.curve()
+        online.extend(np.empty(0), np.empty(0))
+        online.extend(PriceTrace(trace.times, trace.prices).times[:0], [])
+        assert online.n == len(trace)
+        assert curves_equal(online.curve(), before)
+
+    def test_extend_accepts_a_price_trace(self):
+        trace = generate_trace("calm", 0.42, n_epochs=6 * EPD, rng=2)
+        config = DraftsConfig(probability=0.95)
+        a = OnlineDraftsPredictor(config)
+        a.extend(trace)
+        b = OnlineDraftsPredictor(config)
+        b.extend(trace.times, trace.prices)
+        assert curves_equal(a.curve(), b.curve())
+        history = a.history()
+        np.testing.assert_array_equal(history.times, trace.times)
+        np.testing.assert_array_equal(history.prices, trace.prices)
 
 
 class TestIncrementalMechanics:
@@ -66,25 +179,6 @@ class TestIncrementalMechanics:
             online.observe(0.0, 0.1)
         with pytest.raises(ValueError):
             online.observe(10.0, 0.0)
-
-    def test_exceedance_resolution(self):
-        online = OnlineDraftsPredictor(
-            DraftsConfig(probability=0.95), ladder_lo=0.1, ladder_hi=1.0
-        )
-        # Prices below every rung: everything unresolved.
-        for i in range(5):
-            online.observe(i * 300.0, 0.05)
-        # A price at 0.5 resolves rungs up to 0.5 for all past starts.
-        online.observe(5 * 300.0, 0.5)
-        d = online._durations_for_rung(0)  # rung level 0.1
-        np.testing.assert_allclose(
-            d, [1500.0, 1200.0, 900.0, 600.0, 300.0, 0.0]
-        )
-        # The top rung (1.0) is still unresolved: censored at "now".
-        top = online._durations_for_rung(len(online._levels) - 1)
-        np.testing.assert_allclose(
-            top, [1500.0, 1200.0, 900.0, 600.0, 300.0, 0.0]
-        )
 
     def test_update_cost_is_flat(self):
         """Per-announcement cost must not grow with history length."""
@@ -104,14 +198,18 @@ class TestIncrementalMechanics:
         # Allow generous noise; the point is no O(n) blow-up per update.
         assert late < early * 5 + 0.5
 
+    def test_snapshot_is_cached_until_new_data(self, pair):
+        trace, batch, online = pair
+        assert online.as_batch() is online.as_batch()
+
     def test_validation(self):
-        with pytest.raises(ValueError):
-            OnlineDraftsPredictor(ladder_lo=1.0, ladder_hi=0.5)
-        with pytest.raises(ValueError):
-            OnlineDraftsPredictor(ladder_lo=0.0)
         online = OnlineDraftsPredictor()
         with pytest.raises(ValueError):
             online.bid_for(-1.0)
+        assert online.curve() is None
+        assert online.history() is None
+        assert math.isnan(online.duration_bound(0.5))
+        assert math.isnan(online.last_time)
 
     def test_warmup_returns_nan(self):
         online = OnlineDraftsPredictor(DraftsConfig(probability=0.95))
@@ -120,3 +218,9 @@ class TestIncrementalMechanics:
         assert math.isnan(online.min_bid())
         assert math.isnan(online.bid_for(3600.0))
         assert online.curve() is None
+        # ... and the batch predictor agrees on the same short history.
+        batch = DraftsPredictor(
+            PriceTrace(300.0 * np.arange(50), np.full(50, 0.1)),
+            online.config,
+        )
+        assert batch.curve_at(50) is None

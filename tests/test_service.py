@@ -2,10 +2,60 @@
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.cloud.api import EC2Api
+from repro.cloud.api import HISTORY_WINDOW_SECONDS, EC2Api
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.market.traces import PriceTrace
 from repro.service.drafts_service import DraftsService, ServiceConfig
+
+DAY = 86400.0
+
+
+def curves_equal(a, b) -> bool:
+    """Bit-equality of published curves, with nan == nan allowed."""
+    if a is None or b is None:
+        return a is b
+    if a.bids != b.bids or a.computed_at != b.computed_at:
+        return False
+    return all(
+        x == y or (math.isnan(x) and math.isnan(y))
+        for x, y in zip(a.durations, b.durations)
+    )
+
+
+class _ScriptedApi:
+    """A minimal history API over one synthetic trace — same windowing and
+    delta semantics as :class:`EC2Api`, but with a trace the test controls
+    (long horizons, injected spikes)."""
+
+    def __init__(self, trace: PriceTrace) -> None:
+        self._trace = trace
+
+    def describe_spot_price_history(self, instance_type, zone, now, since=None):
+        window = self._trace.window_before(now, HISTORY_WINDOW_SECONDS)
+        if since is None:
+            return window.with_labels(instance_type, zone)
+        keep = window.times > since
+        if not keep.any():
+            return None
+        return PriceTrace(
+            window.times[keep].copy(),
+            window.prices[keep].copy(),
+            instance_type,
+            zone,
+        )
+
+
+def _hourly_trace(days: int, rng: int = 0, spikes: dict | None = None):
+    """A positive hourly-price trace; ``spikes`` maps hour index -> price."""
+    n = days * 24
+    r = np.random.default_rng(rng)
+    prices = np.abs(0.08 * (1.0 + 0.05 * r.standard_normal(n))) + 0.01
+    for hour, price in (spikes or {}).items():
+        prices[hour] = price
+    return PriceTrace(3600.0 * np.arange(n), prices)
 
 
 @pytest.fixture(scope="module")
@@ -153,6 +203,180 @@ class TestPredictorEviction:
         info = service.cache_info()
         assert info["misses"] == 1
         assert info["hits"] == 1
+
+
+class TestIncrementalRefresh:
+    """The tentpole contract: steady-state refreshes are delta-fed into a
+    long-lived online predictor, full refits happen only on the documented
+    discontinuities, and every published curve is bit-identical to a
+    from-scratch batch fit of the same history."""
+
+    P = 0.95
+
+    def _fresh(self, small_universe, **overrides):
+        api = EC2Api(small_universe)
+        service = DraftsService(
+            api, ServiceConfig(probabilities=(self.P,), **overrides)
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * DAY
+        return api, service, now
+
+    def _batch_curve(self, api, service, zone, now):
+        """A from-scratch fit of the key's windowed history at ``now``,
+        using the key's pinned ladder domain."""
+        info = service.key_info("c4.large", zone, self.P)
+        history = api.describe_spot_price_history("c4.large", zone, now)
+        cfg = DraftsConfig(
+            probability=self.P,
+            ladder_increment=service.config.ladder_increment,
+            ladder_span=service.config.ladder_span,
+            max_price=info["max_price"],
+        )
+        return DraftsPredictor(history, cfg).curve_at(
+            len(history), instance_type="c4.large", zone=zone
+        )
+
+    def test_refresh_boundaries_bit_identical_to_batch(self, small_universe):
+        api, service, now = self._fresh(small_universe)
+        zone = "us-east-1b"
+        for k in range(6):
+            t = now + k * 960.0
+            served = service.curve("c4.large", zone, self.P, t)
+            assert served is not None
+            assert curves_equal(
+                served, self._batch_curve(api, service, zone, t)
+            ), f"diverged at refresh boundary {k}"
+        info = service.cache_info()
+        assert info["refits"] == 1
+        assert info["refit_reasons"] == {"cold": 1}
+        assert info["incremental_refreshes"] == 5
+        assert info["recomputes"] == (
+            info["refits"] + info["incremental_refreshes"]
+        )
+
+    def test_incremental_off_publishes_identical_curves(self, small_universe):
+        _, a, now = self._fresh(small_universe)
+        _, b, _ = self._fresh(small_universe, incremental=False)
+        zone = "us-east-1c"
+        for k in range(4):
+            t = now + k * 960.0
+            assert curves_equal(
+                a.curve("c4.large", zone, self.P, t),
+                b.curve("c4.large", zone, self.P, t),
+            ), f"modes diverged at refresh boundary {k}"
+        assert a.cache_info()["incremental_refreshes"] == 3
+        assert a.key_info("c4.large", zone, self.P)["mode"] == "incremental"
+        assert b.cache_info()["refits"] == 4
+        assert b.cache_info()["incremental_refreshes"] == 0
+        assert b.key_info("c4.large", zone, self.P)["mode"] == "batch"
+
+    def test_zero_announcement_delta_republishes_same_object(
+        self, small_universe
+    ):
+        api, service, now = self._fresh(small_universe, refresh_seconds=60.0)
+        zone = "us-east-1b"
+        t1 = now + 10.0  # cursor lands on the 300-s announcement grid
+        a = service.curve("c4.large", zone, self.P, t1)
+        b = service.curve("c4.large", zone, self.P, t1 + 61.0)  # stale, no news
+        assert b is a  # the identical object is republished
+        info = service.cache_info()
+        assert info["refits"] == 1
+        assert info["incremental_refreshes"] == 1
+
+    def test_rewind_forces_full_refit(self, small_universe):
+        api, service, now = self._fresh(small_universe)
+        zone = "us-east-1b"
+        a = service.curve("c4.large", zone, self.P, now)
+        b = service.curve("c4.large", zone, self.P, now - 5 * DAY)
+        assert a is not None and b is not None
+        assert not curves_equal(a, b)
+        assert service.cache_info()["refit_reasons"] == {"cold": 1, "rewind": 1}
+        assert curves_equal(
+            b, self._batch_curve(api, service, zone, now - 5 * DAY)
+        )
+
+    def test_gap_beyond_api_window_forces_full_refit(self, small_universe):
+        api, service, now = self._fresh(small_universe)
+        zone = "us-east-1b"
+        service.curve("c4.large", zone, self.P, now)
+        # 136d - 90d window = 46d > the 45d cursor: announcements missed.
+        far = now + 91 * DAY
+        b = service.curve("c4.large", zone, self.P, far)
+        assert service.cache_info()["refit_reasons"] == {"cold": 1, "gap": 1}
+        assert curves_equal(b, self._batch_curve(api, service, zone, far))
+
+    def test_eviction_then_refit_stays_identical(self, small_universe):
+        api, service, now = self._fresh(small_universe, max_predictors=1)
+        for k in range(4):
+            t = now + k * 960.0
+            for zone in ("us-east-1b", "us-east-1c"):
+                served = service.curve("c4.large", zone, self.P, t)
+                assert curves_equal(
+                    served, self._batch_curve(api, service, zone, t)
+                ), f"diverged after eviction at boundary {k} ({zone})"
+        info = service.cache_info()
+        assert info["predictors"] == 1
+        assert info["evictions"] == 7  # every touch displaced the other key
+        assert info["refit_reasons"] == {"cold": 8}
+        assert info["incremental_refreshes"] == 0
+
+    def test_max_price_pinned_across_refits(self):
+        # A $20 spike on day 1.25 is inside the first fit's window ...
+        trace = _hourly_trace(250, rng=1, spikes={30: 20.0})
+        service = DraftsService(
+            _ScriptedApi(trace), ServiceConfig(probabilities=(self.P,))
+        )
+        service.curve("c4.large", "z", self.P, 91 * DAY)
+        assert service.key_info("c4.large", "z", self.P)["max_price"] == 160.0
+        # ... and has left the 90-day window by day 130. A rewind then
+        # forces a full refit; the pre-fix service would re-derive
+        # max_price = 100 from the spike-free window and silently lay out
+        # a different ladder. The pin must hold.
+        service.curve("c4.large", "z", self.P, 130 * DAY)
+        service.curve("c4.large", "z", self.P, 120 * DAY)
+        assert service.key_info("c4.large", "z", self.P)["max_price"] == 160.0
+        assert service.cache_info()["refit_reasons"]["rewind"] == 1
+
+    def test_out_of_domain_price_triggers_ladder_change_refit(self):
+        trace = _hourly_trace(100, rng=2, spikes={95 * 24: 900.0})
+        api = _ScriptedApi(trace)
+        service = DraftsService(api, ServiceConfig(probabilities=(self.P,)))
+        service.curve("c4.large", "z", self.P, 94 * DAY)
+        assert service.key_info("c4.large", "z", self.P)["max_price"] == 100.0
+        # The next delta carries the $900 spike — outside the pinned
+        # quantile-tracker domain, so the refresh must be a full refit at
+        # a re-pinned domain, not a silent incremental update.
+        t2 = 95 * DAY + 7200.0
+        served = service.curve("c4.large", "z", self.P, t2)
+        info = service.key_info("c4.large", "z", self.P)
+        assert info["max_price"] == 7200.0  # re-pinned: 8 x 900
+        reasons = service.cache_info()["refit_reasons"]
+        assert reasons == {"cold": 1, "ladder_change": 1}
+        history = api.describe_spot_price_history("c4.large", "z", t2)
+        cfg = DraftsConfig(probability=self.P, max_price=7200.0)
+        batch = DraftsPredictor(history, cfg).curve_at(
+            len(history), instance_type="c4.large", zone="z"
+        )
+        assert curves_equal(served, batch)
+
+    def test_rewindow_refit_bounds_accumulated_history(self):
+        trace = _hourly_trace(250, rng=3)
+        service = DraftsService(
+            _ScriptedApi(trace),
+            ServiceConfig(probabilities=(self.P,), rewindow_factor=1.0),
+        )
+        t = 91 * DAY
+        while t < 100 * DAY:
+            assert service.curve("c4.large", "z", self.P, t) is not None
+            info = service.key_info("c4.large", "z", self.P)
+            # The accumulated span never exceeds factor x window + one
+            # refresh worth of drift before the refit re-clips it.
+            assert info["n"] <= (HISTORY_WINDOW_SECONDS / 3600.0) + 24
+            t += 6 * 3600.0
+        info = service.cache_info()
+        assert info["refit_reasons"].get("rewindow", 0) >= 1
+        assert info["incremental_refreshes"] >= 1
 
 
 class TestServiceInvariants:

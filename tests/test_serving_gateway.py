@@ -47,10 +47,12 @@ class _FlakyApi:
     def __getattr__(self, name):
         return getattr(self._api, name)
 
-    def describe_spot_price_history(self, instance_type, zone, now):
+    def describe_spot_price_history(self, instance_type, zone, now, since=None):
         if self.fail:
             raise RuntimeError("history API down")
-        return self._api.describe_spot_price_history(instance_type, zone, now)
+        return self._api.describe_spot_price_history(
+            instance_type, zone, now, since=since
+        )
 
 
 class _BlockingApi:
@@ -65,11 +67,13 @@ class _BlockingApi:
     def __getattr__(self, name):
         return getattr(self._api, name)
 
-    def describe_spot_price_history(self, instance_type, zone, now):
+    def describe_spot_price_history(self, instance_type, zone, now, since=None):
         if self.block:
             self.entered.set()
             assert self.release.wait(10.0)
-        return self._api.describe_spot_price_history(instance_type, zone, now)
+        return self._api.describe_spot_price_history(
+            instance_type, zone, now, since=since
+        )
 
 
 class TestRoutes:
@@ -199,6 +203,43 @@ class TestStaleWhileRevalidate:
         assert entry.generation == generation_before + 1
         assert entry.computed_at == now + 3600.0
         assert gateway.store.state_of(entry, now + 3600.0) is EntryState.FRESH
+
+
+    def test_tick_respects_refresh_budget(self, small_universe):
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)),
+            GatewayConfig(refresh_budget_per_tick=2),
+            clock=ManualClock(),
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        for zone in ("us-east-1b", "us-east-1c", "us-east-1d"):
+            gateway.get(
+                f"/predictions/c4.large/{zone}?probability=0.95&now={now}"
+            )
+        # All three entries are stale an hour later; one tick enqueues
+        # only the configured budget.
+        assert gateway.tick(now + 3600.0) == 2
+        assert gateway.refresher.pending_count() == 2
+        with pytest.raises(ValueError):
+            GatewayConfig(refresh_budget_per_tick=0)
+
+    def test_snapshot_exposes_service_refresh_split(self, small_universe):
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = "/predictions/c4.large/us-east-1b?probability=0.95&now={}"
+        gateway.get(url.format(now))
+        gateway.get(url.format(now + 3600.0))
+        gateway.refresher.run_pending()
+        service = gateway.snapshot()["service"]
+        assert service["refits"] == 1
+        assert service["incremental_refreshes"] >= 1
+        assert service["recomputes"] == (
+            service["refits"] + service["incremental_refreshes"]
+        )
 
 
 class TestCoalescing:
@@ -363,9 +404,13 @@ class TestDeadlines:
             def __getattr__(self, name):
                 return getattr(api, name)
 
-            def describe_spot_price_history(self, instance_type, zone, now):
+            def describe_spot_price_history(
+                self, instance_type, zone, now, since=None
+            ):
                 clock.advance(9.0)  # the recompute "takes" 9 wall seconds
-                return api.describe_spot_price_history(instance_type, zone, now)
+                return api.describe_spot_price_history(
+                    instance_type, zone, now, since=since
+                )
 
         gateway = ServingGateway(DraftsService(_SlowApi()), clock=clock)
         combo = small_universe.combo("c4.large", "us-east-1b")

@@ -140,6 +140,28 @@ class TestBackgroundRefresher:
         # The stale entry was recomputed at the scan instant.
         assert store.peek(stale).computed_at == 10_100.0
 
+    def test_scan_budget_keeps_highest_priority_keys(self):
+        refreshed = []
+        store, _, refresher = self._refresher(
+            lambda key, now: refreshed.append(key)
+        )
+        keys = [(f"type-{i}", "zone", 0.95) for i in range(5)]
+        for i, key in enumerate(keys):
+            store.put(key, None, computed_at=0.0)
+            for _ in range(i):  # key i has popularity i
+                store.lookup(key, 5000.0)
+        assert refresher.scan(now=5000.0, budget=2) == 2
+        assert refresher.run_pending() == 2
+        # The two most popular stale keys won the budget.
+        assert sorted(refreshed) == sorted(keys[-2:])
+        with pytest.raises(ValueError):
+            refresher.scan(now=5000.0, budget=-1)
+
+    def test_scan_budget_larger_than_backlog_is_unbinding(self):
+        store, _, refresher = self._refresher(lambda key, now: None)
+        store.put(KEY, None, computed_at=0.0)
+        assert refresher.scan(now=5000.0, budget=100) == 1
+
     def test_poke_keeps_latest_instant(self):
         seen = []
         _, _, refresher = self._refresher(

@@ -88,6 +88,17 @@ class TestBookkeeping:
         assert not store.invalidate(KEY)
         assert len(store) == 0
 
+    def test_stale_keys_census(self):
+        store = ShardedCurveStore(n_shards=4, refresh_seconds=900.0)
+        fresh = ("fresh", "zone", 0.95)
+        store.put(fresh, None, computed_at=10_000.0)
+        store.put(KEY, None, computed_at=0.0)
+        store.put(OTHER, None, computed_at=0.0)
+        assert store.stale_keys(now=10_100.0) == sorted([KEY, OTHER])
+        # A future-computed entry counts as stale too (backtest rewinds).
+        assert store.stale_keys(now=10.0) == [fresh]
+        assert fresh not in store.stale_keys(now=10_050.0)
+
     def test_stats_census(self):
         store = ShardedCurveStore(n_shards=4, refresh_seconds=900.0)
         store.put(KEY, None, computed_at=0.0)
