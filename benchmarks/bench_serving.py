@@ -13,7 +13,11 @@ acceptance properties:
    request (hits + stale-hits + misses + shed + errors == requests);
 4. steady-state refresh of a warm key through delta-fed online predictors
    is >= 10x faster than the full-refit path, while publishing curves
-   bit-identical to from-scratch fits at every refresh boundary.
+   bit-identical to from-scratch fits at every refresh boundary;
+5. warm restart from an on-disk snapshot is >= 5x faster than refitting
+   the same keys cold, performs zero refits, and publishes curves
+   bit-identical to the uninterrupted service — including after one
+   further incremental refresh step.
 """
 
 import pytest
@@ -91,6 +95,30 @@ def test_incremental_refresh_speedup_and_equivalence(benchmark, serving_results)
     )
     # ... and publish bit-identical curves at every refresh boundary.
     assert refresh["equivalent"]
+
+
+def test_warm_restart_beats_cold_refit(benchmark, serving_results):
+    def report():
+        return serving_results["restart"]
+
+    restart = benchmark.pedantic(report, rounds=1, iterations=1)
+    benchmark.extra_info["cold_fit_ms"] = round(restart["cold_fit_s"] * 1e3, 1)
+    benchmark.extra_info["restore_ms"] = round(restart["restore_s"] * 1e3, 1)
+    benchmark.extra_info["restart_speedup"] = round(restart["speedup"], 1)
+    # Acceptance (e): every key snapshotted and restored without error ...
+    assert restart["loaded"] == restart["saved"] == restart["n_keys"]
+    assert restart["load_errors"] == {}
+    # ... served from restored state alone (zero refits: the cache hit at
+    # the snapshot instant and the later refresh are both delta-fed) ...
+    assert restart["restore_refits"] == 0
+    # ... bit-identical to the uninterrupted service ...
+    assert restart["curves_identical"]
+    # ... and >= 5x faster than fitting the same keys cold.
+    assert restart["speedup"] >= 5.0, (
+        f"snapshot restore only {restart['speedup']:.1f}x faster than "
+        f"cold refit ({restart['restore_s']:.3f}s vs "
+        f"{restart['cold_fit_s']:.3f}s)"
+    )
 
 
 def test_shedding_and_metrics_accounting(serving_results):

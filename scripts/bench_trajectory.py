@@ -145,6 +145,13 @@ def main() -> int:
         f" (x{refresh['speedup_steady_p50']:.1f}); curves "
         f"{'bit-identical' if refresh['equivalent'] else 'DIVERGED'}"
     )
+    restart = serving["restart"]
+    print(
+        f"  warm restart: cold fit {restart['cold_fit_s']:.2f} s -> "
+        f"snapshot restore {restart['restore_s'] * 1e3:.1f} ms "
+        f"(x{restart['speedup']:.0f}, {restart['restore_refits']} refits); "
+        f"curves {'identical' if restart['curves_identical'] else 'DIVERGED'}"
+    )
     serving_report = {
         "scale": args.scale,
         "platform": platform.platform(),
@@ -155,6 +162,10 @@ def main() -> int:
     if not refresh["equivalent"]:
         raise AssertionError(
             "incremental refresh diverged from full refit curves"
+        )
+    if not restart["curves_identical"]:
+        raise AssertionError(
+            "snapshot-restored curves diverged from the cold fit"
         )
     return 0
 

@@ -29,3 +29,11 @@ else
     echo "== serving bench smoke (--benchmark-disable) =="
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q --benchmark-disable
 fi
+
+# Seeded chaos smoke: faulty history API at 10% error rate plus a mid-run
+# snapshot/restore round-trip with one deliberately torn file. Exits
+# non-zero if any serving invariant (metrics conservation, breaker
+# sequencing, stale-never-error, snapshot restore) is violated.
+echo "== chaos smoke (seeded fault injection) =="
+PYTHONPATH=src python -m repro chaos --requests 120 --error-rate 0.1 --seed 7 >/dev/null \
+    && echo "chaos invariants hold"

@@ -12,6 +12,10 @@ Commands:
 ``serve-bench [--scale test] [--requests N] [--keys N] [--threads a,b,c]``
     Benchmark the serving gateway (stale-while-revalidate, coalescing,
     load shedding) against the lazy inline-recompute baseline.
+``chaos [--scale test] [--requests N] [--error-rate R] [--spike-rate R]``
+    Drive the gateway through a seeded fault schedule (faulty history API,
+    latency spikes, a mid-run snapshot/restore with one torn file) and
+    verify the serving invariants; exits non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -117,6 +121,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        scale=args.scale,
+        n_keys=args.keys,
+        n_requests=args.requests,
+        error_rate=args.error_rate,
+        spike_rate=args.spike_rate,
+        seed=args.seed,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        invalidate_every=args.invalidate_every,
+        restart=not args.no_restart,
+    )
+    report = run_chaos(config)
+    print(
+        json.dumps(
+            {k: report[k] for k in ("statuses", "injected", "invariants")},
+            indent=2,
+        )
+    )
+    if not report["ok"]:
+        print("chaos: serving invariants VIOLATED", file=sys.stderr)
+        return 1
+    trips = report["counters"]["gateway.breaker_trips"]
+    print(
+        f"chaos: ok — {report['requests']} requests, "
+        f"{report['injected']['errors']} injected errors, "
+        f"{trips} breaker trips, all invariants hold"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse the command line and dispatch."""
     parser = argparse.ArgumentParser(prog="python -m repro")
@@ -154,6 +194,25 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--threads", default="1,4,16")
     p_serve.add_argument("--seed", type=int, default=7)
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection run against the serving gateway"
+    )
+    p_chaos.add_argument("--scale", choices=sorted(SCALES), default="test")
+    p_chaos.add_argument("--requests", type=int, default=200)
+    p_chaos.add_argument("--keys", type=int, default=3)
+    p_chaos.add_argument("--error-rate", type=float, default=0.1)
+    p_chaos.add_argument("--spike-rate", type=float, default=0.05)
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument("--breaker-threshold", type=int, default=2)
+    p_chaos.add_argument("--breaker-cooldown", type=float, default=10.0)
+    p_chaos.add_argument("--invalidate-every", type=int, default=15)
+    p_chaos.add_argument(
+        "--no-restart",
+        action="store_true",
+        help="skip the mid-run snapshot/restore round-trip",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

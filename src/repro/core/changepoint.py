@@ -114,6 +114,20 @@ class BinomialRunDetector:
         self._events.clear()
         self._hits = 0
 
+    def state_dict(self) -> dict:
+        """The detector's mutable window state (events in arrival order)."""
+        return {"events": [bool(e) for e in self._events]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore window state saved by :meth:`state_dict`."""
+        events = [bool(e) for e in state["events"]]
+        if len(events) > self._window:
+            raise ValueError(
+                f"{len(events)} events exceed window {self._window}"
+            )
+        self._events = deque(events, maxlen=self._window)
+        self._hits = sum(1 for e in events if e)
+
 
 class ChangePointDetector:
     """Composite up/down change-point detector for one time series.
@@ -185,3 +199,12 @@ class ChangePointDetector:
         """Clear both directional windows."""
         self._up.reset()
         self._down.reset()
+
+    def state_dict(self) -> dict:
+        """Mutable state of both directional tests."""
+        return {"up": self._up.state_dict(), "down": self._down.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self._up.load_state_dict(state["up"])
+        self._down.load_state_dict(state["down"])

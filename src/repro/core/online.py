@@ -28,6 +28,7 @@ plus one curve evaluation.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
 import numpy as np
@@ -152,6 +153,64 @@ class OnlineDraftsPredictor:
         return PriceTrace(
             self._times[: self._n].copy(), self._prices[: self._n].copy()
         )
+
+    # -- crash-safe persistence ---------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialise the predictor's full mutable state.
+
+        The exceedance ladder and the cached batch snapshot are *not*
+        serialised: both are pure functions of (config, history) and are
+        rebuilt lazily — and bit-identically, via the same vectorised
+        cold-start path that ladder re-anchoring already exercises — on the
+        first query after :meth:`from_snapshot`. What remains is the
+        history arrays, the candidate envelopes, and the QBETS phase-1
+        state, all of which round-trip exactly.
+        """
+        n = self._n
+        return {
+            "config": dataclasses.asdict(self._cfg),
+            "n": int(n),
+            "times": self._times[:n].copy(),
+            "prices": self._prices[:n].copy(),
+            "bounds": self._bounds[:n].copy(),
+            "bounds_lo": float(self._bounds_lo),
+            "bounds_hi": float(self._bounds_hi),
+            "prices_lo": float(self._prices_lo),
+            "prices_hi": float(self._prices_hi),
+            "qbets": self._qbets.state_dict(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "OnlineDraftsPredictor":
+        """Reconstruct a predictor from :meth:`to_snapshot` output.
+
+        The restored instance is bit-identical to the one that produced
+        the snapshot: every query, and every future :meth:`observe`, gives
+        the same floats it would have given without the restart.
+        """
+        config = DraftsConfig(**snapshot["config"])
+        self = cls(config)
+        n = int(snapshot["n"])
+        times = np.asarray(snapshot["times"], dtype=np.float64)
+        prices = np.asarray(snapshot["prices"], dtype=np.float64)
+        bounds = np.asarray(snapshot["bounds"], dtype=np.float64)
+        if not (times.size == prices.size == bounds.size == n):
+            raise ValueError(
+                f"history arrays disagree with n={n}: "
+                f"{times.size}/{prices.size}/{bounds.size}"
+            )
+        self._grow(n)
+        self._times[:n] = times
+        self._prices[:n] = prices
+        self._bounds[:n] = bounds
+        self._n = n
+        self._bounds_lo = float(snapshot["bounds_lo"])
+        self._bounds_hi = float(snapshot["bounds_hi"])
+        self._prices_lo = float(snapshot["prices_lo"])
+        self._prices_hi = float(snapshot["prices_hi"])
+        self._qbets.load_state_dict(snapshot["qbets"])
+        return self
 
     # -- snapshot machinery -------------------------------------------------
 

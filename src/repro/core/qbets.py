@@ -220,6 +220,59 @@ class QBETS:
         """Indices (in ``n_seen`` terms) at which change points fired."""
         return list(self._changepoints)
 
+    def state_dict(self) -> dict:
+        """The predictor's full mutable state as plain values and arrays.
+
+        Everything derived (binomial index tables, ESS factors, the sorted
+        multiset inside the tracker, Monte-Carlo correction tables) is
+        deliberately excluded: it is a pure function of the configuration
+        plus the state captured here, so :meth:`load_state_dict` on a fresh
+        instance with the same config reproduces a bit-identical predictor.
+        """
+        state = {
+            "tracker": np.asarray(self._tracker.state_slots(), dtype=np.int64),
+            "recent": self._recent_buf[: self._recent_n].copy(),
+            "recent_pos": int(self._recent_pos),
+            "rho": float(self._rho),
+            "updates_since_rho": int(self._updates_since_rho),
+            "bound": float(self._bound),
+            "bound_stale": bool(self._bound_stale),
+            "changepoints": [int(c) for c in self._changepoints],
+            "n_seen": int(self._n_seen),
+        }
+        if self._detector is not None:
+            state["detector"] = self._detector.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The instance must have been constructed with the same
+        :class:`QBETSConfig` that produced the state; mismatches surface as
+        ``ValueError`` (domain/window checks), not silent drift.
+        """
+        self._tracker.clear()
+        self._tracker.load_slots(np.asarray(state["tracker"]).tolist())
+        recent = np.asarray(state["recent"], dtype=np.float64)
+        if recent.size > self._recent_buf.size:
+            raise ValueError(
+                f"{recent.size} recent observations exceed the "
+                f"autocorr window {self._recent_buf.size}"
+            )
+        self._recent_n = int(recent.size)
+        self._recent_buf[: self._recent_n] = recent
+        self._recent_pos = int(state["recent_pos"])
+        if not 0 <= self._recent_pos < max(self._recent_buf.size, 1):
+            raise ValueError(f"recent_pos {self._recent_pos} out of range")
+        self._set_rho(float(state["rho"]))
+        self._updates_since_rho = int(state["updates_since_rho"])
+        self._bound = float(state["bound"])
+        self._bound_stale = bool(state["bound_stale"])
+        self._changepoints = [int(c) for c in state["changepoints"]]
+        self._n_seen = int(state["n_seen"])
+        if self._detector is not None and "detector" in state:
+            self._detector.load_state_dict(state["detector"])
+
     def _set_rho(self, rho: float) -> None:
         """Store a new autocorrelation estimate plus its ESS factors.
 

@@ -145,6 +145,31 @@ class QuantileTracker:
         self._sorted = []
         self._order.clear()
 
+    def state_slots(self) -> list[int]:
+        """The tracked history as quantised tick slots, oldest first.
+
+        Together with :meth:`load_slots` this round-trips the tracker's
+        full mutable state: the sorted multiset is a pure function of the
+        arrival-ordered slots.
+        """
+        return list(self._order)
+
+    def load_slots(self, slots) -> None:
+        """Replace the tracked history with pre-quantised tick slots.
+
+        ``slots`` must be in arrival order (as produced by
+        :meth:`state_slots`). The restored tracker is bit-identical to the
+        one that produced the slots.
+        """
+        loaded = [int(s) for s in slots]
+        for slot in loaded:
+            if not 0 <= slot < self._slots:
+                raise ValueError(
+                    f"slot {slot} outside tracker domain [0, {self._slots})"
+                )
+        self._order = deque(loaded)
+        self._sorted = sorted(loaded)
+
     def kth_largest(self, k: int) -> float:
         """The ``k``-th largest tracked value (0-based)."""
         if not 0 <= k < len(self._sorted):

@@ -1,8 +1,9 @@
 """The DrAFTS decision-support service (§3.3): curve cache, REST layer,
-client wrapper."""
+crash-safe persistence, client wrapper."""
 
 from repro.service.client import DraftsClient
 from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.persistence import SnapshotError
 from repro.service.rest import Response, RestRouter
 
 __all__ = [
@@ -11,4 +12,5 @@ __all__ = [
     "Response",
     "RestRouter",
     "ServiceConfig",
+    "SnapshotError",
 ]

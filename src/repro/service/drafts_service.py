@@ -43,11 +43,14 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cloud.api import HISTORY_WINDOW_SECONDS, EC2Api
 from repro.core.curves import BidDurationCurve
 from repro.core.drafts import DraftsConfig, DraftsPredictor
 from repro.core.online import OnlineDraftsPredictor
+from repro.service import persistence
+from repro.service.persistence import MANIFEST_NAME, SnapshotError
 
 __all__ = ["DraftsService", "ServiceConfig"]
 
@@ -328,6 +331,141 @@ class DraftsService:
         with self._lock:
             self._cache[key] = entry
         return entry.curve
+
+    def invalidate(
+        self, instance_type: str, zone: str, probability: float
+    ) -> bool:
+        """Drop one key's cached curve, forcing a refresh on next touch.
+
+        The long-lived predictor state is kept, so the forced recompute is
+        still an incremental delta fetch. Returns whether a cached curve
+        was dropped. Ops tooling and the chaos harness use this to force
+        recompute traffic.
+        """
+        with self._lock:
+            entry = self._cache.pop((instance_type, zone, probability), None)
+        return entry is not None
+
+    # -- crash-safe persistence ---------------------------------------------
+
+    def cached_curves(
+        self,
+    ) -> list[tuple[tuple[str, str, float], BidDurationCurve | None, float]]:
+        """The curve cache as ``(key, curve, computed_at)`` triples.
+
+        Lets a restarted gateway prime its store from a freshly loaded
+        checkpoint without recomputing anything.
+        """
+        with self._lock:
+            return [
+                (key, entry.curve, entry.computed_at)
+                for key, entry in self._cache.items()
+            ]
+
+    def save_state(self, directory: str | Path) -> dict:
+        """Checkpoint every incremental predictor to ``directory``.
+
+        One framed, checksummed ``.snap`` file per key (see
+        :mod:`repro.service.persistence`) plus a manifest, each written
+        atomically. Keys running in batch mode (``incremental=False``) hold
+        no incremental state worth persisting and are skipped. Returns
+        ``{"saved", "skipped", "directory"}``.
+        """
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            states = list(self._states.items())
+            cache = dict(self._cache)
+        saved = 0
+        skipped = 0
+        files = []
+        for key, state in states:
+            with state.lock:
+                if state.online is None:
+                    skipped += 1
+                    continue
+                payload = {
+                    "key": [key[0], key[1], float(key[2])],
+                    "cursor": float(state.cursor),
+                    "last_now": float(state.last_now),
+                    "max_price": state.max_price,
+                    "curve": (
+                        None if state.curve is None else state.curve.to_dict()
+                    ),
+                    "predictor": state.online.to_snapshot(),
+                }
+            entry = cache.get(key)
+            if entry is not None:
+                payload["computed_at"] = float(entry.computed_at)
+            name = persistence.key_filename(key)
+            persistence.write_snapshot(path / name, payload, kind="key")
+            files.append(name)
+            saved += 1
+        persistence.write_snapshot(
+            path / MANIFEST_NAME, {"files": files}, kind="manifest"
+        )
+        return {"saved": saved, "skipped": skipped, "directory": str(path)}
+
+    def load_state(self, directory: str | Path) -> dict:
+        """Restore predictor state checkpointed by :meth:`save_state`.
+
+        Degrades, never crashes: a missing or unreadable manifest loads
+        nothing, and any per-key file that is corrupt, torn, version-skewed
+        or otherwise unusable is skipped — that key simply cold-refits on
+        its next touch, which is the exact pre-checkpoint behaviour.
+        Returns ``{"loaded", "skipped", "errors": {file: reason}}``.
+        """
+        path = Path(directory)
+        errors: dict[str, str] = {}
+        try:
+            manifest = persistence.read_snapshot(
+                path / MANIFEST_NAME, kind="manifest"
+            )
+            files = [str(f) for f in manifest["files"]]
+        except (SnapshotError, KeyError, TypeError) as exc:
+            return {
+                "loaded": 0,
+                "skipped": 0,
+                "errors": {MANIFEST_NAME: str(exc)},
+            }
+        loaded = 0
+        for name in files:
+            try:
+                payload = persistence.read_snapshot(path / name, kind="key")
+                raw_key = payload["key"]
+                key = (str(raw_key[0]), str(raw_key[1]), float(raw_key[2]))
+                if key[2] not in self._cfg.probabilities:
+                    raise SnapshotError(
+                        f"probability {key[2]} not published by this service"
+                    )
+                state = _KeyState()
+                state.online = OnlineDraftsPredictor.from_snapshot(
+                    payload["predictor"]
+                )
+                if payload["curve"] is not None:
+                    state.curve = BidDurationCurve.from_dict(payload["curve"])
+                state.cursor = float(payload["cursor"])
+                state.last_now = float(payload["last_now"])
+                max_price = payload["max_price"]
+                state.max_price = (
+                    None if max_price is None else float(max_price)
+                )
+            except Exception as exc:  # any damage -> clean refit, no crash
+                errors[name] = str(exc)
+                continue
+            with self._lock:
+                self._states[key] = state
+                self._states.move_to_end(key)
+                while len(self._states) > self._cfg.max_predictors:
+                    self._states.popitem(last=False)
+                    self._evictions += 1
+                if "computed_at" in payload:
+                    self._cache[key] = _CacheEntry(
+                        computed_at=float(payload["computed_at"]),
+                        curve=state.curve,
+                    )
+            loaded += 1
+        return {"loaded": loaded, "skipped": len(errors), "errors": errors}
 
     def cache_info(self) -> dict:
         """Cache and predictor occupancy counters (for the metrics layer).

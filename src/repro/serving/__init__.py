@@ -14,9 +14,19 @@ pure cache reads. This package is that architecture as a subsystem:
 * :mod:`repro.serving.loadgen` — deterministic Zipf-skewed load generation;
 * :mod:`repro.serving.clock` — injectable wall clock (deterministic tests);
 * :mod:`repro.serving.bench` — the latency/coalescing/shedding benchmark
-  harness behind ``python -m repro serve-bench``.
+  harness behind ``python -m repro serve-bench``;
+* :mod:`repro.serving.chaos` — seeded fault injection (faulty API, torn
+  snapshots) and the invariant-checking harness behind
+  ``python -m repro chaos``.
 """
 
+from repro.serving.chaos import (
+    ChaosConfig,
+    FaultConfig,
+    FaultyApi,
+    FaultyCompute,
+    run_chaos,
+)
 from repro.serving.clock import Clock, ManualClock, SystemClock
 from repro.serving.gateway import GatewayConfig, ServingGateway
 from repro.serving.loadgen import LoadGenerator, LoadgenConfig, Request
@@ -31,11 +41,15 @@ from repro.serving.store import (
 
 __all__ = [
     "BackgroundRefresher",
+    "ChaosConfig",
     "Clock",
     "Counter",
     "CurveEntry",
     "CurveKey",
     "EntryState",
+    "FaultConfig",
+    "FaultyApi",
+    "FaultyCompute",
     "Gauge",
     "GatewayConfig",
     "Histogram",
@@ -48,4 +62,5 @@ __all__ = [
     "ShardedCurveStore",
     "SingleFlight",
     "SystemClock",
+    "run_chaos",
 ]

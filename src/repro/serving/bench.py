@@ -30,10 +30,19 @@ Four phases, matching the subsystem's acceptance criteria:
     baseline, A/B over the same keys and instants. Also asserts the two
     modes publish identical curves at every refresh boundary — the
     equivalence invariant the incremental path is allowed to exist under.
+
+``restart``
+    Crash-recovery cost: fitting every key from scratch vs restoring the
+    same keys from an on-disk snapshot (``save_state``/``load_state``).
+    The restored service must serve the snapshotted curves without a
+    single refit, publish bit-identical curves to the uninterrupted
+    service — including after one further incremental refresh step — and
+    come up at least 5x faster than the cold fit.
 """
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -373,6 +382,69 @@ def _refresh_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
     return out
 
 
+def _restart_phase(cfg: ServingBenchConfig, universe, keys, start_now) -> dict:
+    """Warm restart from a snapshot vs refitting every key from scratch.
+
+    A fresh service fits all keys cold (timed), snapshots to disk, and a
+    second fresh service restores from that snapshot and re-serves the
+    same keys (timed). The restored service must answer from restored
+    state alone — zero refits — and stay bit-identical to the survivor
+    both at the snapshot instant and after one further incremental
+    refresh step past the staleness horizon.
+    """
+    probability = keys[0][2]
+    service_cfg = ServiceConfig(probabilities=(probability,))
+
+    cold = DraftsService(EC2Api(universe), service_cfg)
+    started = time.perf_counter()
+    cold_curves = [
+        cold.curve(key[0], key[1], probability, start_now) for key in keys
+    ]
+    cold_fit_s = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        started = time.perf_counter()
+        saved = cold.save_state(tmp)
+        snapshot_s = time.perf_counter() - started
+
+        restored = DraftsService(EC2Api(universe), service_cfg)
+        started = time.perf_counter()
+        loaded = restored.load_state(tmp)
+        restored_curves = [
+            restored.curve(key[0], key[1], probability, start_now)
+            for key in keys
+        ]
+        restore_s = time.perf_counter() - started
+
+    identical_at_start = all(
+        _curves_match(a, b) for a, b in zip(cold_curves, restored_curves)
+    )
+    # One incremental refresh step past the staleness horizon: the restored
+    # predictors must delta-fetch and land on the survivor's curves.
+    later = start_now + service_cfg.refresh_seconds + 60.0
+    identical_after_refresh = all(
+        _curves_match(
+            cold.curve(key[0], key[1], probability, later),
+            restored.curve(key[0], key[1], probability, later),
+        )
+        for key in keys
+    )
+    info = restored.cache_info()
+    return {
+        "n_keys": len(keys),
+        "cold_fit_s": cold_fit_s,
+        "snapshot_s": snapshot_s,
+        "restore_s": restore_s,
+        "speedup": cold_fit_s / max(restore_s, 1e-9),
+        "saved": saved["saved"],
+        "loaded": loaded["loaded"],
+        "load_errors": loaded["errors"],
+        "restore_refits": info["refits"],
+        "restore_incremental_refreshes": info["incremental_refreshes"],
+        "curves_identical": identical_at_start and identical_after_refresh,
+    }
+
+
 def run_refresh_benchmark(config: ServingBenchConfig | None = None) -> dict:
     """The refresh phase alone (the BENCH_serving.json trajectory hook)."""
     cfg = config or ServingBenchConfig()
@@ -382,6 +454,7 @@ def run_refresh_benchmark(config: ServingBenchConfig | None = None) -> dict:
         "keys": ["{}@{}".format(k[0], k[1]) for k in keys],
         "refresh_steps": cfg.refresh_steps,
         "refresh": _refresh_phase(cfg, universe, keys, start_now),
+        "restart": _restart_phase(cfg, universe, keys, start_now),
     }
 
 
@@ -396,6 +469,7 @@ def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:
         "coalescing": _coalescing_phase(cfg, universe, keys, start_now),
         "shedding": _shedding_phase(cfg, universe, keys, start_now),
         "refresh": _refresh_phase(cfg, universe, keys, start_now),
+        "restart": _restart_phase(cfg, universe, keys, start_now),
     }
 
 
@@ -478,4 +552,31 @@ def format_serving_report(results: dict) -> str:
             ),
         )
         report += "\n\n" + refresh_table
+    restart = results.get("restart")
+    if restart is not None:
+        restart_table = format_table(
+            ["Path", "Wall (ms)", "Refits", "Curves"],
+            [
+                [
+                    f"cold fit ({restart['n_keys']} keys)",
+                    f"{restart['cold_fit_s'] * 1e3:.1f}",
+                    str(restart["n_keys"]),
+                    "reference",
+                ],
+                [
+                    "snapshot restore",
+                    f"{restart['restore_s'] * 1e3:.1f}",
+                    str(restart["restore_refits"]),
+                    "identical"
+                    if restart["curves_identical"]
+                    else "DIVERGED",
+                ],
+            ],
+            title=(
+                "Warm restart from snapshot "
+                f"(x{restart['speedup']:.0f} faster than cold refit; "
+                f"snapshot write {restart['snapshot_s'] * 1e3:.1f} ms)"
+            ),
+        )
+        report += "\n\n" + restart_table
     return report

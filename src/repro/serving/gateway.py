@@ -29,9 +29,11 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service.drafts_service import DraftsService
+from repro.service.persistence import MANIFEST_NAME
 from repro.service.rest import Response, parse_floats
 from repro.serving.clock import Clock, SystemClock
 from repro.serving.metrics import MetricsRegistry
@@ -69,6 +71,15 @@ class GatewayConfig:
         first). Incremental refreshes cost milliseconds, so the default
         covers the full 452-combination universe at both probability
         levels with headroom; ``None`` removes the cap.
+    snapshot_dir:
+        Directory the service's predictor state is checkpointed to (see
+        :mod:`repro.service.persistence`). When set, :meth:`ServingGateway.start`
+        warm-restores from it, :meth:`ServingGateway.tick` re-checkpoints
+        every ``snapshot_interval_seconds`` of wall time, and
+        :meth:`ServingGateway.stop` checkpoints once more. ``None``
+        disables persistence (the pre-checkpoint volatile behaviour).
+    snapshot_interval_seconds:
+        Minimum wall time between periodic checkpoints.
     """
 
     max_inflight: int = 64
@@ -78,6 +89,8 @@ class GatewayConfig:
     breaker_cooldown_seconds: float = 60.0
     refresher_workers: int = 2
     refresh_budget_per_tick: int | None = 1024
+    snapshot_dir: str | None = None
+    snapshot_interval_seconds: float = 300.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -91,10 +104,22 @@ class GatewayConfig:
             and self.refresh_budget_per_tick < 1
         ):
             raise ValueError("refresh_budget_per_tick must be >= 1 or None")
+        if self.snapshot_interval_seconds <= 0:
+            raise ValueError("snapshot_interval_seconds must be positive")
 
 
 class _CircuitBreaker:
-    """Per-key consecutive-failure breaker on the recompute path."""
+    """Per-key consecutive-failure breaker on the recompute path.
+
+    Half-open protocol: once the cooldown elapses the circuit stays open
+    except for exactly one *probe* recompute (a lease recorded in
+    ``_probes``); concurrent callers keep short-circuiting until the probe
+    resolves. A successful probe closes the circuit and clears the stale
+    failure count; a failed probe re-opens for a fresh cooldown
+    immediately. A probe whose result never arrives (its request died
+    between the admission check and the recompute) stops blocking after one
+    cooldown, when a new lease may be taken.
+    """
 
     def __init__(
         self, threshold: int, cooldown: float, clock: Clock, metrics
@@ -106,23 +131,36 @@ class _CircuitBreaker:
         self._lock = threading.Lock()
         self._failures: dict[CurveKey, int] = {}
         self._open_until: dict[CurveKey, float] = {}
+        self._probes: dict[CurveKey, float] = {}
 
     def is_open(self, key: CurveKey) -> bool:
         with self._lock:
             until = self._open_until.get(key)
             if until is None:
                 return False
-            if self._clock.now() >= until:
-                # Cooldown elapsed: half-open — allow one probe recompute.
-                del self._open_until[key]
-                return False
-            return True
+            now = self._clock.now()
+            if now < until:
+                return True
+            leased = self._probes.get(key)
+            if leased is not None and now < leased + self._cooldown:
+                # A probe is already in flight; everyone else stays on the
+                # fallback until it resolves (or its lease expires).
+                return True
+            self._probes[key] = now
+            return False
 
     def on_result(self, key: CurveKey, error: Exception | None) -> None:
         with self._lock:
+            probing = self._probes.pop(key, None) is not None
             if error is None:
                 self._failures.pop(key, None)
                 self._open_until.pop(key, None)
+                return
+            if probing and key in self._open_until:
+                # Failed probe: back to fully open for a fresh cooldown,
+                # without waiting for `threshold` new failures.
+                self._open_until[key] = self._clock.now() + self._cooldown
+                self._metrics.counter("gateway.breaker_reopens").inc()
                 return
             count = self._failures.get(key, 0) + 1
             self._failures[key] = count
@@ -216,13 +254,17 @@ class ServingGateway:
             "gateway.other",
             "gateway.deadline_exceeded",
             "gateway.breaker_trips",
+            "gateway.breaker_reopens",
             "gateway.breaker_short_circuits",
             "gateway.fallbacks",
+            "gateway.snapshots",
+            "gateway.snapshot_failures",
             "serving.recomputes",
             "serving.coalesced",
             "serving.refresh_failures",
         ):
             self.metrics.counter(name)
+        self._last_snapshot_wall = self._clock.now()
         self.metrics.gauge("gateway.inflight")
         self.metrics.gauge("serving.refresh_pending")
         self.metrics.histogram("gateway.request_seconds")
@@ -241,13 +283,26 @@ class ServingGateway:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "ServingGateway":
-        """Start the background refresh workers."""
+        """Start the background refresh workers.
+
+        When a ``snapshot_dir`` is configured and holds a checkpoint, the
+        predictor state is warm-restored first, so the gateway comes up
+        serving from where the previous process stopped instead of
+        cold-refitting the whole universe.
+        """
+        if self._cfg.snapshot_dir is not None:
+            manifest = Path(self._cfg.snapshot_dir) / MANIFEST_NAME
+            if manifest.exists():
+                self.load_state(self._cfg.snapshot_dir)
+        self._last_snapshot_wall = self._clock.now()
         self.refresher.start()
         return self
 
     def stop(self) -> None:
-        """Stop the background refresh workers."""
+        """Stop the background refresh workers (checkpointing first)."""
         self.refresher.stop()
+        if self._cfg.snapshot_dir is not None:
+            self._snapshot_now()
 
     def __enter__(self) -> "ServingGateway":
         return self.start()
@@ -257,8 +312,55 @@ class ServingGateway:
 
     def tick(self, now: float) -> int:
         """The cron tick: enqueue entries stale at simulation ``now``,
-        bounded by the configured per-tick refresh budget."""
-        return self.refresher.scan(now, self._cfg.refresh_budget_per_tick)
+        bounded by the configured per-tick refresh budget. Piggybacks the
+        periodic checkpoint when one is due."""
+        scanned = self.refresher.scan(now, self._cfg.refresh_budget_per_tick)
+        if (
+            self._cfg.snapshot_dir is not None
+            and self._clock.now() - self._last_snapshot_wall
+            >= self._cfg.snapshot_interval_seconds
+        ):
+            self._snapshot_now()
+        return scanned
+
+    def _snapshot_now(self) -> None:
+        try:
+            self.save_state(self._cfg.snapshot_dir)
+        except Exception:
+            # Persistence must never take the serving path down; a failed
+            # checkpoint just leaves the previous one in place.
+            self.metrics.counter("gateway.snapshot_failures").inc()
+
+    def save_state(self, directory: str | None = None) -> dict:
+        """Checkpoint the service's predictor state (see
+        :meth:`DraftsService.save_state`)."""
+        directory = directory or self._cfg.snapshot_dir
+        if directory is None:
+            raise ValueError("no snapshot directory given or configured")
+        info = self._service.save_state(directory)
+        self._last_snapshot_wall = self._clock.now()
+        self.metrics.counter("gateway.snapshots").inc()
+        return info
+
+    def load_state(self, directory: str | None = None) -> dict:
+        """Restore a checkpoint and prime the curve store from it.
+
+        Restored published curves become immediately servable entries (at
+        their original ``computed_at``, so staleness semantics carry over
+        the restart); damaged per-key files are skipped and those keys
+        refit on first touch.
+        """
+        directory = directory or self._cfg.snapshot_dir
+        if directory is None:
+            raise ValueError("no snapshot directory given or configured")
+        info = self._service.load_state(directory)
+        primed = 0
+        for key, curve, computed_at in self._service.cached_curves():
+            if curve is not None and self.store.peek(key) is None:
+                self.store.put(key, curve, computed_at)
+                primed += 1
+        info["primed"] = primed
+        return info
 
     # -- request path --------------------------------------------------------
 
@@ -304,6 +406,8 @@ class ServingGateway:
         if "deadline" in query:
             (deadline,) = parse_floats(query, "deadline")
         request = _RequestState(self._clock.now(), deadline)
+        timed_out = False
+        response = Response(500, {"error": "unreachable"})
         try:
             if segments[0] == "predictions":
                 response = self._predictions(segments[1], segments[2], query, request)
@@ -312,7 +416,7 @@ class ServingGateway:
             else:
                 response = self._cheapest(segments[1], segments[2], query, request)
         except _DeadlineExceeded:
-            response = self._deadline_response(request)
+            timed_out = True
         except KeyError as exc:
             # str(KeyError) wraps the message in repr quotes; unwrap it.
             response = Response(
@@ -322,12 +426,19 @@ class ServingGateway:
             response = Response(503, {"error": str(exc)})
         except ValueError as exc:
             response = Response(400, {"error": str(exc)})
-        finally:
-            self._classify(request)
         elapsed = self._clock.now() - request.started
         self.metrics.histogram("gateway.request_seconds").observe(elapsed)
         if request.deadline is not None and elapsed > request.deadline:
+            # The budget lapsed after an answer was computed: the client
+            # still gets 504, and the request must not be classified as a
+            # served hit/miss.
+            timed_out = True
+        if timed_out:
+            # One classification (error) and one 504 per request, whether
+            # the deadline fired mid-handler, post-hoc, or both.
+            self.metrics.counter("gateway.errors").inc()
             return self._deadline_response(request)
+        self._classify(request)
         return response
 
     def _classify(self, request: _RequestState) -> None:
@@ -426,7 +537,14 @@ class ServingGateway:
             curve = self._serve_curve((instance_type, zone, probability), now, request)
         except _BreakerOpen:
             return self._ondemand_fallback(instance_type, zone, probability, duration)
-        bid = float("nan") if curve is None else curve.bid_for_duration(duration)
+        if curve is None:
+            # Same condition, same status as /predictions: the history is
+            # too short for any curve. 404 below is reserved for a real
+            # curve whose longest guaranteed duration falls short.
+            return Response(
+                503, {"error": "insufficient history for a prediction"}
+            )
+        bid = curve.bid_for_duration(duration)
         if math.isnan(bid):
             return Response(
                 404,

@@ -171,6 +171,90 @@ class TestDeltaFeeding:
         np.testing.assert_array_equal(history.prices, trace.prices)
 
 
+class TestSnapshotRestore:
+    """``to_snapshot``/``from_snapshot`` must restore a predictor that is
+    indistinguishable from one that never stopped — the serving tier's
+    crash-safety contract. The ladder and cached batch snapshot are *not*
+    serialized; they are pure functions of (config, history) and must
+    rebuild bit-identically on first use after a restore."""
+
+    def test_restored_predictor_answers_identically(self, pair):
+        trace, batch, online = pair
+        restored = OnlineDraftsPredictor.from_snapshot(online.to_snapshot())
+        assert restored.n == online.n
+        assert_floats_equal(restored.price_bound(), online.price_bound())
+        assert_floats_equal(restored.min_bid(), online.min_bid())
+        for hours in (0.5, 2, 24, 24 * 14):
+            assert_floats_equal(
+                restored.bid_for(hours * 3600.0),
+                online.bid_for(hours * 3600.0),
+            )
+        assert curves_equal(
+            restored.curve("it", "z"), online.curve("it", "z")
+        )
+
+    def test_roundtrip_through_disk_format_is_bit_exact(self, pair):
+        """The snapshot survives the framed on-disk encoding (base64 raw
+        float bytes), not just an in-memory dict copy."""
+        from repro.service.persistence import dumps_snapshot, loads_snapshot
+
+        trace, batch, online = pair
+        thawed = loads_snapshot(
+            dumps_snapshot(online.to_snapshot(), "key"), "key"
+        )
+        restored = OnlineDraftsPredictor.from_snapshot(thawed)
+        assert curves_equal(
+            restored.curve("it", "z"), online.curve("it", "z")
+        )
+        np.testing.assert_array_equal(
+            restored.as_batch()._bounds, online.as_batch()._bounds
+        )
+
+    def test_restored_tracks_survivor_after_more_deltas(self):
+        """Snapshot at half-history, then feed both the survivor and the
+        restored predictor the identical remainder: every published answer
+        must stay bit-identical, across QBETS change points included."""
+        trace = generate_trace("spiky", 0.42, n_epochs=16 * EPD, rng=21)
+        config = DraftsConfig(probability=0.95, max_price=100.0)
+        half = len(trace) // 2
+        survivor = OnlineDraftsPredictor(config)
+        survivor.extend(trace.times[:half], trace.prices[:half])
+        restored = OnlineDraftsPredictor.from_snapshot(survivor.to_snapshot())
+        for lo in range(half, len(trace), 157):
+            hi = min(lo + 157, len(trace))
+            survivor.extend(trace.times[lo:hi], trace.prices[lo:hi])
+            restored.extend(trace.times[lo:hi], trace.prices[lo:hi])
+            assert_floats_equal(
+                restored.price_bound(), survivor.price_bound()
+            )
+            assert curves_equal(restored.curve(), survivor.curve())
+        np.testing.assert_array_equal(
+            restored.as_batch().changepoints,
+            survivor.as_batch().changepoints,
+        )
+
+    def test_snapshot_does_not_alias_live_state(self):
+        """Feeding the original after snapshotting must not leak into a
+        predictor later restored from the old snapshot."""
+        trace = generate_trace("calm", 0.42, n_epochs=8 * EPD, rng=5)
+        half = len(trace) // 2
+        online = OnlineDraftsPredictor(DraftsConfig(probability=0.95))
+        online.extend(trace.times[:half], trace.prices[:half])
+        frozen = online.to_snapshot()
+        bound_then = online.price_bound()
+        online.extend(trace.times[half:], trace.prices[half:])
+        restored = OnlineDraftsPredictor.from_snapshot(frozen)
+        assert restored.n == half
+        assert_floats_equal(restored.price_bound(), bound_then)
+
+    def test_damaged_snapshot_is_rejected(self, pair):
+        trace, batch, online = pair
+        snapshot = online.to_snapshot()
+        clipped = dict(snapshot, times=snapshot["times"][:-5])
+        with pytest.raises(ValueError):
+            OnlineDraftsPredictor.from_snapshot(clipped)
+
+
 class TestIncrementalMechanics:
     def test_monotone_time_enforced(self):
         online = OnlineDraftsPredictor()

@@ -1,0 +1,220 @@
+"""Tests for the fault-injection layer and the chaos harness.
+
+The harness is itself test infrastructure, so these tests pin down what it
+must guarantee to be trusted: faults really are injected, runs are
+deterministic under a seed, torn snapshots really are unreadable, and the
+four serving invariants hold on a representative faulted run (with the
+mid-run snapshot/restore round-trip included).
+"""
+
+import math
+
+import pytest
+
+from repro.serving.chaos import (
+    ChaosConfig,
+    FaultConfig,
+    FaultyApi,
+    FaultyCompute,
+    run_chaos,
+    tear_snapshot,
+    assert_chaos_invariants,
+)
+from repro.serving.clock import ManualClock
+
+
+class TestFaultInjection:
+    def test_faulty_api_injects_on_schedule(self, small_universe):
+        from repro.cloud.api import EC2Api
+
+        clock = ManualClock()
+        api = FaultyApi(
+            EC2Api(small_universe),
+            FaultConfig(error_rate=0.5, spike_rate=0.5, spike_seconds=3.0, seed=1),
+            clock=clock,
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        outcomes = []
+        for _ in range(40):
+            try:
+                api.describe_spot_price_history("c4.large", "us-east-1b", now)
+                outcomes.append(True)
+            except RuntimeError as exc:
+                assert "chaos" in str(exc)
+                outcomes.append(False)
+        assert api.injected_errors > 0 and api.injected_spikes > 0
+        assert any(outcomes) and not all(outcomes)
+        # Spikes pass through the injected clock (deadlines/breakers see them).
+        assert clock.now() == api.injected_spikes * 3.0
+        # The attempt log records every call with its outcome.
+        log = api.drain_attempts()
+        assert [a["ok"] for a in log] == outcomes
+        assert api.attempts == []  # drained
+
+    def test_faulty_api_same_seed_same_schedule(self, small_universe):
+        from repro.cloud.api import EC2Api
+
+        def schedule(seed):
+            api = FaultyApi(
+                EC2Api(small_universe),
+                FaultConfig(error_rate=0.3, seed=seed),
+                clock=ManualClock(),
+            )
+            combo = small_universe.combo("c4.large", "us-east-1b")
+            now = small_universe.trace(combo).start + 45 * 86400.0
+            outcomes = []
+            for _ in range(30):
+                try:
+                    api.describe_spot_price_history(
+                        "c4.large", "us-east-1b", now
+                    )
+                    outcomes.append(True)
+                except RuntimeError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)
+
+    def test_faulty_api_disabled_is_transparent(self, small_universe):
+        from repro.cloud.api import EC2Api
+
+        api = FaultyApi(
+            EC2Api(small_universe),
+            FaultConfig(error_rate=1.0),
+            clock=ManualClock(),
+        )
+        api.enabled = False
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        trace = api.describe_spot_price_history("c4.large", "us-east-1b", now)
+        assert len(trace.prices) > 0
+        assert api.injected_errors == 0
+        # Non-intercepted methods delegate untouched.
+        assert api.ondemand_price("c4.large", "us-east-1") > 0
+
+    def test_faulty_compute_wraps_any_callable(self):
+        compute = FaultyCompute(
+            lambda key, now: ("curve", key, now),
+            FaultConfig(error_rate=0.5, seed=3),
+        )
+        results = []
+        for i in range(30):
+            try:
+                results.append(compute(("t", "z", 0.95), float(i)))
+            except RuntimeError:
+                results.append(None)
+        assert compute.injected_errors > 0
+        assert any(r is not None for r in results)
+        assert ("curve", ("t", "z", 0.95), 0.0) in results
+
+    def test_fault_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(spike_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(spike_seconds=-1.0)
+
+
+class TestTearSnapshot:
+    @pytest.mark.parametrize("mode", ["truncate", "flip", "empty"])
+    def test_all_tear_modes_are_detected_at_read(self, tmp_path, mode):
+        import numpy as np
+
+        from repro.service.persistence import (
+            SnapshotError,
+            read_snapshot,
+            write_snapshot,
+        )
+
+        path = tmp_path / "victim.snap"
+        write_snapshot(
+            path, {"x": np.linspace(0, 1, 512), "n": 7}, kind="key"
+        )
+        tear_snapshot(path, mode=mode, seed=4)
+        with pytest.raises(SnapshotError):
+            read_snapshot(path, kind="key")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "victim.snap"
+        path.write_bytes(b"anything")
+        with pytest.raises(ValueError):
+            tear_snapshot(path, mode="arson")
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    """One faulted run with the mid-run snapshot/restore round-trip."""
+    return run_chaos(
+        ChaosConfig(
+            scale="test",
+            n_keys=3,
+            n_requests=120,
+            error_rate=0.15,
+            seed=7,
+            breaker_threshold=2,
+            breaker_cooldown_seconds=10.0,
+            invalidate_every=15,
+            restart=True,
+        )
+    )
+
+
+class TestChaosHarness:
+    def test_invariants_hold_under_faults(self, chaos_report):
+        assert_chaos_invariants(chaos_report)
+        assert chaos_report["ok"]
+        inv = chaos_report["invariants"]
+        assert inv["conservation"]["ok"]
+        assert inv["stale_never_error"]["ok"]
+        assert inv["breaker_sequencing"]["ok"]
+        assert inv["snapshot_restore"]["ok"]
+
+    def test_faults_were_actually_injected(self, chaos_report):
+        """A chaos run that injects nothing proves nothing."""
+        assert chaos_report["injected"]["errors"] > 0
+        assert chaos_report["counters"]["serving.refresh_failures"] > 0
+        assert any(
+            int(status) >= 500 for status in chaos_report["statuses"]
+        ), chaos_report["statuses"]
+
+    def test_restart_round_trip_recorded(self, chaos_report):
+        detail = chaos_report["invariants"]["snapshot_restore"]["detail"]
+        # One file was deliberately torn; the rest restored bit-identically.
+        assert detail["torn_file"]
+        assert detail["skipped"] == 1
+        assert detail["loaded"] == detail["saved"] - 1
+        assert detail["curves_identical"]
+
+    def test_same_seed_same_run(self):
+        config = ChaosConfig(
+            scale="test", n_keys=2, n_requests=40, error_rate=0.2,
+            seed=11, breaker_threshold=2, restart=False,
+        )
+
+        def fingerprint():
+            report = run_chaos(config)
+            return report["statuses"], report["counters"], report["injected"]
+
+        assert fingerprint() == fingerprint()
+
+    def test_assert_helper_raises_with_violation_details(self):
+        bad = {
+            "ok": False,
+            "invariants": {
+                "conservation": {"ok": False, "requests": 3, "served": 2},
+                "stale_never_error": {"ok": True},
+            },
+        }
+        with pytest.raises(AssertionError, match="conservation"):
+            assert_chaos_invariants(bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(error_rate=2.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(invalidate_every=0)

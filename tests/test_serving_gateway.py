@@ -43,11 +43,13 @@ class _FlakyApi:
     def __init__(self, api):
         self._api = api
         self.fail = False
+        self.calls = 0
 
     def __getattr__(self, name):
         return getattr(self._api, name)
 
     def describe_spot_price_history(self, instance_type, zone, now, since=None):
+        self.calls += 1
         if self.fail:
             raise RuntimeError("history API down")
         return self._api.describe_spot_price_history(
@@ -365,6 +367,108 @@ class TestCircuitBreaker:
         assert recovered.status == 200
         assert "fallback" not in recovered.body
 
+    def test_half_open_admits_exactly_one_probe(self, small_universe):
+        """Regression: after the cooldown, concurrent requests must not all
+        probe at once (the thundering half-open). Exactly one takes the
+        probe lease; everyone else stays on the fallback until it
+        resolves."""
+        clock = ManualClock()
+        flaky = _FlakyApi(EC2Api(small_universe))
+        api = _BlockingApi(flaky)
+        gateway = ServingGateway(
+            DraftsService(api),
+            GatewayConfig(breaker_threshold=3, breaker_cooldown_seconds=60.0),
+            clock=clock,
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+
+        flaky.fail = True
+        for _ in range(3):
+            assert gateway.get(url).status == 503
+        assert gateway.metrics.counter("gateway.breaker_trips").value == 1
+
+        clock.advance(61.0)
+        flaky.fail = False
+        api.block = True
+        probe_result = []
+        probe = threading.Thread(
+            target=lambda: probe_result.append(gateway.get(url))
+        )
+        probe.start()
+        assert api.entered.wait(10.0)  # the probe is inside the recompute
+        calls_during_probe = flaky.calls
+
+        # A second request while the probe is in flight short-circuits to
+        # the fallback instead of starting a second probe.
+        concurrent = gateway.get(url)
+        assert concurrent.status == 503
+        assert concurrent.body["fallback"] == "ondemand"
+        assert flaky.calls == calls_during_probe  # no second recompute
+
+        api.release.set()
+        probe.join()
+        assert probe_result[0].status == 200
+        # The successful probe closed the circuit; answers are real again.
+        assert gateway.get(url).status == 200
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.breaker_trips"] == 1
+        assert counters["gateway.breaker_reopens"] == 0
+
+    def test_failed_probe_reopens_without_new_threshold(self, small_universe):
+        """Regression: a failed probe must re-open the circuit immediately
+        (one wasted recompute per cooldown), not leave it closed until
+        `threshold` fresh failures accumulate again."""
+        clock = ManualClock()
+        api, gateway = self._broken_gateway(small_universe, clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        api.fail = True
+        for _ in range(3):
+            gateway.get(url)
+        clock.advance(61.0)
+
+        calls_before = api.calls
+        assert gateway.get(url).status == 503  # the probe runs — and fails
+        assert api.calls == calls_before + 1
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.breaker_reopens"] == 1
+        assert counters["gateway.breaker_trips"] == 1  # a reopen is no trip
+
+        # Fully open again: the next request never touches the API.
+        response = gateway.get(url)
+        assert response.status == 503
+        assert response.body["fallback"] == "ondemand"
+        assert api.calls == calls_before + 1
+
+    def test_probe_success_resets_stale_failure_count(self, small_universe):
+        """Regression: recovery must clear the pre-trip failure count, so
+        one later failure cannot instantly re-trip the breaker."""
+        clock = ManualClock()
+        api, gateway = self._broken_gateway(small_universe, clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = "/predictions/c4.large/us-east-1b?probability=0.95&now={}"
+        api.fail = True
+        for _ in range(3):
+            gateway.get(url.format(now))
+        clock.advance(61.0)
+        api.fail = False
+        assert gateway.get(url.format(now)).status == 200  # probe: recover
+
+        # One fresh failure (a background refresh of the now-stale entry)
+        # is 1 of 3, not 4 of 3: the circuit stays closed.
+        api.fail = True
+        stale = gateway.get(url.format(now + 3600.0))
+        assert stale.status == 200  # stale-while-revalidate still serves
+        gateway.refresher.run_pending()  # the background recompute fails
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.breaker_trips"] == 1
+        api.fail = False
+        assert gateway.get(url.format(now + 3600.0)).status == 200
+
     def test_predictions_while_open_is_503_with_hint(self, small_universe):
         clock = ManualClock()
         api, gateway = self._broken_gateway(small_universe, clock)
@@ -422,6 +526,119 @@ class TestDeadlines:
         assert gateway.get(url).status == 504
         # The curve *was* computed and cached, so a retry is instant.
         assert gateway.get(url).status == 200
+
+
+class TestDeadlineAccounting:
+    class _SteppingClock(ManualClock):
+        """A clock that jumps ``step`` seconds on every read — models a
+        request whose wall time elapses between handler entry and exit."""
+
+        def __init__(self):
+            super().__init__()
+            self.step = 0.0
+
+        def now(self):
+            value = super().now()
+            if self.step:
+                self.advance(self.step)
+            return value
+
+    def test_deadline_counted_once_when_it_fires_twice(self, small_universe):
+        """Regression: a deadline that trips mid-handler (zone 2 of a
+        /cheapest scan) *and* post-hoc used to increment
+        ``deadline_exceeded`` twice for one request."""
+        clock = ManualClock()
+        api = EC2Api(small_universe)
+
+        class _SlowApi:
+            def __getattr__(self, name):
+                return getattr(api, name)
+
+            def describe_spot_price_history(
+                self, instance_type, zone, now, since=None
+            ):
+                clock.advance(6.0)  # each zone's recompute "takes" 6 s
+                return api.describe_spot_price_history(
+                    instance_type, zone, now, since=since
+                )
+
+        gateway = ServingGateway(DraftsService(_SlowApi()), clock=clock)
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        response = gateway.get(
+            f"/cheapest/c4.large/us-east-1?probability=0.95&now={now}&deadline=5"
+        )
+        assert response.status == 504
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.deadline_exceeded"] == 1
+        assert counters["gateway.errors"] == 1
+        assert (
+            counters["gateway.hits"]
+            + counters["gateway.stale_hits"]
+            + counters["gateway.misses"]
+            + counters["gateway.shed"]
+            + counters["gateway.errors"]
+            == counters["gateway.requests"]
+            == 1
+        )
+
+    def test_late_504_is_not_classified_as_a_hit(self, small_universe):
+        """Regression: a request that found a fresh curve but overran its
+        budget returns 504 — it must be accounted as an error, not a
+        served hit."""
+        clock = self._SteppingClock()
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=clock
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        assert gateway.get(url).status == 200  # warm the store (a miss)
+
+        clock.step = 6.0  # from here every clock read burns 6 wall seconds
+        late = gateway.get(url + "&deadline=5")
+        assert late.status == 504
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.hits"] == 0  # the fresh read was not a hit
+        assert counters["gateway.misses"] == 1  # just the warming request
+        assert counters["gateway.errors"] == 1
+        assert counters["gateway.deadline_exceeded"] == 1
+
+
+class TestBidStatuses:
+    def test_short_history_is_503_matching_predictions(self, small_universe):
+        """Regression: /bid answered 404 where /predictions answered 503
+        for the same too-short history."""
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        early = small_universe.trace(combo).start + 3600.0
+        pred = gateway.get(
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={early}"
+        )
+        bid = gateway.get(
+            f"/bid/c4.large/us-east-1b"
+            f"?probability=0.95&duration=1800&now={early}"
+        )
+        assert pred.status == 503
+        assert bid.status == 503
+        assert "insufficient history" in bid.body["error"]
+
+    def test_404_reserved_for_unguaranteeable_duration(self, small_universe):
+        """404 means: a real curve exists, but no published bid guarantees
+        the requested duration."""
+        gateway = ServingGateway(
+            DraftsService(EC2Api(small_universe)), clock=ManualClock()
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        bid = gateway.get(
+            f"/bid/c4.large/us-east-1b"
+            f"?probability=0.95&duration=1e12&now={now}"
+        )
+        assert bid.status == 404
+        assert "On-demand" in bid.body["error"]
 
 
 class TestGatewayClient:
@@ -488,3 +705,48 @@ class TestAccounting:
             == counters["gateway.requests"]
         )
         assert counters["gateway.other"] == 1
+
+    def test_identity_across_deadline_breaker_and_404_paths(
+        self, small_universe
+    ):
+        """The conservation identity must survive every exceptional path in
+        one stream: deadline 504s, breaker trips and short-circuits,
+        unguaranteeable-duration 404s, parse-error 400s."""
+        clock = ManualClock()
+        api = _FlakyApi(EC2Api(small_universe))
+        gateway = ServingGateway(
+            DraftsService(api),
+            GatewayConfig(breaker_threshold=2, breaker_cooldown_seconds=60.0),
+            clock=clock,
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        pred = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+
+        assert gateway.get(pred + "&deadline=0").status == 504  # error
+        api.fail = True
+        assert gateway.get(pred).status == 503  # failure 1 of 2
+        assert gateway.get(pred).status == 503  # failure 2: trips
+        assert gateway.get(pred).status == 503  # short-circuit to fallback
+        api.fail = False
+        bid404 = gateway.get(  # other zone: real curve, hopeless duration
+            f"/bid/c4.large/us-east-1c?probability=0.95&duration=1e12&now={now}"
+        )
+        assert bid404.status == 404
+        assert gateway.get(  # parse error
+            "/predictions/c4.large/us-east-1b?probability=abc&now=1"
+        ).status == 400
+
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters["gateway.requests"] == 6
+        assert counters["gateway.deadline_exceeded"] == 1
+        assert counters["gateway.breaker_trips"] == 1
+        assert counters["gateway.breaker_short_circuits"] == 1
+        assert (
+            counters["gateway.hits"]
+            + counters["gateway.stale_hits"]
+            + counters["gateway.misses"]
+            + counters["gateway.shed"]
+            + counters["gateway.errors"]
+            == counters["gateway.requests"]
+        )
