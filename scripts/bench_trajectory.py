@@ -12,8 +12,14 @@ baselines, and
 
 * the serving refresh phase (cold fit vs steady-state per-key refresh,
   incremental delta-fed predictors A/B'd against the full-refit baseline),
+* the socket-serving SLO phase (an open-loop diurnal x Zipf replay over a
+  real listening socket — p50/p99/p99.9, shed/timeout rates, offered vs
+  achieved throughput — plus the seeded latency-spike A/B showing hedged
+  p99.9 below unhedged),
 
-written to ``BENCH_serving.json``. Run from the repository root::
+written to ``BENCH_serving.json`` (one report per run, every phase
+re-measured, so adding the SLO phase never drops the refresh/restart
+numbers). Run from the repository root::
 
     PYTHONPATH=src python scripts/bench_trajectory.py
 
@@ -80,6 +86,19 @@ def _time_serving_refresh(scale: str) -> dict:
     return run_refresh_benchmark(ServingBenchConfig(scale=scale))
 
 
+def _time_serving_slo(scale: str, n_requests: int) -> dict:
+    from repro.serving.bench import SloBenchConfig, run_slo_benchmark
+
+    return run_slo_benchmark(
+        SloBenchConfig(
+            scale=scale,
+            n_requests=n_requests,
+            rate=4000.0 if scale == "bench" else 1500.0,
+            warmup_requests=max(50, min(1000, n_requests // 10)),
+        )
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,7 +119,17 @@ def main() -> int:
         default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
         help="serving-refresh output path (default: BENCH_serving.json)",
     )
+    parser.add_argument(
+        "--slo-requests",
+        type=int,
+        default=None,
+        help="open-loop socket-replay stream length "
+        "(default: 100000 at bench scale, 2000 at test scale)",
+    )
     args = parser.parse_args()
+    slo_requests = args.slo_requests or (
+        100_000 if args.scale == "bench" else 2000
+    )
 
     print(f"timing backtest_matrix(scale={args.scale!r}, workers=0) ...")
     cold_s, warm_s, cache = _time_backtest(args.scale)
@@ -152,10 +181,33 @@ def main() -> int:
         f"(x{restart['speedup']:.0f}, {restart['restore_refits']} refits); "
         f"curves {'identical' if restart['curves_identical'] else 'DIVERGED'}"
     )
+    print(
+        f"replaying {slo_requests} open-loop requests over a real socket ..."
+    )
+    slo_run = _time_serving_slo(args.scale, slo_requests)
+    slo = slo_run["slo"]
+    latency = slo["latency"]
+    print(
+        f"  p50 {latency['p50'] * 1e3:.2f} ms  p99 {latency['p99'] * 1e3:.2f} ms"
+        f"  p99.9 {latency['p999'] * 1e3:.2f} ms  "
+        f"offered {slo['offered_rps']:.0f} rps -> achieved "
+        f"{slo['achieved_rps']:.0f} rps  shed {slo['shed_rate']:.2%}"
+    )
+    demo = slo_run["hedge_demo"]
+    print(
+        f"  hedge demo: p99.9 {demo['unhedged']['p999'] * 1e3:.1f} ms unhedged"
+        f" -> {demo['hedged']['p999'] * 1e3:.1f} ms hedged "
+        f"(x{demo['p999_improvement']:.1f}, "
+        f"{demo['hedged']['hedges_launched']} hedges, "
+        f"{demo['unhedged']['injected_spikes']} spikes)"
+    )
     serving_report = {
         "scale": args.scale,
         "platform": platform.platform(),
         **serving,
+        "slo": slo,
+        "slo_drain": slo_run["drain"],
+        "hedge_demo": demo,
     }
     args.serving_output.write_text(json.dumps(serving_report, indent=2) + "\n")
     print(f"wrote {args.serving_output}")
@@ -166,6 +218,10 @@ def main() -> int:
     if not restart["curves_identical"]:
         raise AssertionError(
             "snapshot-restored curves diverged from the cold fit"
+        )
+    if not demo["ok"]:
+        raise AssertionError(
+            "hedged p99.9 did not beat unhedged under seeded spikes"
         )
     return 0
 

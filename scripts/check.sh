@@ -37,3 +37,12 @@ fi
 echo "== chaos smoke (seeded fault injection) =="
 PYTHONPATH=src python -m repro chaos --requests 120 --error-rate 0.1 --seed 7 >/dev/null \
     && echo "chaos invariants hold"
+
+# Socket round trip: spawn the gateway on a real ephemeral port and replay
+# a few hundred open-loop requests against it (~2 s). Exercises the full
+# serve path — listener, keep-alive connections, graceful drain — and the
+# replayer's SLO accounting; exits non-zero if the error rate blows up.
+echo "== serve+replay smoke (real socket round trip) =="
+PYTHONPATH=src python -m repro replay --spawn --requests 300 --rate 300 \
+    --warmup 30 --seed 7 >/dev/null \
+    && echo "socket replay round trip ok"

@@ -16,6 +16,15 @@ Commands:
     Drive the gateway through a seeded fault schedule (faulty history API,
     latency spikes, a mid-run snapshot/restore with one torn file) and
     verify the serving invariants; exits non-zero on any violation.
+``serve [--scale test] [--keys N] [--host H] [--port P] [--snapshot-dir D]``
+    Stand the serving gateway up behind a real listening socket
+    (``/predictions``, ``/bid``, ``/cheapest``, ``/healthz``, ``/metrics``)
+    and run until interrupted; Ctrl-C drains gracefully.
+``replay [--url U | --spawn] [--requests N] [--rate R] [--hedge] ...``
+    Replay an open-loop (diurnal x Zipf) workload against a serving socket
+    and print the tail SLO table. ``--spawn`` brings up an in-process
+    server on an ephemeral port (optionally with seeded latency spikes)
+    so one command is a full round trip.
 """
 
 from __future__ import annotations
@@ -157,6 +166,153 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_universe(args: argparse.Namespace):
+    """The (keys, start_now) universe `serve` and `replay` must share.
+
+    Both commands derive the key universe deterministically from
+    (scale, keys, probability), so a replayer pointed at a separately
+    started server generates URLs the server actually answers.
+    """
+    from repro.serving.loadgen import predictable_keys
+
+    universe = scaled_universe(args.scale)
+    return predictable_keys(universe, args.keys, args.probability)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cloud.api import EC2Api
+    from repro.service.drafts_service import DraftsService, ServiceConfig
+    from repro.serving.gateway import GatewayConfig, ServingGateway
+    from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+
+    universe = scaled_universe(args.scale)
+    keys, start_now = _replay_universe(args)
+    gateway = ServingGateway(
+        DraftsService(
+            EC2Api(universe), ServiceConfig(probabilities=(args.probability,))
+        ),
+        GatewayConfig(
+            max_inflight=args.max_inflight, snapshot_dir=args.snapshot_dir
+        ),
+    )
+    for key in keys:
+        gateway.get(
+            f"/predictions/{key[0]}/{key[1]}"
+            f"?probability={key[2]}&now={start_now}"
+        )
+    server = GatewayHTTPServer(
+        gateway,
+        HttpdConfig(
+            host=args.host, port=args.port, max_connections=args.max_connections
+        ),
+    )
+    server.start()
+    print(f"serving {len(keys)} warm key(s) on {server.url}")
+    print(f"  warm simulation instant: now={start_now}")
+    for key in keys:
+        print(f"  /predictions/{key[0]}/{key[1]}?probability={key[2]}&now={start_now}")
+    print("Ctrl-C to drain and stop")
+    try:
+        import time as time_module
+
+        while True:
+            time_module.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    stats = server.stop()
+    print(
+        f"\nstopped: drained={stats['drained']} "
+        f"forced_close={stats['forced_close']}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.loadgen import DiurnalEnvelope
+    from repro.serving.replay import ReplayConfig, Replayer, format_slo_report
+
+    if (args.url is None) == (not args.spawn):
+        print(
+            "replay: exactly one of --url or --spawn is required",
+            file=sys.stderr,
+        )
+        return 2
+    keys, start_now = _replay_universe(args)
+    diurnal = (
+        DiurnalEnvelope(
+            period_seconds=args.diurnal_period, amplitude=args.diurnal_amplitude
+        )
+        if args.diurnal_amplitude > 0
+        else None
+    )
+    replay_cfg = ReplayConfig(
+        n_requests=args.requests,
+        rate=args.rate,
+        diurnal=diurnal,
+        seed=args.seed,
+        warmup_requests=args.warmup,
+        concurrency=args.concurrency,
+        hedge=args.hedge,
+        hedge_delay_seconds=args.hedge_delay,
+        timeout_seconds=args.timeout,
+        start_now=start_now,
+    )
+
+    server = None
+    spiker = None
+    if args.spawn:
+        from repro.cloud.api import EC2Api
+        from repro.service.drafts_service import DraftsService, ServiceConfig
+        from repro.serving.chaos import FaultConfig, ReplaySpiker
+        from repro.serving.gateway import GatewayConfig, ServingGateway
+        from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+
+        if args.spike_rate > 0:
+            spiker = ReplaySpiker(
+                FaultConfig(
+                    spike_rate=args.spike_rate,
+                    spike_seconds=args.spike_seconds,
+                    seed=args.seed,
+                )
+            )
+        universe = scaled_universe(args.scale)
+        gateway = ServingGateway(
+            DraftsService(
+                EC2Api(universe),
+                ServiceConfig(probabilities=(args.probability,)),
+            ),
+            GatewayConfig(max_inflight=256),
+        )
+        for key in keys:
+            gateway.get(
+                f"/predictions/{key[0]}/{key[1]}"
+                f"?probability={key[2]}&now={start_now}"
+            )
+        server = GatewayHTTPServer(
+            gateway, HttpdConfig(max_connections=256), spike=spiker
+        )
+        server.start()
+        url = server.url
+    else:
+        url = args.url
+    try:
+        report = Replayer([url], keys, replay_cfg).run()
+    finally:
+        if server is not None:
+            drain = server.stop()
+            report.setdefault("drain", drain)
+    if spiker is not None:
+        report["injected_spikes"] = spiker.injected_spikes
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_slo_report(report))
+    failed = report["error_rate"] > 0.5
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse the command line and dispatch."""
     parser = argparse.ArgumentParser(prog="python -m repro")
@@ -213,6 +369,66 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the mid-run snapshot/restore round-trip",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_srv = sub.add_parser(
+        "serve", help="serve the gateway on a real listening socket"
+    )
+    p_srv.add_argument("--scale", choices=sorted(SCALES), default="test")
+    p_srv.add_argument("--keys", type=int, default=4)
+    p_srv.add_argument("--probability", type=float, default=0.95)
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8080)
+    p_srv.add_argument("--max-connections", type=int, default=128)
+    p_srv.add_argument("--max-inflight", type=int, default=256)
+    p_srv.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="crash-safe checkpoint directory (warm restore on start, "
+        "final checkpoint after the drain)",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_rep = sub.add_parser(
+        "replay", help="open-loop load replay against a serving socket"
+    )
+    p_rep.add_argument("--url", default=None, help="base URL of a running server")
+    p_rep.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process server on an ephemeral port instead",
+    )
+    p_rep.add_argument("--scale", choices=sorted(SCALES), default="test")
+    p_rep.add_argument("--keys", type=int, default=4)
+    p_rep.add_argument("--probability", type=float, default=0.95)
+    p_rep.add_argument("--requests", type=int, default=2000)
+    p_rep.add_argument("--rate", type=float, default=1000.0)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--warmup", type=int, default=50)
+    p_rep.add_argument("--concurrency", type=int, default=32)
+    p_rep.add_argument("--timeout", type=float, default=5.0)
+    p_rep.add_argument("--hedge", action="store_true")
+    p_rep.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="fixed hedge delay in seconds (default: adaptive p95-based)",
+    )
+    p_rep.add_argument("--diurnal-period", type=float, default=30.0)
+    p_rep.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.3,
+        help="0 disables the envelope (homogeneous Poisson arrivals)",
+    )
+    p_rep.add_argument(
+        "--spike-rate",
+        type=float,
+        default=0.0,
+        help="seeded server-side latency-spike rate (--spawn only)",
+    )
+    p_rep.add_argument("--spike-seconds", type=float, default=0.25)
+    p_rep.add_argument("--json", action="store_true")
+    p_rep.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)
     return args.func(args)

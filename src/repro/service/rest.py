@@ -21,13 +21,25 @@ Routes:
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
 from repro.service.drafts_service import DraftsService
 
-__all__ = ["Response", "RestRouter", "parse_floats"]
+__all__ = ["Response", "RestRouter", "encode_body", "parse_floats"]
+
+
+def encode_body(body: dict) -> bytes:
+    """The canonical wire encoding of a response body.
+
+    One encoder shared by the socket server and the parity tests, so
+    "byte-identical to the in-process handlers" is a well-defined claim:
+    UTF-8 JSON, keys in insertion order (the handlers build them
+    deterministically), compact separators, trailing newline.
+    """
+    return (json.dumps(body, separators=(", ", ": ")) + "\n").encode("utf-8")
 
 
 def parse_floats(query: dict, *names: str) -> list[float]:
@@ -76,7 +88,7 @@ class RestRouter:
         segments = [s for s in parts.path.split("/") if s]
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
         try:
-            if segments == ["health"]:
+            if segments in (["health"], ["healthz"]):
                 return Response(200, {"status": "ok"})
             if len(segments) == 3 and segments[0] == "predictions":
                 return self._predictions(segments[1], segments[2], query)

@@ -16,8 +16,14 @@ pure cache reads. This package is that architecture as a subsystem:
 * :mod:`repro.serving.bench` — the latency/coalescing/shedding benchmark
   harness behind ``python -m repro serve-bench``;
 * :mod:`repro.serving.chaos` — seeded fault injection (faulty API, torn
-  snapshots) and the invariant-checking harness behind
-  ``python -m repro chaos``.
+  snapshots, request-level latency spikes) and the invariant-checking
+  harness behind ``python -m repro chaos``;
+* :mod:`repro.serving.httpd` — the gateway behind a real listening socket
+  (``python -m repro serve``): keep-alive, graceful drain, backlog
+  overflow surfaced as shed;
+* :mod:`repro.serving.replay` — the open-loop socket replayer
+  (``python -m repro replay``): persistent connection pools, diurnal x
+  Zipf arrivals, hedged requests, tail SLO reporting.
 """
 
 from repro.serving.chaos import (
@@ -25,13 +31,26 @@ from repro.serving.chaos import (
     FaultConfig,
     FaultyApi,
     FaultyCompute,
+    ReplaySpiker,
     run_chaos,
 )
 from repro.serving.clock import Clock, ManualClock, SystemClock
 from repro.serving.gateway import GatewayConfig, ServingGateway
-from repro.serving.loadgen import LoadGenerator, LoadgenConfig, Request
+from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+from repro.serving.loadgen import (
+    DiurnalEnvelope,
+    LoadGenerator,
+    LoadgenConfig,
+    Request,
+)
 from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serving.refresher import BackgroundRefresher, SingleFlight
+from repro.serving.replay import (
+    EwmaTracker,
+    ReplayConfig,
+    Replayer,
+    format_slo_report,
+)
 from repro.serving.store import (
     CurveEntry,
     CurveKey,
@@ -46,21 +65,29 @@ __all__ = [
     "Counter",
     "CurveEntry",
     "CurveKey",
+    "DiurnalEnvelope",
     "EntryState",
+    "EwmaTracker",
     "FaultConfig",
     "FaultyApi",
     "FaultyCompute",
     "Gauge",
     "GatewayConfig",
+    "GatewayHTTPServer",
     "Histogram",
+    "HttpdConfig",
     "LoadGenerator",
     "LoadgenConfig",
     "ManualClock",
     "MetricsRegistry",
+    "ReplayConfig",
+    "Replayer",
+    "ReplaySpiker",
     "Request",
     "ServingGateway",
     "ShardedCurveStore",
     "SingleFlight",
     "SystemClock",
+    "format_slo_report",
     "run_chaos",
 ]

@@ -55,15 +55,21 @@ from repro.market.universe import Universe
 from repro.service.drafts_service import DraftsService, ServiceConfig
 from repro.service.rest import RestRouter
 from repro.serving.gateway import GatewayConfig, ServingGateway
-from repro.serving.loadgen import LoadgenConfig, LoadGenerator
+from repro.serving.loadgen import (
+    LoadgenConfig,
+    LoadGenerator,
+    predictable_keys,
+)
 from repro.serving.store import CurveKey
 from repro.util.tables import format_table
 
 __all__ = [
     "ServingBenchConfig",
+    "SloBenchConfig",
     "format_serving_report",
     "run_refresh_benchmark",
     "run_serving_benchmark",
+    "run_slo_benchmark",
 ]
 
 
@@ -125,24 +131,7 @@ def _serving_keys(
     universe: Universe, n_keys: int, probability: float
 ) -> tuple[list[CurveKey], float]:
     """Predictable (type, zone, p) keys plus a warm simulation instant."""
-    combos = universe.subsample(per_class=2)
-    api = EC2Api(universe)
-    service = DraftsService(api)
-    keys: list[CurveKey] = []
-    start_now = 0.0
-    for combo in combos:
-        now = universe.trace(combo).start + 45 * 86400.0
-        curve = service.curve(
-            combo.instance_type, combo.zone.name, probability, now
-        )
-        if curve is not None:
-            keys.append((combo.instance_type, combo.zone.name, probability))
-            start_now = max(start_now, now)
-        if len(keys) >= n_keys:
-            break
-    if not keys:
-        raise RuntimeError("no combination in the universe is predictable yet")
-    return keys, start_now
+    return predictable_keys(universe, n_keys, probability)
 
 
 def _run_closed_loop(get, requests, n_threads: int):
@@ -455,6 +444,173 @@ def run_refresh_benchmark(config: ServingBenchConfig | None = None) -> dict:
         "refresh_steps": cfg.refresh_steps,
         "refresh": _refresh_phase(cfg, universe, keys, start_now),
         "restart": _restart_phase(cfg, universe, keys, start_now),
+    }
+
+
+@dataclass(frozen=True)
+class SloBenchConfig:
+    """Shape of the socket-replay SLO benchmark.
+
+    Attributes
+    ----------
+    scale / n_keys / seed:
+        Universe preset, key-universe size, load-generator seed.
+    n_requests / rate / warmup_requests / concurrency:
+        The main open-loop replay: stream length, offered arrival rate
+        (requests/second), leading records dropped from the SLO table,
+        replayer worker threads.
+    diurnal_period_seconds / diurnal_amplitude:
+        The rate envelope the replay breathes under (sized so a short run
+        still sees most of a cycle).
+    hedge_demo_requests / hedge_demo_rate:
+        The seeded latency-spike A/B (unhedged vs hedged, same seed).
+    spike_rate / spike_seconds:
+        Server-side seeded spike schedule for the hedge demo.
+    hedge_delay_seconds:
+        Fixed hedge delay for the demo (fixed, not p95-adaptive, so the
+        A/B is reproducible).
+    """
+
+    scale: str = "test"
+    n_keys: int = 4
+    seed: int = 7
+    n_requests: int = 2000
+    rate: float = 1500.0
+    warmup_requests: int = 100
+    concurrency: int = 32
+    diurnal_period_seconds: float = 30.0
+    diurnal_amplitude: float = 0.3
+    hedge_demo_requests: int = 400
+    hedge_demo_rate: float = 150.0
+    spike_rate: float = 0.08
+    spike_seconds: float = 0.25
+    hedge_delay_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 2 or self.hedge_demo_requests < 2:
+            raise ValueError("request counts must be >= 2")
+        if self.rate <= 0 or self.hedge_demo_rate <= 0:
+            raise ValueError("rates must be positive")
+
+
+def _slo_gateway(universe, keys, start_now: float) -> ServingGateway:
+    """A gateway warmed over ``keys`` so the replay measures serving, not
+    first-touch curve fitting."""
+    probability = keys[0][2]
+    gateway = ServingGateway(
+        DraftsService(
+            EC2Api(universe), ServiceConfig(probabilities=(probability,))
+        ),
+        GatewayConfig(max_inflight=256),
+    )
+    for key in keys:
+        gateway.get(
+            f"/predictions/{key[0]}/{key[1]}"
+            f"?probability={probability}&now={start_now}"
+        )
+    return gateway
+
+
+def run_slo_benchmark(config: SloBenchConfig | None = None) -> dict:
+    """Open-loop socket replay with tail SLOs, plus the hedging A/B.
+
+    Two parts:
+
+    1. **slo** — the main replay: diurnal × Zipf open-loop stream over a
+       real listening socket, reported as the tail SLO table (p50/p99/
+       p99.9, shed/timeout rates, hedge accounting, offered vs achieved
+       throughput) plus the server's drain statistics.
+    2. **hedge_demo** — same seed, spiked server
+       (:class:`~repro.serving.chaos.ReplaySpiker`): one unhedged run,
+       one hedged run. Hedging must cut the spike out of the tail —
+       ``hedged p99.9 < unhedged p99.9`` is the acceptance check
+       (``ok`` in the returned dict).
+    """
+    from repro.serving.chaos import FaultConfig, ReplaySpiker
+    from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+    from repro.serving.loadgen import DiurnalEnvelope
+    from repro.serving.replay import ReplayConfig, Replayer
+
+    cfg = config or SloBenchConfig()
+    universe = scaled_universe(cfg.scale)
+    keys, start_now = _serving_keys(universe, cfg.n_keys, probability=0.95)
+
+    server = GatewayHTTPServer(
+        _slo_gateway(universe, keys, start_now),
+        HttpdConfig(max_connections=256),
+    )
+    server.start()
+    try:
+        replayer = Replayer(
+            [server.url],
+            keys,
+            ReplayConfig(
+                n_requests=cfg.n_requests,
+                rate=cfg.rate,
+                diurnal=DiurnalEnvelope(
+                    period_seconds=cfg.diurnal_period_seconds,
+                    amplitude=cfg.diurnal_amplitude,
+                ),
+                seed=cfg.seed,
+                warmup_requests=cfg.warmup_requests,
+                concurrency=cfg.concurrency,
+                start_now=start_now,
+            ),
+        )
+        slo = replayer.run()
+    finally:
+        drain = server.stop()
+
+    demo: dict = {"spike_rate": cfg.spike_rate, "spike_seconds": cfg.spike_seconds}
+    for label, hedge in (("unhedged", False), ("hedged", True)):
+        spiker = ReplaySpiker(
+            FaultConfig(
+                spike_rate=cfg.spike_rate,
+                spike_seconds=cfg.spike_seconds,
+                seed=cfg.seed,
+            )
+        )
+        demo_server = GatewayHTTPServer(
+            _slo_gateway(universe, keys, start_now),
+            HttpdConfig(max_connections=256),
+            spike=spiker,
+        )
+        demo_server.start()
+        try:
+            report = Replayer(
+                [demo_server.url],
+                keys,
+                ReplayConfig(
+                    n_requests=cfg.hedge_demo_requests,
+                    rate=cfg.hedge_demo_rate,
+                    seed=cfg.seed,
+                    warmup_requests=0,
+                    concurrency=cfg.concurrency,
+                    hedge=hedge,
+                    hedge_delay_seconds=cfg.hedge_delay_seconds,
+                    start_now=start_now,
+                ),
+            ).run()
+        finally:
+            demo_server.stop()
+        demo[label] = {
+            "p999": report["latency"]["p999"],
+            "p99": report["latency"]["p99"],
+            "p50": report["latency"]["p50"],
+            "hedges_launched": report["hedge"]["launched"],
+            "hedge_wins": report["hedge"]["wins"],
+            "injected_spikes": spiker.injected_spikes,
+            "spared_hedges": spiker.spared_hedges,
+        }
+    demo["p999_improvement"] = demo["unhedged"]["p999"] / max(
+        demo["hedged"]["p999"], 1e-9
+    )
+    demo["ok"] = demo["hedged"]["p999"] < demo["unhedged"]["p999"]
+    return {
+        "keys": ["{}@{}".format(k[0], k[1]) for k in keys],
+        "slo": slo,
+        "drain": drain,
+        "hedge_demo": demo,
     }
 
 

@@ -35,6 +35,7 @@ every recompute attempt is one history fetch, in program order.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -43,7 +44,11 @@ from repro.experiments.common import scaled_universe
 from repro.service.drafts_service import DraftsService, ServiceConfig
 from repro.serving.clock import Clock, ManualClock, SystemClock
 from repro.serving.gateway import GatewayConfig, ServingGateway
-from repro.serving.loadgen import LoadGenerator, LoadgenConfig
+from repro.serving.loadgen import (
+    LoadGenerator,
+    LoadgenConfig,
+    predictable_keys,
+)
 from repro.serving.store import EntryState
 from repro.util.rng import RngFactory
 
@@ -52,6 +57,7 @@ __all__ = [
     "FaultConfig",
     "FaultyApi",
     "FaultyCompute",
+    "ReplaySpiker",
     "assert_chaos_invariants",
     "run_chaos",
     "tear_snapshot",
@@ -153,6 +159,54 @@ class FaultyApi:
         return log
 
 
+class ReplaySpiker:
+    """Seeded request-level latency spikes for the socket server.
+
+    Mounts on :class:`repro.serving.httpd.GatewayHTTPServer` as the
+    pre-dispatch ``spike`` hook: each incoming request stalls for
+    ``spike_seconds`` with probability ``spike_rate`` (seeded, so the
+    expected spike count of a run is reproducible; which requests get hit
+    depends on handler-thread arrival order). With ``spare_hedges=True``
+    (the default) requests carrying the replayer's hedge marker are never
+    spiked — modelling *replica-local* slowness, the regime hedging is
+    designed for (Dean & Barroso): the stall afflicts one copy of a
+    request, not the request itself, so a hedge sent elsewhere escapes it.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig | None = None,
+        *,
+        clock: Clock | None = None,
+        spare_hedges: bool = True,
+    ) -> None:
+        from repro.serving.replay import HEDGE_HEADER
+
+        self._cfg = config or FaultConfig()
+        self._clock = clock or SystemClock()
+        self._spare_hedges = spare_hedges
+        self._hedge_header = HEDGE_HEADER
+        self._rng = RngFactory(self._cfg.seed).generator("replay-spiker")
+        self._lock = threading.Lock()
+        self.enabled = True
+        self.injected_spikes = 0
+        self.spared_hedges = 0
+
+    def __call__(self, path: str, headers) -> None:
+        if not self.enabled or self._cfg.spike_rate <= 0:
+            return
+        if self._spare_hedges and headers.get(self._hedge_header):
+            with self._lock:
+                self.spared_hedges += 1
+            return
+        with self._lock:  # np.random.Generator is not thread-safe
+            spike = self._rng.random() < self._cfg.spike_rate
+            if spike:
+                self.injected_spikes += 1
+        if spike:
+            self._clock.sleep(self._cfg.spike_seconds)
+
+
 class FaultyCompute:
     """A refresher compute callback with seeded failure injection."""
 
@@ -238,23 +292,7 @@ class ChaosConfig:
 
 def _serving_keys(universe, n_keys: int, probability: float):
     """Predictable (type, zone, p) keys plus a warm simulation instant."""
-    service = DraftsService(
-        EC2Api(universe), ServiceConfig(probabilities=(probability,))
-    )
-    keys, start_now = [], 0.0
-    for combo in universe.subsample(per_class=2):
-        now = universe.trace(combo).start + 45 * 86400.0
-        curve = service.curve(
-            combo.instance_type, combo.zone.name, probability, now
-        )
-        if curve is not None:
-            keys.append((combo.instance_type, combo.zone.name, probability))
-            start_now = max(start_now, now)
-        if len(keys) >= n_keys:
-            break
-    if not keys:
-        raise RuntimeError("no combination in the universe is predictable")
-    return keys, start_now
+    return predictable_keys(universe, n_keys, probability)
 
 
 def _check_conservation(counters: dict) -> dict:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
@@ -304,6 +305,26 @@ class ServingGateway:
         if self._cfg.snapshot_dir is not None:
             self._snapshot_now()
 
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no curve request is in flight (the drain hook).
+
+        The socket server calls this between "stop accepting" and the
+        final shutdown checkpoint, so every admitted request finishes and
+        its effects are captured by the last snapshot. Returns ``True``
+        when the gateway went idle, ``False`` on timeout. Polls wall time
+        (requests are short; drain is a once-per-shutdown path).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+
     def __enter__(self) -> "ServingGateway":
         return self.start()
 
@@ -369,7 +390,7 @@ class ServingGateway:
         parts = urlsplit(url)
         segments = [s for s in parts.path.split("/") if s]
         query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
-        if segments == ["health"]:
+        if segments in (["health"], ["healthz"]):
             self.metrics.counter("gateway.other").inc()
             return Response(200, {"status": "ok"})
         if segments == ["metrics"]:

@@ -9,14 +9,19 @@ disciplines:
   previous one returns (throughput benchmark);
 * **open loop** — requests carry Poisson arrival offsets independent of
   completion times (latency/shedding benchmark: arrivals don't slow down
-  when the server does).
+  when the server does), optionally modulated by a diurnal envelope so the
+  offered rate breathes the way real user traffic does.
 
-Everything derives from the seed; the same config always produces the same
-request sequence.
+The building blocks are composable generators — :func:`zipf_key_indices`
+for popularity and :func:`open_loop_arrivals` for the arrival process — so
+the in-process bench and the socket replayer consume the *same* arrival
+implementation. Everything derives from the seed; the same config always
+produces the same request sequence.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -24,7 +29,137 @@ import numpy as np
 
 from repro.serving.store import CurveKey
 
-__all__ = ["LoadgenConfig", "LoadGenerator", "Request"]
+__all__ = [
+    "DiurnalEnvelope",
+    "LoadgenConfig",
+    "LoadGenerator",
+    "Request",
+    "open_loop_arrivals",
+    "predictable_keys",
+    "zipf_key_indices",
+    "zipf_weights",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalEnvelope:
+    """A sinusoidal rate modulation: traffic that breathes over a "day".
+
+    The instantaneous arrival rate is ``base_rate * factor(t)`` with
+    ``factor(t) = 1 + amplitude * sin(2*pi*(t - phase_seconds)/period_seconds)``,
+    so a full period swings the offered load between ``(1 - amplitude)`` and
+    ``(1 + amplitude)`` times the base rate. ``amplitude=0`` degenerates to
+    a homogeneous Poisson process.
+    """
+
+    period_seconds: float = 86400.0
+    amplitude: float = 0.5
+    phase_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must lie in [0, 1)")
+
+    def factor(self, t: float) -> float:
+        """Rate multiplier at offset ``t`` seconds from stream start."""
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase_seconds) / self.period_seconds
+        )
+
+
+def zipf_weights(n_keys: int, exponent: float) -> np.ndarray:
+    """The bounded-Zipf popularity law over ``n_keys`` ranks.
+
+    Rank ``r`` (1-based) is drawn with weight ``1/r**exponent``;
+    ``exponent=0`` is uniform. Index 0 is popularity rank 1.
+    """
+    if n_keys < 1:
+        raise ValueError("at least one key required")
+    if exponent < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    ranks = np.arange(1, n_keys + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def zipf_key_indices(
+    n_keys: int, exponent: float, rng: np.random.Generator
+) -> Iterator[int]:
+    """Endless seeded stream of key indices under the Zipf popularity law.
+
+    Draws in blocks so consuming a few million indices stays cheap; the
+    stream is a pure function of the generator's state.
+    """
+    weights = zipf_weights(n_keys, exponent)
+    while True:
+        block = rng.choice(n_keys, size=1024, p=weights)
+        yield from (int(i) for i in block)
+
+
+def open_loop_arrivals(
+    rate: float,
+    rng: np.random.Generator,
+    diurnal: DiurnalEnvelope | None = None,
+) -> Iterator[float]:
+    """Endless seeded stream of open-loop arrival offsets (seconds).
+
+    A Poisson process at ``rate`` requests/second, optionally modulated by
+    ``diurnal`` via thinning (Lewis & Shedler): candidate arrivals are
+    drawn at the envelope's peak rate and accepted with probability
+    ``factor(t)/peak``, which yields a nonhomogeneous Poisson process with
+    the exact envelope intensity. Arrivals are scheduled by the clock, not
+    by completions — the defining property of an open-loop workload: when
+    the server slows down, the offered load does not.
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if diurnal is None or diurnal.amplitude == 0.0:
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            yield t
+        return
+    peak = rate * (1.0 + diurnal.amplitude)
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        accept = rate * diurnal.factor(t) / peak
+        if rng.random() < accept:
+            yield t
+
+
+def predictable_keys(
+    universe, n_keys: int, probability: float
+) -> tuple[list[CurveKey], float]:
+    """Predictable (type, zone, p) keys plus a warm simulation instant.
+
+    Walks the universe's per-class subsample until ``n_keys`` combinations
+    produce a servable curve 45 days into their trace — the key universe
+    every serving harness (bench, chaos, socket replay) drives load over.
+    """
+    from repro.cloud.api import EC2Api
+    from repro.service.drafts_service import DraftsService, ServiceConfig
+
+    service = DraftsService(
+        EC2Api(universe), ServiceConfig(probabilities=(probability,))
+    )
+    keys: list[CurveKey] = []
+    start_now = 0.0
+    for combo in universe.subsample(per_class=2):
+        now = universe.trace(combo).start + 45 * 86400.0
+        curve = service.curve(
+            combo.instance_type, combo.zone.name, probability, now
+        )
+        if curve is not None:
+            keys.append((combo.instance_type, combo.zone.name, probability))
+            start_now = max(start_now, now)
+        if len(keys) >= n_keys:
+            break
+    if not keys:
+        raise RuntimeError("no combination in the universe is predictable")
+    return keys, start_now
 
 
 @dataclass(frozen=True)
@@ -67,6 +202,9 @@ class LoadgenConfig:
         ``"closed"`` or ``"open"``.
     arrival_rate:
         Open-loop Poisson arrival rate (requests/second of wall time).
+    diurnal:
+        Optional :class:`DiurnalEnvelope` modulating the open-loop rate;
+        ``None`` keeps the process homogeneous.
     bid_fraction:
         Fraction of requests hitting ``/bid`` (the rest ``/predictions``).
     start_now:
@@ -83,6 +221,7 @@ class LoadgenConfig:
     zipf_exponent: float = 1.1
     mode: str = "closed"
     arrival_rate: float = 500.0
+    diurnal: DiurnalEnvelope | None = None
     bid_fraction: float = 0.3
     start_now: float = 0.0
     now_drift: float = 0.0
@@ -124,26 +263,27 @@ class LoadGenerator:
 
         Keys keep their given order: index 0 is popularity rank 1.
         """
-        ranks = np.arange(1, len(self._keys) + 1, dtype=float)
-        weights = ranks ** -self._cfg.zipf_exponent
-        return weights / weights.sum()
+        return zipf_weights(len(self._keys), self._cfg.zipf_exponent)
 
     def requests(self) -> Iterator[Request]:
         """Yield the deterministic request stream."""
         cfg = self._cfg
         rng = np.random.default_rng(cfg.seed)
-        weights = self.key_weights()
-        key_indices = rng.choice(len(self._keys), size=cfg.n_requests, p=weights)
+        key_stream = zipf_key_indices(
+            len(self._keys), cfg.zipf_exponent, rng
+        )
+        key_indices = [next(key_stream) for _ in range(cfg.n_requests)]
         is_bid = rng.random(cfg.n_requests) < cfg.bid_fraction
         duration_indices = rng.integers(
             0, len(cfg.durations), size=cfg.n_requests
         )
         if cfg.mode == "open":
-            arrivals = np.cumsum(
-                rng.exponential(1.0 / cfg.arrival_rate, size=cfg.n_requests)
+            arrival_stream = open_loop_arrivals(
+                cfg.arrival_rate, rng, cfg.diurnal
             )
+            arrivals = [next(arrival_stream) for _ in range(cfg.n_requests)]
         else:
-            arrivals = np.zeros(cfg.n_requests)
+            arrivals = [0.0] * cfg.n_requests
         for i in range(cfg.n_requests):
             key = self._keys[key_indices[i]]
             instance_type, zone, probability = key

@@ -115,10 +115,14 @@ class Histogram:
             return self._sum
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the ``q`` quantile from bucket counts.
+        """Estimate the ``q`` quantile from bucket counts, interpolating.
 
-        Returns the upper edge of the bucket containing the quantile
-        (``inf`` when it falls in the overflow bucket, ``nan`` when empty).
+        The quantile's rank is located in the cumulative bucket counts and
+        the estimate interpolated linearly inside the containing bucket
+        (Prometheus ``histogram_quantile`` semantics, assuming non-negative
+        samples so the first bucket's lower edge is 0). Returns ``inf``
+        when the rank falls in the overflow bucket and ``nan`` when the
+        histogram is empty.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
@@ -130,16 +134,18 @@ class Histogram:
             for index, count in enumerate(self._counts):
                 seen += count
                 if seen >= rank and count:
-                    return (
-                        self.bounds[index]
-                        if index < len(self.bounds)
-                        else float("inf")
-                    )
+                    if index >= len(self.bounds):
+                        return float("inf")
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    upper = self.bounds[index]
+                    fraction = (rank - (seen - count)) / count
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    return lower + fraction * (upper - lower)
         return float("inf")
 
     def to_dict(self) -> dict:
         """JSON-ready form: per-bucket counts keyed by upper edge, plus
-        the p50/p99 bucket-edge estimates dashboards plot directly."""
+        the p50/p99/p99.9 interpolated estimates dashboards plot directly."""
         with self._lock:
             buckets = [
                 {"le": edge, "count": count}
@@ -149,6 +155,7 @@ class Histogram:
             body = {"buckets": buckets, "sum": self._sum, "count": self._count}
         body["p50"] = self.quantile(0.5)
         body["p99"] = self.quantile(0.99)
+        body["p999"] = self.quantile(0.999)
         return body
 
 

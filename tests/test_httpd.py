@@ -1,0 +1,296 @@
+"""Socket-server tests: parity with the in-process gateway, keep-alive,
+connection shedding, graceful drain."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.api import EC2Api
+from repro.experiments.common import scaled_universe
+from repro.service.drafts_service import DraftsService, ServiceConfig
+from repro.service.rest import encode_body
+from repro.serving.gateway import GatewayConfig, ServingGateway
+from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+from repro.serving.loadgen import predictable_keys
+
+
+@pytest.fixture(scope="module")
+def env():
+    universe = scaled_universe("test")
+    keys, start_now = predictable_keys(universe, 2, 0.95)
+    return universe, keys, start_now
+
+
+def _gateway(universe, config: GatewayConfig | None = None, api=None):
+    return ServingGateway(
+        DraftsService(
+            api or EC2Api(universe), ServiceConfig(probabilities=(0.95,))
+        ),
+        config or GatewayConfig(),
+    )
+
+
+def _get(address, path):
+    """One fresh-connection GET: (status, headers, body bytes)."""
+    conn = HTTPConnection(*address, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, dict(response.headers), response.read()
+    finally:
+        conn.close()
+
+
+class _GatedApi:
+    """History reads block on ``gate`` (and flag ``entered``) — a handle to
+    hold a request in flight at a deterministic point."""
+
+    def __init__(self, api, gate, entered):
+        self._api = api
+        self._gate = gate
+        self._entered = entered
+
+    def __getattr__(self, name):
+        return getattr(self._api, name)
+
+    def describe_spot_price_history(self, *args, **kwargs):
+        self._entered.set()
+        assert self._gate.wait(timeout=30)
+        return self._api.describe_spot_price_history(*args, **kwargs)
+
+
+class TestParity:
+    """A socket response must carry the same status and a byte-identical
+    body as the in-process handler, across every status path."""
+
+    def test_all_status_paths(self, env):
+        universe, keys, start_now = env
+        (t, z, p), (t2, z2, _) = keys
+        early = start_now - 45 * 86400 + 3600
+        cases = [
+            (200, "/healthz"),
+            (200, f"/predictions/{t}/{z}?probability={p}&now={start_now}"),
+            (
+                200,
+                f"/bid/{t}/{z}?probability={p}"
+                f"&duration=3600.0&now={start_now}",
+            ),
+            (
+                400,
+                f"/predictions/{t}/{z}?probability=abc&now={start_now}",
+            ),
+            (404, "/nope"),
+            (
+                404,
+                f"/bid/{t}/{z}?probability={p}"
+                f"&duration=1e18&now={start_now}",
+            ),
+            (503, f"/predictions/{t2}/{z2}?probability={p}&now={early}"),
+            (
+                504,
+                f"/predictions/{t}/{z}?probability={p}"
+                f"&now={start_now}&deadline=0",
+            ),
+        ]
+        gateway = _gateway(universe)
+        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+            for want_status, url in cases:
+                expected = gateway.get(url)
+                assert expected.status == want_status, url
+                status, headers, body = _get(server.address, url)
+                assert status == expected.status, url
+                assert body == encode_body(expected.body), url
+                assert headers["Content-Type"] == "application/json"
+                assert int(headers["Content-Length"]) == len(body)
+                if "retry_after" in expected.body:
+                    assert int(headers["Retry-After"]) >= 1
+                else:
+                    assert "Retry-After" not in headers
+
+    def test_health_alias_matches_healthz(self, env):
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+            for path in ("/health", "/healthz"):
+                status, _, body = _get(server.address, path)
+                assert status == 200
+                assert body == encode_body({"status": "ok"})
+
+    def test_gateway_shed_is_byte_identical(self, env):
+        """429 from admission control, compared while a request is held
+        in flight on the single slot."""
+        universe, keys, start_now = env
+        t, z, p = keys[0]
+        gate, entered = threading.Event(), threading.Event()
+        gateway = _gateway(
+            universe,
+            GatewayConfig(max_inflight=1, retry_after_seconds=2.0),
+            api=_GatedApi(EC2Api(universe), gate, entered),
+        )
+        url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
+        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+            slow: dict = {}
+
+            def hold():
+                slow["result"] = _get(server.address, url)
+
+            thread = threading.Thread(target=hold)
+            thread.start()
+            try:
+                assert entered.wait(timeout=10)
+                expected = gateway.get(url)
+                assert expected.status == 429
+                status, headers, body = _get(server.address, url)
+                assert status == 429
+                assert body == encode_body(expected.body)
+                assert headers["Retry-After"] == "2"
+            finally:
+                gate.set()
+                thread.join(timeout=30)
+            assert slow["result"][0] == 200
+
+    def test_metrics_route_served(self, env):
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+            status, _, body = _get(server.address, "/metrics")
+            assert status == 200
+            snapshot = json.loads(body)
+            assert snapshot["counters"]["httpd.requests"] >= 1
+
+
+class TestConnections:
+    def test_keep_alive_reuses_connection(self, env):
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+            conn = HTTPConnection(*server.address, timeout=10)
+            try:
+                for _ in range(3):
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    response.read()
+                    assert (
+                        response.headers.get("Connection", "").lower()
+                        != "close"
+                    )
+                counters = json.loads(
+                    _get(server.address, "/metrics")[2]
+                )["counters"]
+                # 3 keep-alive requests rode one connection.
+                assert counters["httpd.requests"] >= 3
+                assert counters["httpd.connections"] == 2  # conn + /metrics
+            finally:
+                conn.close()
+
+    def test_connection_overflow_is_shed_as_429(self, env):
+        """Beyond max_connections a new connection gets an immediate 429
+        with Retry-After, not a silent kernel reset."""
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        with GatewayHTTPServer(
+            gateway, HttpdConfig(max_connections=1)
+        ) as server:
+            first = HTTPConnection(*server.address, timeout=10)
+            try:
+                first.request("GET", "/healthz")
+                response = first.getresponse()
+                assert response.status == 200
+                response.read()  # leave the connection idle keep-alive
+                second = HTTPConnection(*server.address, timeout=10)
+                try:
+                    second.request("GET", "/healthz")
+                    response = second.getresponse()
+                    assert response.status == 429
+                    assert int(response.headers["Retry-After"]) >= 1
+                    assert (
+                        response.headers.get("Connection", "").lower()
+                        == "close"
+                    )
+                    body = json.loads(response.read())
+                    assert "connection" in body["error"]
+                finally:
+                    second.close()
+                # The surviving keep-alive connection still works, and the
+                # shed is visible in the metrics.
+                first.request("GET", "/metrics")
+                response = first.getresponse()
+                assert response.status == 200
+                counters = json.loads(response.read())["counters"]
+                assert counters["httpd.connections_shed"] == 1
+            finally:
+                first.close()
+
+
+class TestDrain:
+    def test_graceful_drain_finishes_inflight_and_checkpoints(
+        self, env, tmp_path
+    ):
+        """stop(): an in-flight request completes with a full response, and
+        the final snapshot (written after the drain) contains its curve."""
+        universe, keys, start_now = env
+        t, z, p = keys[0]
+        gate, entered = threading.Event(), threading.Event()
+        snapshot_dir = tmp_path / "snap"
+        gateway = _gateway(
+            universe,
+            GatewayConfig(snapshot_dir=str(snapshot_dir)),
+            api=_GatedApi(EC2Api(universe), gate, entered),
+        )
+        url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
+        server = GatewayHTTPServer(
+            gateway, HttpdConfig(drain_timeout_seconds=30)
+        )
+        server.start()
+        slow: dict = {}
+
+        def hold():
+            slow["result"] = _get(server.address, url)
+
+        request_thread = threading.Thread(target=hold)
+        request_thread.start()
+        assert entered.wait(timeout=10)
+
+        stats: dict = {}
+        stop_thread = threading.Thread(
+            target=lambda: stats.update(server.stop())
+        )
+        stop_thread.start()
+        # The drain must be blocked on the in-flight request, not racing
+        # past it.
+        stop_thread.join(timeout=0.3)
+        assert stop_thread.is_alive()
+        gate.set()
+        request_thread.join(timeout=30)
+        stop_thread.join(timeout=30)
+        assert not stop_thread.is_alive()
+
+        status, _, body = slow["result"]
+        assert status == 200
+        assert json.loads(body)["instance_type"] == t
+        assert stats["drained"] is True
+        # The post-drain checkpoint observed the request admitted mid-drain.
+        snaps = list(Path(snapshot_dir).glob("*.snap"))
+        assert len(snaps) >= 1
+
+    def test_stop_closes_idle_connections_and_listener(self, env):
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        server = GatewayHTTPServer(gateway, HttpdConfig()).start()
+        address = server.address
+        idle = HTTPConnection(*address, timeout=10)
+        idle.request("GET", "/healthz")
+        idle.getresponse().read()
+        stats = server.stop()
+        assert stats["drained"] is True
+        with pytest.raises(OSError):
+            probe = HTTPConnection(*address, timeout=1)
+            probe.request("GET", "/healthz")
+            probe.getresponse()
+        idle.close()

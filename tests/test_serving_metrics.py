@@ -56,13 +56,33 @@ class TestHistogram:
         assert data["count"] == 5
         assert data["sum"] == pytest.approx(5.0605)
 
-    def test_quantile_upper_bound(self):
+    def test_quantile_interpolates_within_bucket(self):
         hist = Histogram("h", bounds=(0.001, 0.01, 0.1))
         for _ in range(99):
             hist.observe(0.0005)
         hist.observe(0.05)
-        assert hist.quantile(0.5) == 0.001
+        # Rank 50 of 100 lands mid-way through the first bucket [0, 0.001].
+        assert hist.quantile(0.5) == pytest.approx(0.001 * 50 / 99)
+        # q=1.0 is the upper edge of the last occupied bucket.
         assert hist.quantile(1.0) == 0.1
+
+    def test_quantile_uniform_fill_is_linear(self):
+        hist = Histogram("h", bounds=(10.0,))
+        for value in range(10):
+            hist.observe(value + 0.5)
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(0.999) == pytest.approx(9.99)
+
+    def test_to_dict_reports_three_quantiles(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for _ in range(998):
+            hist.observe(0.5)
+        for _ in range(3):
+            hist.observe(1.5)
+        data = hist.to_dict()
+        assert data["p50"] < 1.0
+        assert data["p99"] < 1.0
+        assert 1.0 < data["p999"] <= 2.0
 
     def test_overflow_quantile_is_inf(self):
         hist = Histogram("h", bounds=(1.0,))
