@@ -6,6 +6,9 @@ Times the numbers the optimisation work is gated on —
 * the cold sequential bench-scale backtest matrix (the Table 1 hot path),
 * QBETS per-update latency on a warm three-month predictor,
 * the warm (predictor-cache) matrix re-run,
+* the universe-wide vectorised epoch tick (full 452-key universe advanced
+  in one structure-of-arrays step, A/B'd in-run against the scalar
+  per-key observe+curve loop, curves checked bit-identical),
 
 written to ``BENCH_backtest.json`` next to the recorded pre-optimisation
 baselines, and
@@ -80,6 +83,108 @@ def _time_qbets_updates(n_updates: int = 20_000) -> float:
     return (time.perf_counter() - start) / n_updates * 1e6
 
 
+def _time_universe_tick(scale: str) -> dict:
+    """Steady-state full-universe tick latency vs the scalar loop.
+
+    The minimum over the measured ticks is reported as the latency
+    estimate: on a single-vCPU box scheduler preemption adds a heavy
+    right tail, so the best-observed tick is the honest compute cost
+    (p50/p90 ride along for the noise picture). The scalar baseline is
+    measured in the same run over the identical epochs, and the curves
+    both paths publish afterwards are compared bit for bit.
+    """
+    import gc
+    import math
+
+    from repro.core.drafts import DraftsConfig
+    from repro.core.online import OnlineDraftsPredictor
+    from repro.core.universe import UniverseTicker
+    from repro.market.synthetic import VOLATILITY_CLASSES, synthetic_trace
+
+    if scale == "bench":
+        n_keys, warm, meas, scalar_meas = 452, 600, 96, 10
+    else:
+        n_keys, warm, meas, scalar_meas = 32, 150, 20, 5
+    n_epochs = warm + meas
+    config = DraftsConfig(probability=0.95)
+    classes = list(VOLATILITY_CLASSES)
+    keys = [f"k{i}" for i in range(n_keys)]
+    prices = np.empty((n_keys, n_epochs))
+    times = None
+    for i in range(n_keys):
+        trace = synthetic_trace(
+            classes[i % len(classes)], seed=1000 + i, n_epochs=n_epochs
+        )
+        prices[i] = np.asarray(trace.prices)
+        if times is None:
+            times = np.asarray(trace.times, dtype=float)
+
+    ticker = UniverseTicker(config)
+    for key in keys:
+        ticker.add_key(key, instance_type="m4.large", zone="us-east-1a")
+    for t in range(warm):
+        ticker.tick(float(times[t]), prices[:, t])
+    batch_ms = np.empty(meas)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for j, t in enumerate(range(warm, n_epochs)):
+            start = time.perf_counter()
+            ticker.tick(float(times[t]), prices[:, t])
+            batch_ms[j] = (time.perf_counter() - start) * 1e3
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    scalars = [OnlineDraftsPredictor(config) for _ in keys]
+    scalar_from = n_epochs - scalar_meas
+    for t in range(scalar_from):
+        for i in range(n_keys):
+            scalars[i].observe(float(times[t]), float(prices[i, t]))
+        if t % 16 == 0:
+            for scalar in scalars:
+                scalar.curve()
+    scalar_ms = np.empty(scalar_meas)
+    gc.disable()
+    try:
+        for j, t in enumerate(range(scalar_from, n_epochs)):
+            start = time.perf_counter()
+            for i in range(n_keys):
+                scalars[i].observe(float(times[t]), float(prices[i, t]))
+                scalars[i].curve()
+            scalar_ms[j] = (time.perf_counter() - start) * 1e3
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    def curves_equal(a, b):
+        if a is None or b is None:
+            return a is b
+        if a.bids != b.bids or a.computed_at != b.computed_at:
+            return False
+        return all(
+            x == y or (math.isnan(x) and math.isnan(y))
+            for x, y in zip(a.durations, b.durations)
+        )
+
+    equivalent = all(
+        curves_equal(ticker.curve_for(key), scalars[i].curve())
+        for i, key in enumerate(keys)
+    )
+    return {
+        "n_keys": n_keys,
+        "tick_best_ms": round(float(batch_ms.min()), 3),
+        "tick_p50_ms": round(float(np.percentile(batch_ms, 50)), 3),
+        "tick_p90_ms": round(float(np.percentile(batch_ms, 90)), 3),
+        "scalar_p50_ms": round(float(np.percentile(scalar_ms, 50)), 1),
+        "speedup_p50": round(
+            float(np.percentile(scalar_ms, 50) / np.percentile(batch_ms, 50)),
+            1,
+        ),
+        "equivalent": equivalent,
+    }
+
+
 def _time_serving_refresh(scale: str) -> dict:
     from repro.serving.bench import ServingBenchConfig, run_refresh_benchmark
 
@@ -137,6 +242,14 @@ def main() -> int:
     print("timing QBETS per-update latency ...")
     update_us = _time_qbets_updates()
     print(f"  {update_us:.2f} us/update")
+    print("timing full-universe epoch tick vs scalar loop ...")
+    tick = _time_universe_tick(args.scale)
+    print(
+        f"  {tick['n_keys']} keys: tick best {tick['tick_best_ms']:.2f} ms"
+        f" p50 {tick['tick_p50_ms']:.2f} ms vs scalar "
+        f"{tick['scalar_p50_ms']:.1f} ms (x{tick['speedup_p50']:.1f}); "
+        f"curves {'bit-identical' if tick['equivalent'] else 'DIVERGED'}"
+    )
 
     report = {
         "scale": args.scale,
@@ -146,6 +259,7 @@ def main() -> int:
             "backtest_matrix_warm_cache_s": round(warm_s, 3),
             "qbets_update_mean_us": round(update_us, 3),
         },
+        "universe_tick": tick,
         "predcache": cache,
     }
     if args.scale == "bench":
@@ -157,6 +271,7 @@ def main() -> int:
             "qbets_update": round(
                 BASELINE["qbets_update_mean_us"] / update_us, 2
             ),
+            "universe_tick": tick["speedup_p50"],
         }
         print(
             f"speedup vs baseline: matrix x{report['speedup']['backtest_matrix']}"
@@ -211,6 +326,10 @@ def main() -> int:
     }
     args.serving_output.write_text(json.dumps(serving_report, indent=2) + "\n")
     print(f"wrote {args.serving_output}")
+    if not tick["equivalent"]:
+        raise AssertionError(
+            "universe tick curves diverged from the scalar predictors"
+        )
     if not refresh["equivalent"]:
         raise AssertionError(
             "incremental refresh diverged from full refit curves"

@@ -30,6 +30,13 @@ else
     PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q --benchmark-disable
 fi
 
+# Universe-tick smoke: advance a 32-key universe through the vectorised
+# structure-of-arrays path in lockstep with per-key scalar predictors and
+# require bit-identical curves and bids at every checkpoint (~2 s). Exits
+# non-zero on the first divergence.
+echo "== universe tick smoke (batch vs scalar bit-identity) =="
+PYTHONPATH=src python -m repro universe-smoke --keys 32
+
 # Seeded chaos smoke: faulty history API at 10% error rate plus a mid-run
 # snapshot/restore round-trip with one deliberately torn file. Exits
 # non-zero if any serving invariant (metrics conservation, breaker

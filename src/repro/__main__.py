@@ -16,6 +16,11 @@ Commands:
     Drive the gateway through a seeded fault schedule (faulty history API,
     latency spikes, a mid-run snapshot/restore with one torn file) and
     verify the serving invariants; exits non-zero on any violation.
+``universe-smoke [--keys N] [--epochs N] [--probability P]``
+    Tick an N-key universe through the vectorised structure-of-arrays
+    path in lockstep with per-key scalar predictors and verify the
+    published curves and bid queries are bit-identical at every
+    checkpoint; exits non-zero on the first divergence.
 ``serve [--scale test] [--keys N] [--host H] [--port P] [--snapshot-dir D]``
     Stand the serving gateway up behind a real listening socket
     (``/predictions``, ``/bid``, ``/cheapest``, ``/healthz``, ``/metrics``)
@@ -162,6 +167,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos: ok — {report['requests']} requests, "
         f"{report['injected']['errors']} injected errors, "
         f"{trips} breaker trips, all invariants hold"
+    )
+    return 0
+
+
+def _cmd_universe_smoke(args: argparse.Namespace) -> int:
+    import math
+
+    import numpy as np
+
+    from repro.core.drafts import DraftsConfig
+    from repro.core.online import OnlineDraftsPredictor
+    from repro.core.universe import UniverseTicker
+    from repro.market.synthetic import VOLATILITY_CLASSES, synthetic_trace
+
+    config = DraftsConfig(probability=args.probability)
+    classes = list(VOLATILITY_CLASSES)
+    keys = [f"{classes[i % len(classes)]}-{i}" for i in range(args.keys)]
+    prices = np.empty((args.keys, args.epochs))
+    times = None
+    for i in range(args.keys):
+        trace = synthetic_trace(
+            classes[i % len(classes)], seed=args.seed + i, n_epochs=args.epochs
+        )
+        prices[i] = np.asarray(trace.prices)
+        if times is None:
+            times = np.asarray(trace.times, dtype=float)
+
+    ticker = UniverseTicker(config)
+    for key in keys:
+        ticker.add_key(key, instance_type="m4.large", zone="us-east-1a")
+    scalars = {key: OnlineDraftsPredictor(config) for key in keys}
+
+    def floats_equal(a: float, b: float) -> bool:
+        return a == b or (math.isnan(a) and math.isnan(b))
+
+    def curves_equal(a, b) -> bool:
+        if a is None or b is None:
+            return a is b
+        return (
+            a.bids == b.bids
+            and a.computed_at == b.computed_at
+            and all(
+                floats_equal(x, y) for x, y in zip(a.durations, b.durations)
+            )
+        )
+
+    durations = (1800.0, 3600.0, 6 * 3600.0, 86400.0, 1e12)
+    stride = max(1, args.epochs // 8)
+    checked = 0
+    for t in range(args.epochs):
+        ticker.tick(float(times[t]), prices[:, t])
+        for i, key in enumerate(keys):
+            scalars[key].observe(float(times[t]), float(prices[i, t]))
+        if t % stride != stride - 1 and t != args.epochs - 1:
+            continue
+        for key in keys:
+            if not curves_equal(ticker.curve_for(key), scalars[key].curve()):
+                print(
+                    f"universe-smoke: curve DIVERGED at epoch {t} key {key}",
+                    file=sys.stderr,
+                )
+                return 1
+            for duration in durations:
+                if not floats_equal(
+                    ticker.bid_for(key, duration),
+                    scalars[key].bid_for(duration),
+                ):
+                    print(
+                        f"universe-smoke: bid_for({duration:g}) DIVERGED "
+                        f"at epoch {t} key {key}",
+                        file=sys.stderr,
+                    )
+                    return 1
+            checked += 1
+    print(
+        f"universe-smoke: ok — {args.keys} keys x {args.epochs} epochs, "
+        f"{checked} curve checkpoints bit-identical to the scalar path"
     )
     return 0
 
@@ -369,6 +451,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the mid-run snapshot/restore round-trip",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_usm = sub.add_parser(
+        "universe-smoke",
+        help="verify the vectorised universe tick against scalar predictors",
+    )
+    p_usm.add_argument("--keys", type=int, default=32)
+    p_usm.add_argument("--epochs", type=int, default=160)
+    p_usm.add_argument("--probability", type=float, default=0.95)
+    p_usm.add_argument("--seed", type=int, default=1000)
+    p_usm.set_defaults(func=_cmd_universe_smoke)
 
     p_srv = sub.add_parser(
         "serve", help="serve the gateway on a real listening socket"

@@ -21,6 +21,7 @@ from repro.backtest.launch import (
     LaunchSeries,
     run_launch_series,
 )
+from repro.backtest.universe_driver import drafts_bids
 from repro.backtest.validation import (
     FractionAssessment,
     assess_fraction,
@@ -42,6 +43,7 @@ __all__ = [
     "assess_fraction",
     "check_survival",
     "correctness_table",
+    "drafts_bids",
     "retest_combo",
     "run_backtest",
     "run_costopt",

@@ -148,15 +148,27 @@ class ComboCosts:
 
 
 def combo_costs(
-    universe: Universe, combo: Combo, config: BacktestConfig
+    universe: Universe,
+    combo: Combo,
+    config: BacktestConfig,
+    *,
+    bids: np.ndarray | None = None,
 ) -> ComboCosts:
-    """Cost the §4.4 strategy for every sampled request of one combination."""
+    """Cost the §4.4 strategy for every sampled request of one combination.
+
+    ``bids`` injects the universe-replay path's precomputed bids (see
+    :func:`repro.backtest.engine.run_backtest`); the costing loop is
+    shared, so the tables stay bit-identical.
+    """
     trace = universe.trace(combo)
-    strategy = DraftsBid.for_combo(combo, trace, config.probability)
     tier = SpotTier(trace)
     rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
     t_indices, durations = sample_requests(trace, config, rng)
-    bids = strategy.bid_at_many(t_indices, durations)
+    if bids is None:
+        strategy = DraftsBid.for_combo(combo, trace, config.probability)
+        bids = strategy.bid_at_many(t_indices, durations)
+    elif bids.shape != t_indices.shape:
+        raise ValueError("injected bids must align with the request sample")
     od_costs, costs, spots, terms = [], [], [], []
     for t_idx, duration, bid in zip(t_indices, durations, bids):
         start = float(trace.times[t_idx])
@@ -218,9 +230,17 @@ def run_costopt(
 
     Uses the same request-sampling distribution as the correctness
     backtest (§4.4 prices "all of the backtested instances used to generate
-    the results in Section 4.1").
+    the results in Section 4.1"). Bids come from one frozen-key universe
+    replay across all combinations (bit-identical to the per-combo
+    strategy path).
     """
+    from repro.backtest.universe_driver import drafts_bids
+
+    bids = drafts_bids(universe, list(combos), config)
     return aggregate_costs(
         config.probability,
-        [combo_costs(universe, combo, config) for combo in combos],
+        [
+            combo_costs(universe, combo, config, bids=bids[combo.key])
+            for combo in combos
+        ],
     )

@@ -166,13 +166,26 @@ def run_backtest(
     combo: Combo,
     strategy_cls: type[BidStrategy],
     config: BacktestConfig,
+    *,
+    bids: np.ndarray | None = None,
 ) -> ComboResult:
-    """Backtest one strategy on one combination."""
+    """Backtest one strategy on one combination.
+
+    ``bids`` injects precomputed per-request bids (aligned with this
+    combination's deterministic request sample) in place of the
+    strategy's own ``bid_at_many`` — the universe-replay path
+    (:func:`repro.backtest.universe_driver.drafts_bids`) computes them for
+    a whole sweep in one ticker pass; the outcome evaluation is shared
+    either way, so results stay bit-identical.
+    """
     trace = universe.trace(combo)
-    strategy = strategy_cls.for_combo(combo, trace, config.probability)
     rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
     t_indices, durations = sample_requests(trace, config, rng)
-    bids = strategy.bid_at_many(t_indices, durations)
+    if bids is None:
+        strategy = strategy_cls.for_combo(combo, trace, config.probability)
+        bids = strategy.bid_at_many(t_indices, durations)
+    elif bids.shape != t_indices.shape:
+        raise ValueError("injected bids must align with the request sample")
     outcomes = []
     for t_idx, duration, bid in zip(t_indices, durations, bids):
         survived = check_survival(trace, int(t_idx), float(duration), float(bid))

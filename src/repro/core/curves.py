@@ -90,6 +90,34 @@ class BidDurationCurve:
         if finite.size and np.any(np.diff(finite) < -1e-9):
             raise ValueError("durations must be non-decreasing in the bid")
 
+    @classmethod
+    def trusted(
+        cls,
+        bids: tuple,
+        durations: tuple,
+        probability: float,
+        instance_type: str,
+        zone: str,
+        computed_at: float,
+    ) -> "BidDurationCurve":
+        """Construct without re-validating the invariants.
+
+        For hot paths (the universe ticker builds one curve per key per
+        epoch) whose construction recipe guarantees the invariants by the
+        same argument the validated path relies on: ladder bids are
+        strictly increasing by geometry, and durations are the output of a
+        running maximum. The result is indistinguishable from a validated
+        instance (same fields, equality, hash).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "bids", bids)
+        object.__setattr__(self, "durations", durations)
+        object.__setattr__(self, "probability", probability)
+        object.__setattr__(self, "instance_type", instance_type)
+        object.__setattr__(self, "zone", zone)
+        object.__setattr__(self, "computed_at", computed_at)
+        return self
+
     def __len__(self) -> int:
         return len(self.bids)
 

@@ -5,14 +5,15 @@ is embarrassingly parallel, and every input is a pure function of the
 universe seed, so worker processes simply rebuild the (cached) universe and
 pick their assignment by key.
 
-Work is decomposed *combo-major*: one assignment is one combination with
-every strategy, not one (combination, strategy) cell. A worker that owns a
-combination generates its trace once and fits phase 1 once (the DrAFTS
-predictor lands in :mod:`repro.backtest.predcache`, whose per-process cache
-the AR(1) and empirical cells then run alongside), where cell-major
-scattering re-derived all of that per cell. Assignments are also shipped in
-chunks instead of one-by-one so the executor's IPC overhead is amortised
-across the queue.
+Work is decomposed *combo-major*: one assignment is a chunk of
+combinations with every strategy, not one (combination, strategy) cell. A
+worker that owns a chunk generates each trace once and fits phase 1 once
+(the DrAFTS predictor lands in :mod:`repro.backtest.predcache`, whose
+per-process cache the AR(1) and empirical cells then run alongside), and
+answers all of the chunk's DrAFTS bids through one frozen-key
+:class:`~repro.core.universe.UniverseTicker` replay, so the epoch walk
+amortises across the whole chunk instead of re-scanning duration matrices
+per query.
 """
 
 from __future__ import annotations
@@ -34,22 +35,44 @@ _STRATEGY_BY_NAME: dict[str, type[BidStrategy]] = {
 
 @dataclass(frozen=True)
 class _Assignment:
-    """One combination with the full strategy roster."""
+    """One chunk of combinations with the full strategy roster."""
 
     scale: str
     probability: float
-    combo_key: str
+    combo_keys: tuple[str, ...]
     strategy_names: tuple[str, ...]
 
 
 def _run_assignment(assignment: _Assignment) -> list[ComboResult]:
-    """Worker entry: rebuild the (process-cached) universe, run one combo."""
+    """Worker entry: rebuild the (process-cached) universe, run one chunk.
+
+    DrAFTS bids for the whole chunk come from one frozen-key universe
+    replay (:func:`repro.backtest.universe_driver.drafts_bids`) — the
+    epoch walk amortises across the chunk — and drop into
+    :func:`run_backtest` per combination; the other strategies run their
+    own ``bid_at_many`` as before. Results are bit-identical either way.
+    """
+    from repro.backtest.universe_driver import drafts_bids
+
     universe = scaled_universe(assignment.scale)
-    instance_type, zone = assignment.combo_key.split("@")
-    combo = universe.combo(instance_type, zone)
+    combos = [
+        universe.combo(*key.split("@")) for key in assignment.combo_keys
+    ]
     config = SCALES[assignment.scale].backtest_config(assignment.probability)
+    drafts = (
+        drafts_bids(universe, combos, config)
+        if "drafts" in assignment.strategy_names
+        else {}
+    )
     return [
-        run_backtest(universe, combo, _STRATEGY_BY_NAME[name], config)
+        run_backtest(
+            universe,
+            combo,
+            _STRATEGY_BY_NAME[name],
+            config,
+            bids=drafts.get(combo.key) if name == "drafts" else None,
+        )
+        for combo in combos
         for name in assignment.strategy_names
     ]
 
@@ -76,23 +99,28 @@ def backtest_matrix(
                 "(register it in TABLE1_STRATEGIES)"
             )
     names = tuple(s.name for s in strategies)
+    combos = scaled_combos(scale)
+    if workers <= 0:
+        # One chunk: the sequential run replays the whole universe through
+        # a single frozen-key ticker.
+        chunksize = len(combos)
+    else:
+        # A handful of chunks per worker balances scheduling slack for
+        # uneven combos against per-task round-trip overhead; each chunk
+        # shares one ticker replay.
+        chunksize = max(1, len(combos) // (workers * 4))
     assignments = [
         _Assignment(
             scale=scale,
             probability=probability,
-            combo_key=combo.key,
+            combo_keys=tuple(c.key for c in combos[i : i + chunksize]),
             strategy_names=names,
         )
-        for combo in scaled_combos(scale)
+        for i in range(0, len(combos), chunksize)
     ]
     if workers <= 0:
         grouped = [_run_assignment(a) for a in assignments]
     else:
-        # A handful of chunks per worker balances scheduling slack for
-        # uneven combos against per-task round-trip overhead.
-        chunksize = max(1, len(assignments) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            grouped = list(
-                pool.map(_run_assignment, assignments, chunksize=chunksize)
-            )
+            grouped = list(pool.map(_run_assignment, assignments))
     return [result for group in grouped for result in group]

@@ -80,10 +80,27 @@ def run_table1(
     universe = scaled_universe(scale)
     combos = scaled_combos(scale)
     config = SCALES[scale].backtest_config(probability)
+    drafts: dict = {}
+    if any(s.name == "drafts" for s in strategies):
+        from repro.backtest.universe_driver import drafts_bids
+
+        drafts = drafts_bids(universe, list(combos), config)
     results: list[ComboResult] = []
     for combo in combos:
         for strategy_cls in strategies:
-            results.append(run_backtest(universe, combo, strategy_cls, config))
+            results.append(
+                run_backtest(
+                    universe,
+                    combo,
+                    strategy_cls,
+                    config,
+                    bids=(
+                        drafts.get(combo.key)
+                        if strategy_cls.name == "drafts"
+                        else None
+                    ),
+                )
+            )
     return Table1Result(
         probability=probability,
         scale=scale,

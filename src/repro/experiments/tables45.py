@@ -45,20 +45,32 @@ class CostOptResult:
 
 @dataclass(frozen=True)
 class _CostAssignment:
-    """One combination of the cost-optimisation sweep (worker payload)."""
+    """One chunk of combinations of the cost sweep (worker payload)."""
 
     scale: str
     probability: float
-    combo_key: str
+    combo_keys: tuple[str, ...]
 
 
-def _costopt_combo(assignment: _CostAssignment) -> ComboCosts:
-    """Worker entry: rebuild the (process-cached) universe, cost one combo."""
+def _costopt_chunk(assignment: _CostAssignment) -> list[ComboCosts]:
+    """Worker entry: rebuild the (process-cached) universe, cost a chunk.
+
+    The chunk's bids come from one frozen-key universe replay (see
+    :func:`repro.backtest.universe_driver.drafts_bids`), so a worker
+    amortises the epoch walk across its whole share.
+    """
+    from repro.backtest.universe_driver import drafts_bids
+
     universe = scaled_universe(assignment.scale)
-    instance_type, zone = assignment.combo_key.split("@")
-    combo = universe.combo(instance_type, zone)
+    combos = [
+        universe.combo(*key.split("@")) for key in assignment.combo_keys
+    ]
     config = SCALES[assignment.scale].backtest_config(assignment.probability)
-    return combo_costs(universe, combo, config)
+    bids = drafts_bids(universe, combos, config)
+    return [
+        combo_costs(universe, combo, config, bids=bids[combo.key])
+        for combo in combos
+    ]
 
 
 def _run(
@@ -75,19 +87,33 @@ def _run(
         combos = list(universe.sample_per_zone(per_zone))
     config = SCALES[scale].backtest_config(probability)
     if workers <= 0:
-        per_combo = [combo_costs(universe, combo, config) for combo in combos]
-    else:
-        assignments = [
-            _CostAssignment(
-                scale=scale, probability=probability, combo_key=combo.key
-            )
+        from repro.backtest.universe_driver import drafts_bids
+
+        bids = drafts_bids(universe, combos, config)
+        per_combo = [
+            combo_costs(universe, combo, config, bids=bids[combo.key])
             for combo in combos
         ]
-        chunksize = max(1, len(assignments) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            per_combo = list(
-                pool.map(_costopt_combo, assignments, chunksize=chunksize)
+    else:
+        # One assignment is a *chunk* of combinations so each worker can
+        # replay its share through one frozen-key ticker.
+        chunksize = max(1, len(combos) // (workers * 4))
+        assignments = [
+            _CostAssignment(
+                scale=scale,
+                probability=probability,
+                combo_keys=tuple(
+                    c.key for c in combos[i : i + chunksize]
+                ),
             )
+            for i in range(0, len(combos), chunksize)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            per_combo = [
+                costs
+                for group in pool.map(_costopt_chunk, assignments)
+                for costs in group
+            ]
     # Aggregation folds the request-level series in the same order either
     # way, so the parallel path is bit-identical to the sequential one.
     table = aggregate_costs(config.probability, per_combo)

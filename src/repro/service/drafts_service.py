@@ -49,6 +49,7 @@ from repro.cloud.api import HISTORY_WINDOW_SECONDS, EC2Api
 from repro.core.curves import BidDurationCurve
 from repro.core.drafts import DraftsConfig, DraftsPredictor
 from repro.core.online import OnlineDraftsPredictor
+from repro.core.universe import UniverseTicker
 from repro.service import persistence
 from repro.service.persistence import MANIFEST_NAME, SnapshotError
 
@@ -80,6 +81,15 @@ class ServiceConfig:
         Full-refit threshold on accumulated history span, as a multiple of
         the 90-day API window. Bounds both per-key memory and how far the
         oldest retained announcement can lag the API's own horizon.
+    batch:
+        Enroll warm incremental keys into one structure-of-arrays
+        :class:`~repro.core.universe.UniverseTicker` per probability level,
+        so a universe-wide epoch advance (:meth:`DraftsService.batch_refresh`)
+        is a handful of array ops instead of per-key Python update chains.
+        Keys needing a refit (cold/rewind/gap/rewindow/ladder_change) fall
+        out of the batch to the scalar path, exactly as curve-cache misses
+        do, and re-enroll after the refit. Published curves are
+        bit-identical either way.
     """
 
     probabilities: tuple[float, ...] = (0.95, 0.99)
@@ -89,6 +99,7 @@ class ServiceConfig:
     max_predictors: int = 128
     incremental: bool = True
     rewindow_factor: float = 2.0
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if not self.probabilities:
@@ -111,6 +122,20 @@ class _CacheEntry:
 
 
 @dataclass
+class _Group:
+    """One batch-tick universe: all enrolled keys of one probability level.
+
+    ``lock`` serialises every ticker mutation; the locking order is always
+    group lock before key-state lock (and the service bookkeeping lock is
+    only ever taken innermost), so the batch sweep and single-key
+    refreshes can never deadlock.
+    """
+
+    ticker: UniverseTicker
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
 class _KeyState:
     """Long-lived per-(type, AZ, probability) predictor state.
 
@@ -119,7 +144,9 @@ class _KeyState:
     ``max_price`` is the quantile-tracker domain pinned at the first fit so
     refreshes of the same key can never silently lay out different ladders
     (the pre-incremental service re-derived it from whatever price spike
-    happened to be inside the window).
+    happened to be inside the window). ``group`` is the batch universe the
+    key is enrolled in (its QBETS/ladder state then lives in the group's
+    ticker and ``online`` is None).
     """
 
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -129,6 +156,7 @@ class _KeyState:
     cursor: float = math.nan
     last_now: float = math.nan
     max_price: float | None = None
+    group: _Group | None = None
 
 
 class DraftsService:
@@ -152,10 +180,13 @@ class DraftsService:
         # distinct keys concurrently). Per-key work runs under the key's
         # own lock only.
         self._lock = threading.Lock()
+        self._groups: dict[float, _Group] = {}
         self._hits = 0
         self._misses = 0
         self._refits = 0
         self._incremental_refreshes = 0
+        self._batch_ticks = 0
+        self._scalar_ticks = 0
         self._refit_reasons: dict[str, int] = {}
         self._evictions = 0
 
@@ -221,15 +252,24 @@ class DraftsService:
             self._refit_reasons[reason] = self._refit_reasons.get(reason, 0) + 1
         return curve
 
-    def _refit_reason(self, state: _KeyState, now: float) -> str | None:
+    def _refit_reason(
+        self, state: _KeyState, now: float, key=None
+    ) -> str | None:
         """Why this refresh cannot be served incrementally (None = it can)."""
-        if not self._cfg.incremental or state.online is None:
+        if not self._cfg.incremental or (
+            state.online is None and state.group is None
+        ):
             return "cold"
         if now <= state.cursor:
             return "rewind"
         if now - HISTORY_WINDOW_SECONDS > state.cursor:
             return "gap"
-        if state.online.span > self._cfg.rewindow_factor * HISTORY_WINDOW_SECONDS:
+        span = (
+            state.online.span
+            if state.online is not None
+            else state.group.ticker.span(key)
+        )
+        if span > self._cfg.rewindow_factor * HISTORY_WINDOW_SECONDS:
             return "rewindow"
         return None
 
@@ -270,7 +310,108 @@ class DraftsService:
         state.last_now = now
         with self._lock:
             self._incremental_refreshes += 1
+            self._scalar_ticks += 1
         return state.curve
+
+    def _refresh_batched(
+        self,
+        key: tuple[str, str, float],
+        group: _Group,
+        state: _KeyState,
+        now: float,
+    ) -> BidDurationCurve | None:
+        """Refresh an enrolled key through its group ticker.
+
+        Caller holds ``group.lock`` then ``state.lock``. Refit reasons
+        eject the key from the batch back onto the scalar path (the caller
+        re-enrolls after a successful refit); everything else is a delta
+        fetch fed to the ticker, publishing the batched curve —
+        bit-identical to the scalar ``online.curve_at(n)``.
+        """
+        instance_type, zone, probability = key
+        reason = self._refit_reason(state, now, key)
+        delta = None
+        if reason is None:
+            delta = self._api.describe_spot_price_history(
+                instance_type, zone, now, since=state.cursor
+            )
+            if (
+                delta is not None
+                and float(delta.prices.max()) >= state.max_price
+            ):
+                reason = "ladder_change"
+        if reason is not None:
+            group.ticker.remove_key(key)
+            state.group = None
+            return self._full_refit(
+                state, instance_type, zone, probability, now, reason
+            )
+        ticker = group.ticker
+        if delta is not None:
+            for t, price in zip(
+                delta.times.tolist(), delta.prices.tolist()
+            ):
+                ticker.observe(t, (price,), (key,))
+            state.cursor = delta.end
+            state.curve = ticker.curve_for(key)
+        state.last_now = now
+        with self._lock:
+            self._incremental_refreshes += 1
+            self._batch_ticks += 1
+        return state.curve
+
+    def _group_for(self, probability: float) -> _Group:
+        with self._lock:
+            group = self._groups.get(probability)
+            if group is None:
+                config = self._drafts_config(
+                    probability, DraftsConfig().max_price
+                )
+                group = _Group(ticker=UniverseTicker(config))
+                self._groups[probability] = group
+            return group
+
+    def _maybe_enroll(
+        self, key: tuple[str, str, float], state: _KeyState
+    ) -> None:
+        """Adopt a warm scalar predictor into the batch universe.
+
+        The scalar wrapper's QBETS moves into the ticker by reference and
+        the wrapper is discarded; from here the key refreshes through the
+        group until a refit reason ejects it again.
+        """
+        if not (self._cfg.batch and self._cfg.incremental):
+            return
+        if state.group is not None or state.online is None:
+            return  # racy pre-check; re-validated under the locks below
+        group = self._group_for(key[2])
+        with group.lock:
+            with state.lock:
+                if state.group is not None or state.online is None:
+                    return
+                if key in group.ticker:
+                    # Ghost slot from a lost enrollment race (the key was
+                    # refit on the scalar path while still enrolled).
+                    group.ticker.remove_key(key)
+                group.ticker.add_key(
+                    key,
+                    online=state.online,
+                    instance_type=key[0],
+                    zone=key[1],
+                )
+                state.online = None
+                state.group = group
+
+    def _unenroll(self, key: tuple[str, str, float], state: _KeyState) -> None:
+        """Remove an (evicted) key's slot from its batch group, if any."""
+        group = state.group
+        if group is None:
+            return
+        with group.lock:
+            with state.lock:
+                if state.group is group:
+                    group.ticker.remove_key(key)
+                    state.group = None
 
     def _compute_curve(
         self, instance_type: str, zone: str, probability: float, now: float
@@ -284,22 +425,45 @@ class DraftsService:
                 self._states[key] = state
             else:
                 self._states.move_to_end(key)
+            evicted = []
             while len(self._states) > self._cfg.max_predictors:
-                self._states.popitem(last=False)
+                evicted.append(self._states.popitem(last=False))
                 self._evictions += 1
+        for ekey, estate in evicted:
+            # Outside the bookkeeping lock: unenrollment takes the group
+            # lock, which must never nest inside self._lock.
+            self._unenroll(ekey, estate)
         try:
-            with state.lock:
-                return self._refresh_key(
-                    state, instance_type, zone, probability, now
-                )
+            while True:
+                group = state.group  # racy read; re-validated under locks
+                if group is None:
+                    with state.lock:
+                        if state.group is not None:
+                            continue  # enrolled concurrently — retry
+                        curve = self._refresh_key(
+                            state, instance_type, zone, probability, now
+                        )
+                    break
+                with group.lock:
+                    if state.group is not group:
+                        continue  # ejected/moved concurrently — retry
+                    with state.lock:
+                        curve = self._refresh_batched(key, group, state, now)
+                break
         except BaseException:
             if fresh:
                 # Unknown combination (or a failed cold fetch): do not
                 # leave an empty placeholder occupying an LRU slot.
                 with self._lock:
-                    if self._states.get(key) is state and state.online is None:
+                    if (
+                        self._states.get(key) is state
+                        and state.online is None
+                        and state.group is None
+                    ):
                         del self._states[key]
             raise
+        self._maybe_enroll(key, state)
+        return curve
 
     def curve(
         self, instance_type: str, zone: str, probability: float, now: float
@@ -346,6 +510,134 @@ class DraftsService:
             entry = self._cache.pop((instance_type, zone, probability), None)
         return entry is not None
 
+    # -- universe-wide batch tick --------------------------------------------
+
+    def batch_refresh(self, now: float) -> dict:
+        """Advance every enrolled key to ``now`` in one vectorised sweep.
+
+        The universe-wide epoch tick: per probability group, delta-fetch
+        every enrolled key, feed announcements epoch-by-epoch into the
+        group's :class:`~repro.core.universe.UniverseTicker` (keys sharing
+        an announcement timestamp advance in one array op) and publish all
+        curves from a single batched ``curves()`` call. Keys hitting a
+        refit reason are ejected to the scalar path, refit inline and
+        re-enrolled. Keys already refreshed at ``now`` are skipped.
+
+        Returns ``{"keys", "refits", "epochs", "skipped"}``.
+        """
+        if not (self._cfg.batch and self._cfg.incremental):
+            return {"keys": 0, "refits": 0, "epochs": 0, "skipped": 0}
+        with self._lock:
+            groups = list(self._groups.values())
+        refreshed = 0
+        refits = 0
+        epochs = 0
+        skipped = 0
+        reenroll: list[tuple[tuple[str, str, float], _KeyState]] = []
+        for group in groups:
+            with group.lock:
+                ticker = group.ticker
+                pending: dict[tuple[str, str, float], object] = {}
+                fed: list[tuple[str, str, float]] = []
+                for key in ticker.keys():
+                    with self._lock:
+                        state = self._states.get(key)
+                    if state is None or state.group is not group:
+                        continue
+                    with state.lock:
+                        if state.group is not group:
+                            continue
+                        if state.last_now == now:
+                            skipped += 1
+                            continue
+                        reason = self._refit_reason(state, now, key)
+                        delta = None
+                        if reason is None:
+                            delta = self._api.describe_spot_price_history(
+                                key[0], key[1], now, since=state.cursor
+                            )
+                            if (
+                                delta is not None
+                                and float(delta.prices.max())
+                                >= state.max_price
+                            ):
+                                reason = "ladder_change"
+                        if reason is not None:
+                            ticker.remove_key(key)
+                            state.group = None
+                            curve = self._full_refit(
+                                state, key[0], key[1], key[2], now, reason
+                            )
+                            with self._lock:
+                                self._cache[key] = _CacheEntry(
+                                    computed_at=now, curve=curve
+                                )
+                            refits += 1
+                            reenroll.append((key, state))
+                            continue
+                        if delta is None:
+                            # Zero-delta: republish the identical curve.
+                            state.last_now = now
+                            with self._lock:
+                                self._cache[key] = _CacheEntry(
+                                    computed_at=now, curve=state.curve
+                                )
+                                self._incremental_refreshes += 1
+                                self._batch_ticks += 1
+                            refreshed += 1
+                            continue
+                        pending[key] = delta
+                        fed.append(key)
+                # Epoch sweep: advance all keys sharing the next announce
+                # timestamp in one vectorised observe.
+                cursors = {k: 0 for k in fed}
+                live = [k for k in fed if pending[k].times.size]
+                while live:
+                    t = min(
+                        float(pending[k].times[cursors[k]]) for k in live
+                    )
+                    batch = [
+                        k
+                        for k in live
+                        if float(pending[k].times[cursors[k]]) == t
+                    ]
+                    prices = [
+                        float(pending[k].prices[cursors[k]]) for k in batch
+                    ]
+                    ticker.observe(t, prices, batch)
+                    epochs += 1
+                    for k in batch:
+                        cursors[k] += 1
+                    live = [
+                        k for k in live if cursors[k] < pending[k].times.size
+                    ]
+                if fed:
+                    curves = ticker.curves(fed)
+                    for key in fed:
+                        with self._lock:
+                            state = self._states.get(key)
+                        if state is None:
+                            continue
+                        with state.lock:
+                            state.curve = curves[key]
+                            state.cursor = pending[key].end
+                            state.last_now = now
+                        with self._lock:
+                            self._cache[key] = _CacheEntry(
+                                computed_at=now, curve=curves[key]
+                            )
+                            self._incremental_refreshes += 1
+                            self._batch_ticks += 1
+                        refreshed += 1
+        for key, state in reenroll:
+            self._maybe_enroll(key, state)
+        return {
+            "keys": refreshed,
+            "refits": refits,
+            "epochs": epochs,
+            "skipped": skipped,
+        }
+
     # -- crash-safe persistence ---------------------------------------------
 
     def cached_curves(
@@ -380,20 +672,45 @@ class DraftsService:
         skipped = 0
         files = []
         for key, state in states:
-            with state.lock:
-                if state.online is None:
-                    skipped += 1
-                    continue
-                payload = {
-                    "key": [key[0], key[1], float(key[2])],
-                    "cursor": float(state.cursor),
-                    "last_now": float(state.last_now),
-                    "max_price": state.max_price,
-                    "curve": (
-                        None if state.curve is None else state.curve.to_dict()
-                    ),
-                    "predictor": state.online.to_snapshot(),
-                }
+            group = state.group  # racy read; re-validated under the locks
+            payload = None
+            if group is not None:
+                with group.lock:
+                    with state.lock:
+                        if state.group is group:
+                            payload = {
+                                "key": [key[0], key[1], float(key[2])],
+                                "cursor": float(state.cursor),
+                                "last_now": float(state.last_now),
+                                "max_price": state.max_price,
+                                "curve": (
+                                    None
+                                    if state.curve is None
+                                    else state.curve.to_dict()
+                                ),
+                                # Enrolled keys serialise straight out of
+                                # the batch ticker, in the exact scalar
+                                # snapshot format — restore always lands on
+                                # the scalar path and re-enrolls lazily.
+                                "predictor": group.ticker.key_snapshot(key),
+                            }
+            if payload is None:
+                with state.lock:
+                    if state.online is None:
+                        skipped += 1
+                        continue
+                    payload = {
+                        "key": [key[0], key[1], float(key[2])],
+                        "cursor": float(state.cursor),
+                        "last_now": float(state.last_now),
+                        "max_price": state.max_price,
+                        "curve": (
+                            None
+                            if state.curve is None
+                            else state.curve.to_dict()
+                        ),
+                        "predictor": state.online.to_snapshot(),
+                    }
             entry = cache.get(key)
             if entry is not None:
                 payload["computed_at"] = float(entry.computed_at)
@@ -475,7 +792,12 @@ class DraftsService:
         ``refit_reasons``), ``incremental_refreshes`` counts delta-fed
         refreshes, and ``recomputes`` is their sum (the pre-incremental
         service's counter); ``evictions`` counts predictor states dropped
-        by the LRU bound.
+        by the LRU bound. ``incremental_refreshes`` further splits into
+        ``batch_ticks`` (served through a group's
+        :class:`~repro.core.universe.UniverseTicker`) and ``scalar_ticks``
+        (served by a per-key scalar predictor), so the batch path's
+        coverage is observable; ``batch_keys`` counts currently enrolled
+        keys.
         """
         with self._lock:
             return {
@@ -487,6 +809,11 @@ class DraftsService:
                 "recomputes": self._refits + self._incremental_refreshes,
                 "refits": self._refits,
                 "incremental_refreshes": self._incremental_refreshes,
+                "batch_ticks": self._batch_ticks,
+                "scalar_ticks": self._scalar_ticks,
+                "batch_keys": sum(
+                    len(g.ticker) for g in self._groups.values()
+                ),
                 "refit_reasons": dict(self._refit_reasons),
                 "evictions": self._evictions,
             }
@@ -495,17 +822,30 @@ class DraftsService:
         self, instance_type: str, zone: str, probability: float
     ) -> dict | None:
         """Observability snapshot of one key's predictor state (or None)."""
+        key = (instance_type, zone, probability)
         with self._lock:
-            state = self._states.get((instance_type, zone, probability))
+            state = self._states.get(key)
         if state is None:
             return None
         with state.lock:
+            enrolled = state.group is not None
+            if state.online is not None or enrolled:
+                mode = "incremental"
+            else:
+                mode = "batch"
+            if state.online is not None:
+                n = state.online.n
+            elif enrolled:
+                n = state.group.ticker.n(key)
+            else:
+                n = None
             return {
-                "mode": "incremental" if state.online is not None else "batch",
+                "mode": mode,
+                "batched": enrolled,
                 "cursor": state.cursor,
                 "last_now": state.last_now,
                 "max_price": state.max_price,
-                "n": state.online.n if state.online is not None else None,
+                "n": n,
             }
 
     def bid_for_duration(

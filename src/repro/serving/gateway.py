@@ -334,7 +334,19 @@ class ServingGateway:
     def tick(self, now: float) -> int:
         """The cron tick: enqueue entries stale at simulation ``now``,
         bounded by the configured per-tick refresh budget. Piggybacks the
-        periodic checkpoint when one is due."""
+        periodic checkpoint when one is due.
+
+        Before scanning, all enrolled keys advance in one vectorised
+        universe tick (:meth:`DraftsService.batch_refresh`), so the
+        per-key recomputes the scan enqueues land on fresh service-cache
+        entries instead of each re-ticking its predictor scalar-wise.
+        """
+        batched = self._service.batch_refresh(now)
+        if batched.get("keys"):
+            self.metrics.counter("gateway.batch_keys").inc(batched["keys"])
+            self.metrics.counter("gateway.batch_epochs").inc(
+                batched["epochs"]
+            )
         scanned = self.refresher.scan(now, self._cfg.refresh_budget_per_tick)
         if (
             self._cfg.snapshot_dir is not None

@@ -12,9 +12,11 @@ blocking failure mode:
 :class:`BackgroundRefresher`
     A worker pool draining a pending-refresh set in priority order
     (staleness age × request popularity, so hot combinations recompute
-    first). The gateway pokes it on every stale read (stale-while-
-    revalidate) and :meth:`BackgroundRefresher.scan` re-enqueues every
-    stale entry — the cron tick itself. It also runs fully synchronously
+    first), sticking with one probability group at a time so consecutive
+    recomputes reuse the service's vectorised batch-tick state. The
+    gateway pokes it on every stale read (stale-while-revalidate) and
+    :meth:`BackgroundRefresher.scan` re-enqueues every stale entry — the
+    cron tick itself. It also runs fully synchronously
     via :meth:`BackgroundRefresher.run_pending` for deterministic tests.
 """
 
@@ -147,6 +149,7 @@ class BackgroundRefresher:
         self._cond = threading.Condition()
         self._threads: list[threading.Thread] = []
         self._running = False
+        self._last_probability: float | None = None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -193,13 +196,31 @@ class BackgroundRefresher:
         return age * (1 + self._store.popularity(key))
 
     def _pop_next(self) -> tuple[CurveKey, float] | None:
+        """Pick the next pending key, draining in batch-grouped order.
+
+        Keys sharing a probability level share one ``DraftsConfig`` and
+        hence one vectorised ticker group inside the service, so the
+        drain sticks with the group of the previously popped key while it
+        still has pending members (priority order within the group), then
+        jumps to the highest-priority key of another group. Consecutive
+        recomputes therefore hit the same structure-of-arrays state
+        instead of ping-ponging between groups.
+        """
         with self._cond:
             if not self._pending:
                 return None
+            candidates = sorted(self._pending)
+            if self._last_probability is not None:
+                same = [
+                    k for k in candidates if k[2] == self._last_probability
+                ]
+                if same:
+                    candidates = same
             key = max(
-                sorted(self._pending),
+                candidates,
                 key=lambda k: self._priority(k, self._pending[k]),
             )
+            self._last_probability = key[2]
             now = self._pending.pop(key)
             self._metrics.gauge("serving.refresh_pending").set(
                 len(self._pending)

@@ -229,6 +229,59 @@ class TestAblationConfigs:
             )
 
 
+class TestFrozenReplayDriver:
+    """The frozen-key universe replay (``drafts_bids``) must answer every
+    backtest query bit-identically to the per-combo scalar strategy path
+    (``DraftsBid.bid_at_many``), which itself pins to ``bid_for``."""
+
+    def test_matches_per_combo_strategy(self):
+        from repro.backtest.engine import sample_requests
+        from repro.backtest.universe_driver import drafts_bids
+        from repro.baselines.drafts_strategy import DraftsBid
+        from repro.experiments.common import SCALES, scaled_combos, scaled_universe
+        from repro.util.rng import RngFactory
+
+        universe = scaled_universe("test")
+        combos = list(scaled_combos("test"))[:3]
+        config = SCALES["test"].backtest_config(0.99)
+        replay = drafts_bids(universe, combos, config)
+        assert sorted(replay) == sorted(c.key for c in combos)
+        saw_finite = saw_nan = False
+        for combo in combos:
+            trace = universe.trace(combo)
+            strategy = DraftsBid.for_combo(combo, trace, config.probability)
+            rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
+            t_idxs, durations = sample_requests(trace, config, rng)
+            expected = strategy.bid_at_many(t_idxs, durations)
+            np.testing.assert_array_equal(replay[combo.key], expected)
+            saw_finite |= bool(np.isfinite(expected).any())
+            saw_nan |= bool(np.isnan(expected).any())
+        # The sweep must exercise both real bids and fallback rows.
+        assert saw_finite
+
+    def test_backtest_accepts_injected_bids(self):
+        """``run_backtest(bids=...)`` with the replayed bids reproduces the
+        strategy-path result object exactly."""
+        from repro.backtest.engine import run_backtest
+        from repro.backtest.universe_driver import drafts_bids
+        from repro.baselines.drafts_strategy import DraftsBid
+        from repro.experiments.common import SCALES, scaled_combos, scaled_universe
+
+        universe = scaled_universe("test")
+        combo = list(scaled_combos("test"))[0]
+        config = SCALES["test"].backtest_config(0.99)
+        bids = drafts_bids(universe, [combo], config)[combo.key]
+        direct = run_backtest(universe, combo, DraftsBid, config)
+        injected = run_backtest(
+            universe, combo, DraftsBid, config, bids=bids
+        )
+        assert injected == direct
+        with pytest.raises(ValueError):
+            run_backtest(
+                universe, combo, DraftsBid, config, bids=bids[:-1]
+            )
+
+
 class TestParallelEquivalence:
     """Worker fan-out must not change a single bit of any artefact."""
 

@@ -379,6 +379,121 @@ class TestIncrementalRefresh:
         assert info["incremental_refreshes"] >= 1
 
 
+class TestBatchedTick:
+    """The universe-wide batch path: enrolled keys refresh through a shared
+    :class:`~repro.core.universe.UniverseTicker` and must publish exactly
+    what the scalar incremental path publishes."""
+
+    P = 0.95
+    ZONES = ("us-east-1b", "us-east-1c")
+
+    def _fresh(self, small_universe, **overrides):
+        api = EC2Api(small_universe)
+        service = DraftsService(
+            api, ServiceConfig(probabilities=(self.P,), **overrides)
+        )
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * DAY
+        return api, service, now
+
+    def test_batched_curves_identical_to_scalar_path(self, small_universe):
+        _, batched, now = self._fresh(small_universe)
+        _, scalar, _ = self._fresh(small_universe, batch=False)
+        for k in range(5):
+            t = now + k * 960.0
+            for zone in self.ZONES:
+                assert curves_equal(
+                    batched.curve("c4.large", zone, self.P, t),
+                    scalar.curve("c4.large", zone, self.P, t),
+                ), f"paths diverged at boundary {k} ({zone})"
+        b_info, s_info = batched.cache_info(), scalar.cache_info()
+        # Same refresh work either way; only the mechanism differs.
+        assert b_info["incremental_refreshes"] == s_info["incremental_refreshes"]
+        assert b_info["batch_ticks"] == b_info["incremental_refreshes"] > 0
+        assert b_info["scalar_ticks"] == 0
+        assert b_info["batch_keys"] == len(self.ZONES)
+        assert s_info["batch_ticks"] == 0
+        assert s_info["scalar_ticks"] == s_info["incremental_refreshes"] > 0
+        assert s_info["batch_keys"] == 0
+
+    def test_key_info_reports_enrollment(self, small_universe):
+        _, batched, now = self._fresh(small_universe)
+        _, scalar, _ = self._fresh(small_universe, batch=False)
+        for service in (batched, scalar):
+            service.curve("c4.large", "us-east-1b", self.P, now)
+            service.curve("c4.large", "us-east-1b", self.P, now + 960.0)
+        b_info = batched.key_info("c4.large", "us-east-1b", self.P)
+        s_info = scalar.key_info("c4.large", "us-east-1b", self.P)
+        assert b_info["mode"] == s_info["mode"] == "incremental"
+        assert b_info["batched"] is True
+        assert s_info["batched"] is False
+        # The enrolled key's history length is read through the ticker.
+        assert b_info["n"] == s_info["n"] > 0
+
+    def test_batch_refresh_sweeps_all_enrolled_keys(self, small_universe):
+        _, service, now = self._fresh(small_universe)
+        _, reference, _ = self._fresh(small_universe, batch=False)
+        for zone in self.ZONES:
+            service.curve("c4.large", zone, self.P, now)
+        later = now + 960.0
+        swept = service.batch_refresh(later)
+        assert swept == {
+            "keys": len(self.ZONES),
+            "refits": 0,
+            "epochs": swept["epochs"],
+            "skipped": 0,
+        }
+        assert swept["epochs"] > 0
+        hits_before = service.cache_info()["hits"]
+        for zone in self.ZONES:
+            # The sweep already published: this is a pure cache hit, and
+            # the curve matches the scalar path at the same instant.
+            assert curves_equal(
+                service.curve("c4.large", zone, self.P, later),
+                reference.curve("c4.large", zone, self.P, later),
+            )
+        assert service.cache_info()["hits"] == hits_before + len(self.ZONES)
+        # A second sweep at the same instant has nothing to do.
+        again = service.batch_refresh(later)
+        assert again == {"keys": 0, "refits": 0, "epochs": 0, "skipped": 2}
+
+    def test_batch_refresh_refits_and_reenrolls_on_gap(self, small_universe):
+        api, service, now = self._fresh(small_universe)
+        service.curve("c4.large", "us-east-1b", self.P, now)
+        # 91 days later the delta window no longer reaches the cursor: the
+        # sweep must eject the key, refit it, and re-enroll it.
+        far = now + 91 * DAY
+        swept = service.batch_refresh(far)
+        assert swept["refits"] == 1 and swept["keys"] == 0
+        assert service.cache_info()["refit_reasons"] == {"cold": 1, "gap": 1}
+        info = service.key_info("c4.large", "us-east-1b", self.P)
+        assert info["batched"] is True and info["last_now"] == far
+        # The refit sweep published the refit curve at ``far``.
+        hits_before = service.cache_info()["hits"]
+        assert service.curve("c4.large", "us-east-1b", self.P, far) is not None
+        assert service.cache_info()["hits"] == hits_before + 1
+
+    def test_batch_refresh_disabled_modes_are_noops(self, small_universe):
+        for overrides in ({"batch": False}, {"incremental": False}):
+            _, service, now = self._fresh(small_universe, **overrides)
+            service.curve("c4.large", "us-east-1b", self.P, now)
+            assert service.batch_refresh(now + 960.0) == {
+                "keys": 0, "refits": 0, "epochs": 0, "skipped": 0,
+            }
+            assert service.cache_info()["batch_keys"] == 0
+
+    def test_eviction_unenrolls_without_ghost_slots(self, small_universe):
+        api, service, now = self._fresh(small_universe, max_predictors=1)
+        for k in range(3):
+            t = now + k * 960.0
+            for zone in self.ZONES:
+                assert service.curve("c4.large", zone, self.P, t) is not None
+        info = service.cache_info()
+        assert info["predictors"] == 1
+        # Every eviction removed the displaced key's ticker slot too.
+        assert info["batch_keys"] <= 1
+
+
 class TestServiceInvariants:
     def test_published_minimum_bid_is_admissible(self, service_env, small_universe):
         """A curve's minimum bid must exceed the quoted market price at

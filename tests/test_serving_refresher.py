@@ -157,6 +157,33 @@ class TestBackgroundRefresher:
         with pytest.raises(ValueError):
             refresher.scan(now=5000.0, budget=-1)
 
+    def test_drain_groups_same_probability_together(self):
+        """The drain is batch-grouped: once a probability level is picked,
+        its whole backlog drains before another level starts — same-config
+        keys hit the service's batched tick back to back."""
+        refreshed = []
+        store, _, refresher = self._refresher(
+            lambda key, now: refreshed.append(key)
+        )
+        keys = [
+            (f"type-{i}", "zone", prob)
+            for i in range(3)
+            for prob in (0.95, 0.99)
+        ]
+        for i, key in enumerate(keys):
+            store.put(key, None, computed_at=0.0)
+            for _ in range(i):  # distinct popularity: interleaves levels
+                store.lookup(key, 5000.0)
+        assert refresher.scan(now=5000.0) == len(keys)
+        assert refresher.run_pending() == len(keys)
+        probs = [key[2] for key in refreshed]
+        switches = sum(a != b for a, b in zip(probs, probs[1:]))
+        assert switches == 1  # one contiguous run per probability level
+        # Within the winning group, priority order still rules.
+        first = [k for k in refreshed if k[2] == probs[0]]
+        pops = [keys.index(k) for k in first]
+        assert pops == sorted(pops, reverse=True)
+
     def test_scan_budget_larger_than_backlog_is_unbinding(self):
         store, _, refresher = self._refresher(lambda key, now: None)
         store.put(KEY, None, computed_at=0.0)

@@ -1,0 +1,531 @@
+"""Bit-identity tests for the SoA universe ticker.
+
+:class:`~repro.core.universe.UniverseTicker` is a pure optimisation over a
+dict of scalar :class:`~repro.core.online.OnlineDraftsPredictor`\\ s: every
+test here pins the batched structure-of-arrays path to the scalar reference
+with exact comparisons, across the hard cases that shaped the code — QBETS
+change-point epochs, per-key ladder re-anchors mid-batch, keys joining and
+leaving the universe mid-run, zero-delta epochs where only a subset of keys
+tick, snapshot/restore, and the frozen-key backtest replay whose censor
+instant must match the batch predictor's interior-``t_idx`` convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.online import OnlineDraftsPredictor
+from repro.core.universe import UniverseTicker
+from repro.market.synthetic import generate_trace
+
+EPD = 288
+
+#: Query durations spanning sub-epoch to multi-day (and one unsatisfiable).
+DURATIONS = (1800.0, 3600.0, 6 * 3600.0, 86400.0, 1e12)
+
+CONFIG = DraftsConfig(probability=0.95)
+
+
+def curves_equal(a, b) -> bool:
+    """Bit-equality of curves, with nan == nan allowed per rung."""
+    if a is None or b is None:
+        return a is b
+    if a.bids != b.bids:
+        return False
+    if (a.probability, a.computed_at) != (b.probability, b.computed_at):
+        return False
+    return all(
+        x == y or (math.isnan(x) and math.isnan(y))
+        for x, y in zip(a.durations, b.durations)
+    )
+
+
+def assert_floats_equal(a: float, b: float) -> None:
+    if math.isnan(a) or math.isnan(b):
+        assert math.isnan(a) and math.isnan(b)
+    else:
+        assert a == b
+
+
+def make_traces(n_epochs: int):
+    """One trace per volatility class, on the shared epoch grid."""
+    # Seeds chosen so the 6-day spiky trace trips a QBETS change point.
+    seeds = {"calm": 30, "diurnal": 31, "spiky": 17, "volatile": 33}
+    return {
+        f"{cls}-{i}": generate_trace(cls, 0.42, n_epochs=n_epochs, rng=seed)
+        for i, (cls, seed) in enumerate(seeds.items())
+    }
+
+
+class TestLiveEquivalence:
+    """Per-epoch lockstep: tick the universe, tick the scalars, compare."""
+
+    def test_tracks_scalar_through_changepoints_and_reanchors(self):
+        n_epochs = 6 * EPD
+        traces = make_traces(n_epochs)
+        keys = sorted(traces)
+
+        # Checkpoints must straddle a QBETS change point exactly: pull the
+        # reset epochs from a batch fit of the spiky trace and compare at
+        # cp - 1, cp and cp + 1 in addition to the regular cadence.
+        spiky_key = next(k for k in keys if k.startswith("spiky"))
+        batch = DraftsPredictor(traces[spiky_key], CONFIG)
+        cps = batch.changepoints
+        assert len(cps) > 0, "fixture must trigger a QBETS reset"
+        checkpoints = set(range(200, n_epochs, 131)) | {n_epochs - 1}
+        for cp in cps:
+            checkpoints |= {int(cp) - 1, int(cp), int(cp) + 1}
+
+        ticker = UniverseTicker(CONFIG)
+        scalars = {}
+        for k in keys:
+            cls, zone = k.split("-", 1)
+            ticker.add_key(k, instance_type=cls, zone=zone)
+            scalars[k] = OnlineDraftsPredictor(CONFIG)
+
+        ladders_seen = {k: set() for k in keys}
+        for t in range(n_epochs):
+            time = float(traces[keys[0]].times[t])
+            ticker.observe(
+                time, np.array([traces[k].prices[t] for k in keys])
+            )
+            for k in keys:
+                scalars[k].observe(time, float(traces[k].prices[t]))
+            if t in checkpoints:
+                batch_curves = ticker.curves()
+                for k in keys:
+                    cls, zone = k.split("-", 1)
+                    assert curves_equal(
+                        batch_curves[k], scalars[k].curve(cls, zone)
+                    ), f"curve diverged at t={t} for {k}"
+                    for d in DURATIONS:
+                        assert_floats_equal(
+                            ticker.bid_for(k, d), scalars[k].bid_for(d)
+                        )
+                    if batch_curves[k] is not None:
+                        ladders_seen[k].add(batch_curves[k].bids)
+
+        # The sweep must have exercised a mid-run ladder re-anchor (the
+        # minimum bid moved enough to rebuild a key's rung layout) for the
+        # equivalence to mean anything.
+        assert any(len(s) > 1 for s in ladders_seen.values())
+
+    def test_zero_delta_epochs_with_key_subsets(self):
+        """Keys without an announcement this epoch keep answering from
+        their existing history — tick with ``keys=`` subsets."""
+        n_epochs = 4 * EPD
+        traces = make_traces(n_epochs)
+        keys = sorted(traces)
+        ticker = UniverseTicker(CONFIG)
+        scalars = {}
+        for k in keys:
+            ticker.add_key(k)
+            scalars[k] = OnlineDraftsPredictor(CONFIG)
+
+        for t in range(n_epochs):
+            # Deterministic staggering: key i announces every (i + 1)
+            # epochs, so every epoch is a zero-delta epoch for someone.
+            ticked = [k for i, k in enumerate(keys) if t % (i + 1) == 0]
+            time = float(traces[keys[0]].times[t])
+            ticker.observe(
+                time, np.array([traces[k].prices[t] for k in ticked]),
+                keys=ticked,
+            )
+            for k in ticked:
+                scalars[k].observe(time, float(traces[k].prices[t]))
+            if t % 157 == 0 or t == n_epochs - 1:
+                for k in keys:
+                    assert curves_equal(
+                        ticker.curve_for(k), scalars[k].curve()
+                    ), f"diverged at t={t} for {k}"
+
+        # An empty tick is a no-op.
+        before = ticker.curves()
+        ticker.observe(1e12, np.empty(0), keys=[])
+        after = ticker.curves()
+        assert all(curves_equal(before[k], after[k]) for k in keys)
+
+    def test_key_join_and_leave_mid_run(self):
+        n_epochs = 4 * EPD
+        traces = make_traces(n_epochs)
+        keys = sorted(traces)
+        join_cold, join_warm = n_epochs // 4, n_epochs // 2
+        leave = 3 * n_epochs // 4
+
+        ticker = UniverseTicker(CONFIG)
+        scalars = {k: OnlineDraftsPredictor(CONFIG) for k in keys}
+        enrolled = keys[:2]
+        for k in enrolled:
+            ticker.add_key(k)
+        gone = None
+        for t in range(n_epochs):
+            if t == join_cold:
+                # A cold key joins with no history.
+                ticker.add_key(keys[2])
+                enrolled = enrolled + [keys[2]]
+            if t == join_warm:
+                # A key joins by adopting a scalar predictor's state; the
+                # reference keeps its own (identically-fed) twin.
+                warm = OnlineDraftsPredictor(CONFIG)
+                warm.extend(traces[keys[3]].times[:t], traces[keys[3]].prices[:t])
+                scalars[keys[3]].extend(
+                    traces[keys[3]].times[:t], traces[keys[3]].prices[:t]
+                )
+                ticker.add_key(keys[3], online=warm)
+                enrolled = enrolled + [keys[3]]
+            if t == leave:
+                gone = enrolled[0]
+                ticker.remove_key(gone)
+                enrolled = enrolled[1:]
+            time = float(traces[keys[0]].times[t])
+            order = ticker.keys()
+            assert sorted(order) == sorted(enrolled)
+            ticker.observe(
+                time, np.array([traces[k].prices[t] for k in order]),
+                keys=order,
+            )
+            for k in enrolled:
+                scalars[k].observe(time, float(traces[k].prices[t]))
+            if t % 97 == 0 or t in (
+                join_cold, join_warm, leave, n_epochs - 1
+            ):
+                for k in enrolled:
+                    assert curves_equal(
+                        ticker.curve_for(k), scalars[k].curve()
+                    ), f"diverged at t={t} for {k}"
+
+        assert gone not in ticker
+        with pytest.raises(KeyError):
+            ticker.bid_for(gone, 3600.0)
+        # The freed slot is recycled without inheriting the old key's state.
+        ticker.add_key("recycled")
+        assert ticker.n("recycled") == 0
+        assert ticker.curve_for("recycled") is None
+
+    def test_tick_is_observe_plus_curves(self):
+        trace = generate_trace("calm", 0.42, n_epochs=3 * EPD, rng=9)
+        a, b = UniverseTicker(CONFIG), UniverseTicker(CONFIG)
+        a.add_key("k")
+        b.add_key("k")
+        for t in range(len(trace)):
+            ticked = a.tick(float(trace.times[t]), [float(trace.prices[t])])
+            b.observe(float(trace.times[t]), [float(trace.prices[t])])
+            assert curves_equal(ticked["k"], b.curves()["k"])
+
+
+class TestEjectHandoff:
+    """``to_online`` / ``key_snapshot`` — the refit handoff must produce a
+    scalar predictor bit-identical to one that never went batched."""
+
+    def test_to_online_round_trip(self):
+        trace = generate_trace("spiky", 0.42, n_epochs=6 * EPD, rng=8)
+        half = len(trace) // 2
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("k", instance_type="it", zone="z")
+        reference = OnlineDraftsPredictor(CONFIG)
+        for t in range(half):
+            ticker.observe(float(trace.times[t]), [float(trace.prices[t])])
+            reference.observe(float(trace.times[t]), float(trace.prices[t]))
+
+        ejected = ticker.to_online("k")
+        assert ejected.n == half
+        assert curves_equal(ejected.curve("it", "z"),
+                            reference.curve("it", "z"))
+        # The ejected copy must track the reference through the remainder
+        # scalar-side — including any QBETS resets in the second half.
+        for t in range(half, len(trace)):
+            ejected.observe(float(trace.times[t]), float(trace.prices[t]))
+            reference.observe(float(trace.times[t]), float(trace.prices[t]))
+        assert curves_equal(ejected.curve(), reference.curve())
+        np.testing.assert_array_equal(
+            ejected.as_batch().changepoints,
+            reference.as_batch().changepoints,
+        )
+
+    def test_frozen_keys_have_no_scalar_form(self):
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key(
+            "frozen",
+            bounds=np.array([0.1, 0.1]),
+            final_bound=0.1,
+            levels=np.array([0.2, 0.3]),
+        )
+        with pytest.raises(ValueError):
+            ticker.key_snapshot("frozen")
+
+
+class TestSnapshotRestore:
+    """Mirrors ``test_online.py::TestSnapshotRestore`` for the whole
+    universe: a restored ticker must be bit-identical to the survivor."""
+
+    def test_restored_tracks_survivor_after_more_epochs(self):
+        n_epochs = 6 * EPD
+        traces = make_traces(n_epochs)
+        keys = sorted(traces)
+        half = n_epochs // 2
+        survivor = UniverseTicker(CONFIG)
+        for k in keys:
+            survivor.add_key(k, instance_type=k, zone="z")
+        for t in range(half):
+            survivor.observe(
+                float(traces[keys[0]].times[t]),
+                np.array([traces[k].prices[t] for k in keys]),
+            )
+        restored = UniverseTicker.from_snapshot(survivor.to_snapshot())
+        assert restored.keys() == survivor.keys()
+        for t in range(half, n_epochs):
+            prices = np.array([traces[k].prices[t] for k in keys])
+            time = float(traces[keys[0]].times[t])
+            survivor.observe(time, prices)
+            restored.observe(time, prices)
+            if t % 131 == 0 or t == n_epochs - 1:
+                sc, rc = survivor.curves(), restored.curves()
+                for k in keys:
+                    assert curves_equal(rc[k], sc[k]), f"t={t} {k}"
+                    for d in DURATIONS:
+                        assert_floats_equal(
+                            restored.bid_for(k, d), survivor.bid_for(k, d)
+                        )
+
+    def test_disk_round_trip_is_bit_exact(self, tmp_path):
+        """The framed ``.snap`` on-disk format (kind ``"universe"``), with
+        a live and a frozen key in the same checkpoint."""
+        from repro.service.persistence import (
+            read_universe_snapshot,
+            write_universe_snapshot,
+        )
+
+        trace = generate_trace("spiky", 0.42, n_epochs=5 * EPD, rng=8)
+        fitted = DraftsPredictor(trace, CONFIG)
+        half = len(trace) // 2
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("live", instance_type="it", zone="z")
+        ticker.add_key(
+            ("frozen", "z", 0.95),
+            bounds=fitted._bounds,
+            final_bound=fitted._final_bound,
+            levels=fitted._ladder.levels,
+            max_price=fitted.config.max_price,
+        )
+        for t in range(half):
+            price = float(trace.prices[t])
+            ticker.observe(float(trace.times[t]), [price, price])
+
+        path = tmp_path / "universe.snap"
+        write_universe_snapshot(path, ticker)
+        restored = read_universe_snapshot(path)
+        assert restored.keys() == ticker.keys()
+        for t in range(half, len(trace)):
+            price = float(trace.prices[t])
+            for tk in (ticker, restored):
+                tk.observe(float(trace.times[t]), [price, price])
+        assert curves_equal(
+            restored.curve_for("live"), ticker.curve_for("live")
+        )
+        for d in DURATIONS:
+            assert_floats_equal(
+                restored.bid_for(("frozen", "z", 0.95), d),
+                ticker.bid_for(("frozen", "z", 0.95), d),
+            )
+
+    def test_damaged_file_is_rejected(self, tmp_path):
+        from repro.service.persistence import (
+            SnapshotError,
+            read_universe_snapshot,
+            write_universe_snapshot,
+        )
+
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("k")
+        path = tmp_path / "universe.snap"
+        write_universe_snapshot(path, ticker)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])  # torn write
+        with pytest.raises(SnapshotError):
+            read_universe_snapshot(path)
+
+    def test_snapshot_does_not_alias_live_state(self):
+        trace = generate_trace("calm", 0.42, n_epochs=3 * EPD, rng=5)
+        half = len(trace) // 2
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("k")
+        for t in range(half):
+            ticker.observe(float(trace.times[t]), [float(trace.prices[t])])
+        frozen = ticker.to_snapshot()
+        bound_then = ticker.price_bound("k")
+        for t in range(half, len(trace)):
+            ticker.observe(float(trace.times[t]), [float(trace.prices[t])])
+        restored = UniverseTicker.from_snapshot(frozen)
+        assert restored.n("k") == half
+        assert_floats_equal(restored.price_bound("k"), bound_then)
+
+
+class TestFrozenReplay:
+    """Frozen keys replay a fitted batch predictor: at history ``[0, t)``
+    with censor instant ``times[t]``, answers must match
+    ``DraftsPredictor.bid_for(d, t)`` bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        trace = generate_trace("spiky", 0.42, n_epochs=8 * EPD, rng=13)
+        return trace, DraftsPredictor(trace, CONFIG)
+
+    def _enroll(self, ticker, key, pred):
+        ticker.add_key(
+            key,
+            bounds=pred._bounds,
+            final_bound=pred._final_bound,
+            levels=pred._ladder.levels,
+            max_price=pred.config.max_price,
+        )
+
+    def test_observe_walk_matches_batch_bid_for(self, fitted, rng):
+        trace, pred = fitted
+        n = len(trace)
+        query_ts = sorted(set(rng.integers(1, n, size=24).tolist()) | {1, n - 1})
+        durations = [1800.0, 3600.0, 4 * 3600.0, 86400.0]
+        ticker = UniverseTicker(CONFIG)
+        self._enroll(ticker, "k", pred)
+        fed = 0
+        checked = 0
+        for t in query_ts:
+            while fed < t:
+                ticker.observe(
+                    float(trace.times[fed]), [float(trace.prices[fed])]
+                )
+                fed += 1
+            for d in durations:
+                got = ticker.bid_for("k", d, now=float(trace.times[t]))
+                ref = pred.bid_for(d, t)
+                assert_floats_equal(got, ref)
+                if not math.isnan(ref):
+                    checked += 1
+        assert checked > 10
+
+    def test_extend_frozen_equals_per_epoch_observe(self, fitted):
+        trace, pred = fitted
+        n = len(trace)
+        stops = [n // 3, n // 2, n - 1]
+        walked = UniverseTicker(CONFIG)
+        bulk = UniverseTicker(CONFIG)
+        for ticker in (walked, bulk):
+            self._enroll(ticker, "k", pred)
+        fed = 0
+        for t in stops:
+            for i in range(fed, t):
+                walked.observe(
+                    float(trace.times[i]), [float(trace.prices[i])]
+                )
+            bulk.extend_frozen(
+                trace.times[fed:t],
+                trace.prices[None, fed:t],
+                pred._bounds[None, fed:t],
+                np.array([pred._bounds[t] if t < n else pred._final_bound]),
+            )
+            fed = t
+            assert bulk.n("k") == walked.n("k") == t
+            assert curves_equal(bulk.curve_for("k"), walked.curve_for("k"))
+            for d in (3600.0, 86400.0):
+                assert_floats_equal(
+                    bulk.bid_for("k", d, now=float(trace.times[t])),
+                    walked.bid_for("k", d, now=float(trace.times[t])),
+                )
+
+    def test_extend_frozen_validation(self, fitted):
+        trace, pred = fitted
+        ticker = UniverseTicker(CONFIG)
+        self._enroll(ticker, "k", pred)
+        ticker.add_key("live")
+        with pytest.raises(ValueError):  # live keys cannot fast-forward
+            ticker.extend_frozen(
+                trace.times[:4], trace.prices[None, :4],
+                pred._bounds[None, :4], np.array([0.1]), keys=["live"],
+            )
+        with pytest.raises(ValueError):  # misaligned shapes
+            ticker.extend_frozen(
+                trace.times[:4], trace.prices[None, :3],
+                pred._bounds[None, :4], np.array([0.1]), keys=["k"],
+            )
+        ticker.extend_frozen(
+            trace.times[:4], trace.prices[None, :4],
+            pred._bounds[None, :4], np.array([float(pred._bounds[4])]),
+            keys=["k"],
+        )
+        with pytest.raises(ValueError):  # time must keep increasing
+            ticker.extend_frozen(
+                trace.times[:4], trace.prices[None, :4],
+                pred._bounds[None, :4], np.array([0.1]), keys=["k"],
+            )
+
+
+class TestTickerMechanics:
+    def test_rejects_ablation_configs(self):
+        for override in (
+            {"truncate_durations": True},
+            {"autocorr_durations": True},
+        ):
+            with pytest.raises(ValueError):
+                UniverseTicker(CONFIG.with_(**override))
+
+    def test_add_key_validation(self):
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("k")
+        with pytest.raises(ValueError):
+            ticker.add_key("k")  # duplicate
+        with pytest.raises(ValueError):
+            ticker.add_key("partial", bounds=np.array([0.1]))
+        with pytest.raises(ValueError):
+            ticker.add_key(
+                "both",
+                online=OnlineDraftsPredictor(CONFIG),
+                bounds=np.array([0.1]),
+                final_bound=0.1,
+                levels=np.array([0.2]),
+            )
+        mismatched = OnlineDraftsPredictor(CONFIG.with_(probability=0.99))
+        with pytest.raises(ValueError):
+            ticker.add_key("wrong-config", online=mismatched)
+
+    def test_observe_validation(self):
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("a")
+        ticker.add_key("b")
+        with pytest.raises(ValueError):  # misaligned prices
+            ticker.observe(0.0, [0.1])
+        with pytest.raises(ValueError):  # non-positive price
+            ticker.observe(0.0, [0.1, 0.0])
+        ticker.observe(0.0, [0.1, 0.1])
+        with pytest.raises(ValueError):  # time must strictly increase
+            ticker.observe(0.0, [0.1, 0.1])
+
+    def test_bid_for_now_guard(self):
+        trace = generate_trace("calm", 0.42, n_epochs=3 * EPD, rng=4)
+        pred = DraftsPredictor(trace, CONFIG)
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key(
+            "k",
+            bounds=pred._bounds,
+            final_bound=pred._final_bound,
+            levels=pred._ladder.levels,
+            max_price=pred.config.max_price,
+        )
+        t = len(trace) // 2
+        ticker.extend_frozen(
+            trace.times[:t], trace.prices[None, :t],
+            pred._bounds[None, :t], np.array([float(pred._bounds[t])]),
+        )
+        with pytest.raises(ValueError):
+            ticker.bid_for("k", 3600.0, now=float(trace.times[t - 2]))
+
+    def test_warmup_returns_nan_and_none(self):
+        ticker = UniverseTicker(CONFIG)
+        ticker.add_key("k")
+        for i in range(50):
+            ticker.observe(i * 300.0, [0.1])
+        assert math.isnan(ticker.bid_for("k", 3600.0))
+        assert ticker.curve_for("k") is None
+        assert len(ticker) == 1 and "k" in ticker
