@@ -9,6 +9,11 @@ Times the numbers the optimisation work is gated on —
 * the universe-wide vectorised epoch tick (full 452-key universe advanced
   in one structure-of-arrays step, A/B'd in-run against the scalar
   per-key observe+curve loop, curves checked bit-identical),
+* the universe-wide batched phase-1 fit (452 keys fitted as one SoA
+  column sweep, A/B'd against the scalar per-key ``DraftsPredictor``
+  construction loop, bounds/ladders checked bit-identical) plus — at the
+  bench scale — the paper-scale sequential Table 1 wall-clock, the
+  headline number the fit batching is gated on,
 
 written to ``BENCH_backtest.json`` next to the recorded pre-optimisation
 baselines, and
@@ -47,6 +52,9 @@ BASELINE = {
     "backtest_matrix_bench_seq_s": 63.710,
     "qbets_update_mean_us": 23.357,
     "qbets_fit_3mo_ms": 550.6,
+    # Paper-scale sequential Table 1 before the batched phase-1 fit
+    # (PR 6's frozen-replay driver with per-combo scalar fits).
+    "table1_paper_seq_s": 522.0,
 }
 
 
@@ -185,6 +193,83 @@ def _time_universe_tick(scale: str) -> dict:
     }
 
 
+def _time_universe_fit(scale: str) -> dict:
+    """Batched universe-wide phase-1 fit vs the scalar per-key loop.
+
+    Both sides are timed best-of-rounds (the minimum is the honest
+    compute-cost estimator on a noisy single-vCPU box) over the identical
+    trace set, and the handed-off predictors are compared bit for bit:
+    bound series, final bounds, change points and ladder levels.
+    """
+    from repro.core.drafts import DraftsConfig, DraftsPredictor
+    from repro.core.universe_fit import fit_drafts_universe
+    from repro.market.synthetic import VOLATILITY_CLASSES, synthetic_trace
+
+    if scale == "bench":
+        n_keys, n_epochs, batch_rounds, scalar_rounds = 452, 2200, 3, 2
+    else:
+        n_keys, n_epochs, batch_rounds, scalar_rounds = 32, 600, 2, 1
+    config = DraftsConfig(probability=0.95)
+    classes = list(VOLATILITY_CLASSES)
+    traces = [
+        synthetic_trace(
+            classes[i % len(classes)], seed=900 + i, n_epochs=n_epochs
+        )
+        for i in range(n_keys)
+    ]
+
+    batch_s = []
+    preds = None
+    for _ in range(batch_rounds):
+        start = time.perf_counter()
+        fit = fit_drafts_universe(traces, config)
+        preds = [fit.predictor(k) for k in range(n_keys)]
+        batch_s.append(time.perf_counter() - start)
+    scalar_s = []
+    refs = None
+    for _ in range(scalar_rounds):
+        start = time.perf_counter()
+        refs = [DraftsPredictor(trace, config) for trace in traces]
+        scalar_s.append(time.perf_counter() - start)
+
+    def fits_equal(ref, pred) -> bool:
+        final_ok = ref._final_bound == pred._final_bound or (
+            np.isnan(ref._final_bound) and np.isnan(pred._final_bound)
+        )
+        return (
+            np.array_equal(ref._bounds, pred._bounds, equal_nan=True)
+            and final_ok
+            and list(ref.changepoints) == list(pred.changepoints)
+            and np.array_equal(
+                np.asarray(ref._ladder.levels),
+                np.asarray(pred._ladder.levels),
+            )
+        )
+
+    equivalent = all(fits_equal(r, p) for r, p in zip(refs, preds))
+    return {
+        "n_keys": n_keys,
+        "n_epochs": n_epochs,
+        "batch_best_s": round(min(batch_s), 3),
+        "scalar_best_s": round(min(scalar_s), 3),
+        "speedup": round(min(scalar_s) / min(batch_s), 2),
+        "equivalent": equivalent,
+    }
+
+
+def _time_paper_table1() -> float:
+    """Paper-scale sequential Table 1 wall-clock (the headline number)."""
+    from repro.backtest import predcache
+    from repro.baselines.ar1 import AR1Bid
+    from repro.experiments.table1 import run_table1
+
+    predcache.clear()
+    AR1Bid.clear_prefit()
+    start = time.perf_counter()
+    run_table1(scale="paper", probability=0.99, workers=0)
+    return time.perf_counter() - start
+
+
 def _time_serving_refresh(scale: str) -> dict:
     from repro.serving.bench import ServingBenchConfig, run_refresh_benchmark
 
@@ -250,6 +335,19 @@ def main() -> int:
         f"{tick['scalar_p50_ms']:.1f} ms (x{tick['speedup_p50']:.1f}); "
         f"curves {'bit-identical' if tick['equivalent'] else 'DIVERGED'}"
     )
+    print("timing universe-wide batched phase-1 fit vs scalar loop ...")
+    fit = _time_universe_fit(args.scale)
+    print(
+        f"  {fit['n_keys']} keys x {fit['n_epochs']} epochs: batch "
+        f"{fit['batch_best_s']:.2f} s vs scalar {fit['scalar_best_s']:.2f} s"
+        f" (x{fit['speedup']:.2f}); fits "
+        f"{'bit-identical' if fit['equivalent'] else 'DIVERGED'}"
+    )
+    paper_table1_s = None
+    if args.scale == "bench":
+        print("timing paper-scale sequential Table 1 (the headline) ...")
+        paper_table1_s = _time_paper_table1()
+        print(f"  {paper_table1_s:.1f} s")
 
     report = {
         "scale": args.scale,
@@ -260,9 +358,11 @@ def main() -> int:
             "qbets_update_mean_us": round(update_us, 3),
         },
         "universe_tick": tick,
+        "universe_fit": fit,
         "predcache": cache,
     }
     if args.scale == "bench":
+        report["measured"]["table1_paper_seq_s"] = round(paper_table1_s, 1)
         report["baseline"] = BASELINE
         report["speedup"] = {
             "backtest_matrix": round(
@@ -272,10 +372,15 @@ def main() -> int:
                 BASELINE["qbets_update_mean_us"] / update_us, 2
             ),
             "universe_tick": tick["speedup_p50"],
+            "universe_fit": fit["speedup"],
+            "table1_paper": round(
+                BASELINE["table1_paper_seq_s"] / paper_table1_s, 2
+            ),
         }
         print(
             f"speedup vs baseline: matrix x{report['speedup']['backtest_matrix']}"
-            f", qbets update x{report['speedup']['qbets_update']}"
+            f", qbets update x{report['speedup']['qbets_update']}, "
+            f"paper Table 1 x{report['speedup']['table1_paper']}"
         )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -329,6 +434,10 @@ def main() -> int:
     if not tick["equivalent"]:
         raise AssertionError(
             "universe tick curves diverged from the scalar predictors"
+        )
+    if not fit["equivalent"]:
+        raise AssertionError(
+            "batched phase-1 fits diverged from the scalar predictors"
         )
     if not refresh["equivalent"]:
         raise AssertionError(

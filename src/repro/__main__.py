@@ -21,6 +21,11 @@ Commands:
     path in lockstep with per-key scalar predictors and verify the
     published curves and bid queries are bit-identical at every
     checkpoint; exits non-zero on the first divergence.
+``fit-smoke [--keys N] [--epochs N] [--probability P]``
+    Batch-fit an N-key universe (ragged history lengths) through the
+    structure-of-arrays phase-1 fitter and verify bound series, change
+    points, ladders and bid queries are bit-identical to per-key scalar
+    ``DraftsPredictor`` fits; exits non-zero on the first divergence.
 ``serve [--scale test] [--keys N] [--host H] [--port P] [--snapshot-dir D]``
     Stand the serving gateway up behind a real listening socket
     (``/predictions``, ``/bid``, ``/cheapest``, ``/healthz``, ``/metrics``)
@@ -248,6 +253,74 @@ def _cmd_universe_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fit_smoke(args: argparse.Namespace) -> int:
+    import math
+
+    import numpy as np
+
+    from repro.core.drafts import DraftsConfig, DraftsPredictor
+    from repro.core.universe_fit import fit_drafts_universe
+    from repro.market.synthetic import VOLATILITY_CLASSES, synthetic_trace
+
+    config = DraftsConfig(probability=args.probability)
+    classes = list(VOLATILITY_CLASSES)
+    # Ragged history lengths on purpose: the batch fitter pads and masks
+    # short keys, and every length must still match its scalar fit.
+    stride = max(1, args.epochs // 16)
+    traces = [
+        synthetic_trace(
+            classes[i % len(classes)],
+            seed=args.seed + i,
+            n_epochs=args.epochs - (i % 5) * stride,
+        )
+        for i in range(args.keys)
+    ]
+
+    fit = fit_drafts_universe(traces, config)
+    preds = [fit.predictor(k) for k in range(args.keys)]
+    refs = [DraftsPredictor(trace, config) for trace in traces]
+
+    def floats_equal(a: float, b: float) -> bool:
+        return a == b or (math.isnan(a) and math.isnan(b))
+
+    durations = (1800.0, 3600.0, 6 * 3600.0, 86400.0, 1e12)
+    checked = 0
+    for k, (ref, pred) in enumerate(zip(refs, preds)):
+        n = len(traces[k])
+        failures = []
+        if not np.array_equal(ref._bounds, pred._bounds, equal_nan=True):
+            failures.append("bound series")
+        if not floats_equal(ref._final_bound, pred._final_bound):
+            failures.append("final bound")
+        if list(ref.changepoints) != list(pred.changepoints):
+            failures.append("change points")
+        if not np.array_equal(
+            np.asarray(ref._ladder.levels), np.asarray(pred._ladder.levels)
+        ):
+            failures.append("ladder levels")
+        for t_idx in (n // 2, n - 1):
+            for duration in durations:
+                if not floats_equal(
+                    ref.bid_for(duration, t_idx),
+                    pred.bid_for(duration, t_idx),
+                ):
+                    failures.append(f"bid_for({duration:g}, {t_idx})")
+        if failures:
+            print(
+                f"fit-smoke: key {k} ({n} epochs) DIVERGED: "
+                + ", ".join(failures),
+                file=sys.stderr,
+            )
+            return 1
+        checked += 1
+    print(
+        f"fit-smoke: ok — {checked} keys "
+        f"({min(len(t) for t in traces)}-{max(len(t) for t in traces)} "
+        f"epochs, ragged), batch fit bit-identical to the scalar path"
+    )
+    return 0
+
+
 def _replay_universe(args: argparse.Namespace):
     """The (keys, start_now) universe `serve` and `replay` must share.
 
@@ -461,6 +534,17 @@ def main(argv: list[str] | None = None) -> int:
     p_usm.add_argument("--probability", type=float, default=0.95)
     p_usm.add_argument("--seed", type=int, default=1000)
     p_usm.set_defaults(func=_cmd_universe_smoke)
+
+    p_fsm = sub.add_parser(
+        "fit-smoke",
+        help="verify the batched universe-wide phase-1 fit against "
+        "scalar predictors",
+    )
+    p_fsm.add_argument("--keys", type=int, default=32)
+    p_fsm.add_argument("--epochs", type=int, default=400)
+    p_fsm.add_argument("--probability", type=float, default=0.95)
+    p_fsm.add_argument("--seed", type=int, default=900)
+    p_fsm.set_defaults(func=_cmd_fit_smoke)
 
     p_srv = sub.add_parser(
         "serve", help="serve the gateway on a real listening socket"

@@ -28,12 +28,16 @@ import threading
 from collections import OrderedDict
 
 from repro.core.drafts import DraftsConfig, DraftsPredictor
+from repro.core.universe_fit import fit_drafts_universe
 from repro.market.traces import PriceTrace
 
 __all__ = [
     "cache_info",
     "clear",
     "get_predictor",
+    "get_predictors_batch",
+    "peek_predictor",
+    "put_predictor",
     "set_max_entries",
     "trace_fingerprint",
 ]
@@ -48,6 +52,7 @@ _cache: "OrderedDict[tuple[str, DraftsConfig], DraftsPredictor]" = OrderedDict()
 _max_entries: int = DEFAULT_MAX_ENTRIES
 _hits: int = 0
 _misses: int = 0
+_batch_fits: int = 0
 
 
 def trace_fingerprint(trace: PriceTrace) -> str:
@@ -93,12 +98,89 @@ def get_predictor(trace: PriceTrace, config: DraftsConfig) -> DraftsPredictor:
     return predictor
 
 
+def peek_predictor(
+    trace: PriceTrace, config: DraftsConfig
+) -> DraftsPredictor | None:
+    """Return the cached predictor for ``(trace, config)``, or ``None``.
+
+    Unlike :func:`get_predictor` a miss does NOT trigger a scalar fit (and
+    is not counted as one) — batch callers peek first, fit every miss in
+    one universe-wide pass, and register the results via
+    :func:`put_predictor`.
+    """
+    global _hits
+    key = (trace_fingerprint(trace), config)
+    with _lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+        return cached
+
+
+def put_predictor(
+    trace: PriceTrace, config: DraftsConfig, predictor: DraftsPredictor
+) -> None:
+    """Register a batch-fitted predictor so scalar-path lookups hit.
+
+    Counted under ``batch_fits`` in :func:`cache_info` rather than
+    ``misses`` — the fit happened, but inside a universe-wide pass.
+    """
+    global _batch_fits
+    key = (trace_fingerprint(trace), config)
+    with _lock:
+        _batch_fits += 1
+        _cache[key] = predictor
+        _cache.move_to_end(key)
+        while len(_cache) > _max_entries:
+            _cache.popitem(last=False)
+
+
+def get_predictors_batch(
+    traces: list[PriceTrace],
+    configs: DraftsConfig | list[DraftsConfig],
+) -> list[DraftsPredictor]:
+    """Fetch predictors for many combos, batch-fitting every miss at once.
+
+    ``configs`` may be one shared config or one per trace (the batch fitter
+    groups keys by QBETS-equivalent config internally, so mixed ladder
+    domains and probabilities still fit in few passes).  Cached combos are
+    served from the LRU (counted as hits); the misses go through
+    :func:`repro.core.universe_fit.fit_drafts_universe` in a single
+    universe-wide phase-1 pass and are registered back into the cache, so
+    subsequent scalar-path :func:`get_predictor` calls hit.
+    """
+    if isinstance(configs, DraftsConfig):
+        cfg_list = [configs] * len(traces)
+    else:
+        cfg_list = list(configs)
+        if len(cfg_list) != len(traces):
+            raise ValueError(
+                f"got {len(cfg_list)} configs for {len(traces)} traces"
+            )
+    preds: list[DraftsPredictor | None] = [
+        peek_predictor(tr, cfg) for tr, cfg in zip(traces, cfg_list)
+    ]
+    miss_idx = [i for i, p in enumerate(preds) if p is None]
+    if miss_idx:
+        fit = fit_drafts_universe(
+            [traces[i] for i in miss_idx],
+            [cfg_list[i] for i in miss_idx],
+        )
+        for pos, i in enumerate(miss_idx):
+            p = fit.predictor(pos)
+            put_predictor(traces[i], cfg_list[i], p)
+            preds[i] = p
+    return preds
+
+
 def cache_info() -> dict:
     """Hit/miss counters and current occupancy."""
     with _lock:
         return {
             "hits": _hits,
             "misses": _misses,
+            "batch_fits": _batch_fits,
             "size": len(_cache),
             "max_entries": _max_entries,
         }
@@ -117,8 +199,9 @@ def set_max_entries(n: int) -> None:
 
 def clear() -> None:
     """Drop every cached predictor and reset the counters."""
-    global _hits, _misses
+    global _hits, _misses, _batch_fits
     with _lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+        _batch_fits = 0

@@ -82,12 +82,19 @@ def drafts_bids(
         raise ValueError(f"unknown fallback mode {fallback!r}")
     if not combos:
         return {}
-    predictors: list[DraftsPredictor] = []
+    # One universe-wide phase-1 batch fit for every combo the predictor
+    # cache does not already hold; cache hits stay shared with any scalar
+    # cells of the same sweep.
+    traces = [universe.trace(combo) for combo in combos]
+    cfgs = [
+        drafts_predictor_config(trace, config.probability)
+        for trace in traces
+    ]
+    predictors: list[DraftsPredictor] = predcache.get_predictors_batch(
+        traces, cfgs
+    )
     requests: list[tuple[np.ndarray, np.ndarray]] = []
-    for combo in combos:
-        trace = universe.trace(combo)
-        cfg = drafts_predictor_config(trace, config.probability)
-        predictors.append(predcache.get_predictor(trace, cfg))
+    for combo, trace in zip(combos, traces):
         rng = RngFactory(config.seed).generator(f"backtest/{combo.key}")
         requests.append(sample_requests(trace, config, rng))
 

@@ -21,6 +21,9 @@ correct on the benign ones.
 
 from __future__ import annotations
 
+import hashlib
+import math
+
 import numpy as np
 from scipy import stats
 
@@ -33,6 +36,13 @@ from repro.util.validation import check_probability
 __all__ = ["AR1Bid"]
 
 
+def _scan_key(
+    prices: np.ndarray, probability: float, max_price: float
+) -> tuple[str, float, float]:
+    digest = hashlib.sha1(prices.tobytes()).hexdigest()
+    return (digest, float(probability), float(max_price))
+
+
 class AR1Bid(BidStrategy):
     """Stationary-distribution quantile of a segment-wise AR(1) fit."""
 
@@ -41,12 +51,25 @@ class AR1Bid(BidStrategy):
     #: Minimum segment length before a fit is attempted.
     MIN_SEGMENT = 64
 
+    #: Process-wide change-point prefit cache, populated by
+    #: :meth:`prefit_universe` so per-combo construction skips the scan.
+    #: Entries are tiny (a handful of ints per combo).
+    _scan_cache: dict[tuple[str, float, float], np.ndarray] = {}
+
     def __init__(
         self, trace: PriceTrace, probability: float, max_price: float = 100.0
     ) -> None:
         check_probability(probability, "probability")
         self._prices = trace.prices
         self._q = float(probability)
+        self._z = float(stats.norm.ppf(self._q))
+        self._moments = None
+        cached = self._scan_cache.get(
+            _scan_key(self._prices, probability, max_price)
+        )
+        if cached is not None:
+            self._changepoints = cached
+            return
         # Reuse DrAFTS's change-point machinery (same detector, same
         # decimation) purely for segmentation, as §4.1.3 describes.
         qb = QBETS(
@@ -59,12 +82,66 @@ class AR1Bid(BidStrategy):
         qb.scan(self._prices)
         self._changepoints = np.asarray(qb.changepoints, dtype=np.int64)
 
+    @staticmethod
+    def _combo_max_price(trace: PriceTrace) -> float:
+        return max(100.0, float(trace.prices.max()) * 8.0)
+
     @classmethod
     def for_combo(
         cls, combo: Combo, trace: PriceTrace, probability: float
     ) -> "AR1Bid":
-        max_price = max(100.0, float(trace.prices.max()) * 8.0)
-        return cls(trace, probability, max_price=max_price)
+        return cls(
+            trace, probability, max_price=cls._combo_max_price(trace)
+        )
+
+    @classmethod
+    def prefit_universe(
+        cls, traces: list[PriceTrace], probability: float
+    ) -> int:
+        """Batch-scan every trace's change points in one SoA pass.
+
+        Populates the prefit cache that :meth:`for_combo` consults, so a
+        sweep's per-combo constructions become cache lookups instead of
+        452 scalar ``QBETS.scan`` replays.  Traces already cached are
+        skipped; returns how many were newly scanned.
+        """
+        check_probability(probability, "probability")
+        from repro.core.universe_fit import scan_universe
+
+        todo: list[tuple[tuple[str, float, float], PriceTrace]] = []
+        seen: set[tuple[str, float, float]] = set()
+        for trace in traces:
+            key = _scan_key(
+                trace.prices, probability, cls._combo_max_price(trace)
+            )
+            if key in cls._scan_cache or key in seen:
+                continue
+            seen.add(key)
+            todo.append((key, trace))
+        if not todo:
+            return 0
+        result = scan_universe(
+            [trace.prices for _, trace in todo],
+            [
+                QBETSConfig(
+                    q=probability,
+                    c=0.99,
+                    side="upper",
+                    max_value=cls._combo_max_price(trace),
+                )
+                for _, trace in todo
+            ],
+        )
+        for k, (key, _) in enumerate(todo):
+            cls._scan_cache[key] = np.asarray(
+                result.changepoints(k), dtype=np.int64
+            )
+        return len(todo)
+
+    @classmethod
+    def clear_prefit(cls) -> None:
+        """Drop the process-wide change-point prefit cache."""
+        cls._scan_cache.clear()
 
     def _segment_start(self, t_idx: int) -> int:
         if self._changepoints.size == 0:
@@ -74,29 +151,67 @@ class AR1Bid(BidStrategy):
             return 0
         return int(self._changepoints[pos])
 
+    def _prefix_moments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Prefix sums of ``p``, ``p**2`` and ``p[j] * p[j+1]``.
+
+        ``c1[i] = sum(prices[:i])`` etc.; every segment statistic the
+        AR(1) fit needs reduces to differences of these three arrays, so
+        a bid query costs O(1) instead of re-reducing the whole segment
+        (which, absent change points, is the entire prefix — quadratic
+        over a backtest's request sample at paper scale).
+        """
+        if self._moments is None:
+            p = np.asarray(self._prices, dtype=np.float64)
+            c1 = np.concatenate(([0.0], np.cumsum(p)))
+            c2 = np.concatenate(([0.0], np.cumsum(p * p)))
+            c11 = np.concatenate(([0.0], np.cumsum(p[:-1] * p[1:])))
+            self._moments = (c1, c2, c11)
+        return self._moments
+
+    def _segment_bid(self, a: int, t: int) -> float:
+        """Stationary-quantile bid from the AR(1) fit of ``prices[a:t]``.
+
+        Closed form of the reference per-segment reduction: with
+        ``x0 = prices[a:t-1]``, ``x1 = prices[a+1:t]`` and ``mu`` the
+        segment mean, the lag-0/lag-1 centred moments expand into the
+        prefix sums, e.g. ``sum((x0 - mu)**2) = sum(x0**2) - 2 mu sum(x0)
+        + (m-1) mu**2``; the residual power likewise telescopes to
+        ``sum((x1-mu)**2) - 2 phi num + phi**2 denom``.
+        """
+        c1, c2, c11 = self._prefix_moments()
+        m = t - a
+        mu = (c1[t] - c1[a]) / m
+        s0 = c1[t - 1] - c1[a]
+        s1 = c1[t] - c1[a + 1]
+        q0 = c2[t - 1] - c2[a]
+        q1 = c2[t] - c2[a + 1]
+        cross = c11[t - 1] - c11[a]
+        n_pairs = m - 1
+        denom = q0 - 2.0 * mu * s0 + n_pairs * mu * mu
+        num = cross - mu * s0 - mu * s1 + n_pairs * mu * mu
+        phi = num / denom if denom > 0 else 0.0
+        # Clamp into the stationary region; |phi| -> 1 blows the variance up,
+        # which is conservative but useless.
+        phi = min(max(phi, -0.999), 0.999)
+        resid_power = (
+            q1 - 2.0 * mu * s1 + n_pairs * mu * mu
+        ) - 2.0 * phi * num + phi * phi * denom
+        # The expansion can cancel to a tiny negative on near-perfect fits.
+        sigma2 = max(resid_power / n_pairs, 0.0)
+        stat_sd = math.sqrt(sigma2 / (1.0 - phi * phi))
+        bid = mu + self._z * stat_sd
+        if bid <= 0:
+            return float("nan")
+        return round(bid, 4)
+
     def bid_at(self, t_idx: int, duration_seconds: float) -> float:
         if not 0 <= t_idx < self._prices.size:
             raise IndexError(f"t_idx {t_idx} out of range")
         start = self._segment_start(t_idx)
-        segment = self._prices[start:t_idx]
-        if segment.size < self.MIN_SEGMENT:
+        if t_idx - start < self.MIN_SEGMENT:
             # Fall back to the longest available prefix when the current
             # segment is still warming up.
-            segment = self._prices[:t_idx]
-            if segment.size < self.MIN_SEGMENT:
+            start = 0
+            if t_idx < self.MIN_SEGMENT:
                 return float("nan")
-        x0, x1 = segment[:-1], segment[1:]
-        mu = float(segment.mean())
-        d0 = x0 - mu
-        denom = float(np.dot(d0, d0))
-        phi = float(np.dot(d0, x1 - mu)) / denom if denom > 0 else 0.0
-        # Clamp into the stationary region; |phi| -> 1 blows the variance up,
-        # which is conservative but useless.
-        phi = min(max(phi, -0.999), 0.999)
-        resid = (x1 - mu) - phi * d0
-        sigma2 = float(np.mean(resid**2))
-        stat_sd = np.sqrt(sigma2 / (1.0 - phi**2))
-        bid = mu + float(stats.norm.ppf(self._q)) * stat_sd
-        if bid <= 0:
-            return float("nan")
-        return round(bid, 4)
+        return self._segment_bid(start, t_idx)

@@ -68,8 +68,25 @@ from repro.core.drafts import DraftsConfig, ladder_levels
 from repro.core.durations import next_exceed_indices
 from repro.core.online import OnlineDraftsPredictor
 from repro.core.qbets import QBETS
+from repro.core.universe_fit import (
+    DraftsUniverseFit,
+    UniverseFitter,
+    UniverseFitResult,
+    fit_drafts_universe,
+    fit_universe,
+    scan_universe,
+)
 
-__all__ = ["UniverseTicker", "kth_of_two_sorted"]
+__all__ = [
+    "UniverseTicker",
+    "kth_of_two_sorted",
+    "UniverseFitter",
+    "UniverseFitResult",
+    "DraftsUniverseFit",
+    "fit_universe",
+    "fit_drafts_universe",
+    "scan_universe",
+]
 
 #: Headroom added on top of ``k+1`` when (re)sizing selection buffers, so
 #: k's slow growth with n does not trigger a rebuild every few epochs.

@@ -64,6 +64,14 @@ def _run_assignment(assignment: _Assignment) -> list[ComboResult]:
         if "drafts" in assignment.strategy_names
         else {}
     )
+    if "ar1" in assignment.strategy_names:
+        # One SoA change-point scan for the chunk; per-cell AR(1)
+        # construction then hits the prefit cache.
+        from repro.baselines.ar1 import AR1Bid
+
+        AR1Bid.prefit_universe(
+            [universe.trace(c) for c in combos], assignment.probability
+        )
     return [
         run_backtest(
             universe,

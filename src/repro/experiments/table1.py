@@ -85,6 +85,14 @@ def run_table1(
         from repro.backtest.universe_driver import drafts_bids
 
         drafts = drafts_bids(universe, list(combos), config)
+    if any(s.name == "ar1" for s in strategies):
+        # Batch-scan the AR(1) change points universe-wide so each cell's
+        # constructor is a cache lookup instead of a scalar QBETS replay.
+        from repro.baselines.ar1 import AR1Bid
+
+        AR1Bid.prefit_universe(
+            [universe.trace(c) for c in combos], probability
+        )
     results: list[ComboResult] = []
     for combo in combos:
         for strategy_cls in strategies:

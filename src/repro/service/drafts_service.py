@@ -50,6 +50,7 @@ from repro.core.curves import BidDurationCurve
 from repro.core.drafts import DraftsConfig, DraftsPredictor
 from repro.core.online import OnlineDraftsPredictor
 from repro.core.universe import UniverseTicker
+from repro.core.universe_fit import fit_drafts_universe
 from repro.service import persistence
 from repro.service.persistence import MANIFEST_NAME, SnapshotError
 
@@ -184,6 +185,7 @@ class DraftsService:
         self._hits = 0
         self._misses = 0
         self._refits = 0
+        self._cold_fits = 0
         self._incremental_refreshes = 0
         self._batch_ticks = 0
         self._scalar_ticks = 0
@@ -217,6 +219,16 @@ class DraftsService:
         now: float,
         reason: str,
     ) -> BidDurationCurve | None:
+        # Boot-time vs steady-state observability: a fit of a key that holds
+        # no predictor state at all (first touch, post-eviction, failed
+        # restore) counts under ``cold_fits``; refitting a key that already
+        # has state (rewind/gap/rewindow/ladder_change, or every recompute
+        # with ``incremental=False``) counts under ``refits``.
+        cold = (
+            state.online is None
+            and state.predictor is None
+            and state.group is None
+        )
         history = self._api.describe_spot_price_history(instance_type, zone, now)
         # Pin the ladder domain at the first fit; only an out-of-domain
         # price (the explicit ladder_change refit) may raise it. Without
@@ -248,7 +260,10 @@ class DraftsService:
         state.cursor = history.end
         state.last_now = now
         with self._lock:
-            self._refits += 1
+            if cold:
+                self._cold_fits += 1
+            else:
+                self._refits += 1
             self._refit_reasons[reason] = self._refit_reasons.get(reason, 0) + 1
         return curve
 
@@ -511,6 +526,103 @@ class DraftsService:
         return entry is not None
 
     # -- universe-wide batch tick --------------------------------------------
+
+    def warm_start(
+        self, combos: list[tuple[str, str]], now: float
+    ) -> dict:
+        """Cold-boot every ``(instance_type, zone)`` in one batch phase-1 fit.
+
+        A ``save_state``-less boot otherwise pays one sequential scalar
+        QBETS replay per key on first touch. This fetches each
+        combination's history once, runs a single universe-wide phase-1
+        pass (:func:`repro.core.universe_fit.fit_drafts_universe`) across
+        every published probability level, and lands per-key state
+        bit-identical to the scalar cold path — incremental keys get an
+        :class:`~repro.core.online.OnlineDraftsPredictor` restored from
+        the batch fit's snapshot, non-incremental keys the fitted
+        :class:`~repro.core.drafts.DraftsPredictor` — publishing all
+        curves into the cache at ``now``. Each fit counts under
+        ``cold_fits`` with reason ``"cold"``, exactly like the scalar
+        first touch it replaces. Keys already holding predictor state are
+        skipped. Returns ``{"fitted", "skipped"}``.
+        """
+        todo: list[tuple[tuple[str, str, float], object]] = []
+        skipped = 0
+        histories: dict[tuple[str, str], object] = {}
+        for instance_type, zone in combos:
+            for probability in self._cfg.probabilities:
+                key = (instance_type, zone, probability)
+                with self._lock:
+                    state = self._states.get(key)
+                if state is not None and (
+                    state.online is not None
+                    or state.predictor is not None
+                    or state.group is not None
+                ):
+                    skipped += 1
+                    continue
+                pair = (instance_type, zone)
+                history = histories.get(pair)
+                if history is None:
+                    history = self._api.describe_spot_price_history(
+                        instance_type, zone, now
+                    )
+                    histories[pair] = history
+                todo.append((key, history))
+        if not todo:
+            return {"fitted": 0, "skipped": skipped}
+        # The same per-key ladder-domain pin the scalar cold fit derives.
+        configs = [
+            self._drafts_config(
+                key[2], max(100.0, float(history.prices.max()) * 8.0)
+            )
+            for key, history in todo
+        ]
+        fit = fit_drafts_universe([h for _, h in todo], configs)
+        fitted = 0
+        enroll: list[tuple[tuple[str, str, float], _KeyState]] = []
+        for i, (key, history) in enumerate(todo):
+            state = _KeyState()
+            if self._cfg.incremental:
+                online = fit.online_predictor(i)
+                curve = online.curve_at(
+                    online.n, instance_type=key[0], zone=key[1]
+                )
+                state.online = online
+            else:
+                predictor = fit.predictor(i)
+                curve = predictor.curve_at(
+                    len(history), instance_type=key[0], zone=key[1]
+                )
+                state.predictor = predictor
+            state.curve = curve
+            state.max_price = configs[i].max_price
+            state.cursor = history.end
+            state.last_now = now
+            evicted = []
+            with self._lock:
+                if key in self._states:
+                    # Lost a race to a concurrent scalar fit: keep theirs.
+                    continue
+                self._states[key] = state
+                self._states.move_to_end(key)
+                while len(self._states) > self._cfg.max_predictors:
+                    evicted.append(self._states.popitem(last=False))
+                    self._evictions += 1
+                self._cache[key] = _CacheEntry(computed_at=now, curve=curve)
+                self._cold_fits += 1
+                self._refit_reasons["cold"] = (
+                    self._refit_reasons.get("cold", 0) + 1
+                )
+            for ekey, estate in evicted:
+                # Outside the bookkeeping lock: unenrollment takes the
+                # group lock, which must never nest inside self._lock.
+                self._unenroll(ekey, estate)
+            enroll.append((key, state))
+            fitted += 1
+        for key, state in enroll:
+            self._maybe_enroll(key, state)
+        return {"fitted": fitted, "skipped": skipped}
 
     def batch_refresh(self, now: float) -> dict:
         """Advance every enrolled key to ``now`` in one vectorised sweep.
@@ -788,10 +900,15 @@ class DraftsService:
         """Cache and predictor occupancy counters (for the metrics layer).
 
         ``hits``/``misses`` count :meth:`curve` lookups against the curve
-        cache; ``refits`` counts full QBETS fits (split by trigger in
-        ``refit_reasons``), ``incremental_refreshes`` counts delta-fed
-        refreshes, and ``recomputes`` is their sum (the pre-incremental
-        service's counter); ``evictions`` counts predictor states dropped
+        cache; full QBETS fits split into ``cold_fits`` (the key held no
+        predictor state: boot-time first touches, post-eviction refits,
+        :meth:`warm_start` batch fits) and ``refits`` (the key was warm:
+        rewind/gap/rewindow/ladder_change, and every recompute with
+        ``incremental=False``), with per-trigger counts in
+        ``refit_reasons``; ``incremental_refreshes`` counts delta-fed
+        refreshes, and ``recomputes`` is the sum of all three (the
+        pre-incremental service's counter); ``evictions`` counts predictor
+        states dropped
         by the LRU bound. ``incremental_refreshes`` further splits into
         ``batch_ticks`` (served through a group's
         :class:`~repro.core.universe.UniverseTicker`) and ``scalar_ticks``
@@ -806,7 +923,12 @@ class DraftsService:
                 "max_predictors": self._cfg.max_predictors,
                 "hits": self._hits,
                 "misses": self._misses,
-                "recomputes": self._refits + self._incremental_refreshes,
+                "recomputes": (
+                    self._cold_fits
+                    + self._refits
+                    + self._incremental_refreshes
+                ),
+                "cold_fits": self._cold_fits,
                 "refits": self._refits,
                 "incremental_refreshes": self._incremental_refreshes,
                 "batch_ticks": self._batch_ticks,

@@ -160,6 +160,7 @@ class TestServiceCheckpoint:
                 restored.curve(key[0], key[1], key[2], later),
                 service.curve(key[0], key[1], key[2], later),
             )
+        assert restored.cache_info()["cold_fits"] == 0
         assert restored.cache_info()["refits"] == 0
         assert restored.cache_info()["incremental_refreshes"] == len(keys)
 
@@ -178,7 +179,9 @@ class TestServiceCheckpoint:
         assert "torn" in loaded["errors"][victim.name]
         # The damaged key still serves — via a clean cold refit.
         assert restored.curve(keys[0][0], keys[0][1], keys[0][2], now) is not None
-        assert restored.cache_info()["refits"] == 1
+        # The damaged key held no restored state, so its fit was a cold one.
+        assert restored.cache_info()["cold_fits"] == 1
+        assert restored.cache_info()["refits"] == 0
 
     def test_missing_manifest_loads_nothing(self, warm_service, tmp_path):
         universe = warm_service[0]
@@ -245,6 +248,7 @@ class TestGatewayLifecycle:
         # The restored entry is a store hit: zero recomputes after restart.
         assert counters["gateway.hits"] == 1
         assert counters["serving.recomputes"] == 0
+        assert second.service.cache_info()["cold_fits"] == 0
         assert second.service.cache_info()["refits"] == 0
 
     def test_tick_checkpoints_on_the_wall_interval(

@@ -98,6 +98,7 @@ class TestGetPredictor:
         assert info == {
             "hits": 0,
             "misses": 0,
+            "batch_fits": 0,
             "size": 0,
             "max_entries": predcache.DEFAULT_MAX_ENTRIES,
         }

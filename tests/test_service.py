@@ -248,11 +248,14 @@ class TestIncrementalRefresh:
                 served, self._batch_curve(api, service, zone, t)
             ), f"diverged at refresh boundary {k}"
         info = service.cache_info()
-        assert info["refits"] == 1
+        assert info["cold_fits"] == 1
+        assert info["refits"] == 0
         assert info["refit_reasons"] == {"cold": 1}
         assert info["incremental_refreshes"] == 5
         assert info["recomputes"] == (
-            info["refits"] + info["incremental_refreshes"]
+            info["cold_fits"]
+            + info["refits"]
+            + info["incremental_refreshes"]
         )
 
     def test_incremental_off_publishes_identical_curves(self, small_universe):
@@ -267,7 +270,10 @@ class TestIncrementalRefresh:
             ), f"modes diverged at refresh boundary {k}"
         assert a.cache_info()["incremental_refreshes"] == 3
         assert a.key_info("c4.large", zone, self.P)["mode"] == "incremental"
-        assert b.cache_info()["refits"] == 4
+        # The first fit is the boot-time cold one; with incremental off,
+        # every later recompute is a steady-state refit of a warm key.
+        assert b.cache_info()["cold_fits"] == 1
+        assert b.cache_info()["refits"] == 3
         assert b.cache_info()["incremental_refreshes"] == 0
         assert b.key_info("c4.large", zone, self.P)["mode"] == "batch"
 
@@ -281,7 +287,7 @@ class TestIncrementalRefresh:
         b = service.curve("c4.large", zone, self.P, t1 + 61.0)  # stale, no news
         assert b is a  # the identical object is republished
         info = service.cache_info()
-        assert info["refits"] == 1
+        assert info["cold_fits"] == 1
         assert info["incremental_refreshes"] == 1
 
     def test_rewind_forces_full_refit(self, small_universe):
@@ -319,6 +325,9 @@ class TestIncrementalRefresh:
         assert info["predictors"] == 1
         assert info["evictions"] == 7  # every touch displaced the other key
         assert info["refit_reasons"] == {"cold": 8}
+        # Post-eviction keys hold no state, so every fit was a cold one.
+        assert info["cold_fits"] == 8
+        assert info["refits"] == 0
         assert info["incremental_refreshes"] == 0
 
     def test_max_price_pinned_across_refits(self):

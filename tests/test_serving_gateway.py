@@ -237,10 +237,13 @@ class TestStaleWhileRevalidate:
         gateway.get(url.format(now + 3600.0))
         gateway.refresher.run_pending()
         service = gateway.snapshot()["service"]
-        assert service["refits"] == 1
+        assert service["cold_fits"] == 1
+        assert service["refits"] == 0
         assert service["incremental_refreshes"] >= 1
         assert service["recomputes"] == (
-            service["refits"] + service["incremental_refreshes"]
+            service["cold_fits"]
+            + service["refits"]
+            + service["incremental_refreshes"]
         )
 
 
