@@ -24,6 +24,10 @@ baselines, and
   real listening socket — p50/p99/p99.9, shed/timeout rates, offered vs
   achieved throughput — plus the seeded latency-spike A/B showing hedged
   p99.9 below unhedged),
+* the HTTP front-end comparison (the same multi-wave open-loop replay
+  against the thread-per-connection server and the asyncio event-loop
+  server; gated on asyncio reaching 1.5x the threaded achieved
+  throughput at equal-or-better p99),
 
 written to ``BENCH_serving.json`` (one report per run, every phase
 re-measured, so adding the SLO phase never drops the refresh/restart
@@ -289,6 +293,12 @@ def _time_serving_slo(scale: str, n_requests: int) -> dict:
     )
 
 
+def _time_frontends(scale: str) -> dict:
+    from repro.serving.bench import FrontendBenchConfig, run_frontend_benchmark
+
+    return run_frontend_benchmark(FrontendBenchConfig(scale=scale))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -421,6 +431,16 @@ def main() -> int:
         f"{demo['hedged']['hedges_launched']} hedges, "
         f"{demo['unhedged']['injected_spikes']} spikes)"
     )
+    print("comparing HTTP front ends (threaded vs asyncio) ...")
+    frontends = _time_frontends(args.scale)
+    print(
+        f"  threaded {frontends['threaded']['achieved_rps']:.0f} rps "
+        f"p99 {frontends['threaded']['p99'] * 1e3:.1f} ms -> asyncio "
+        f"{frontends['asyncio']['achieved_rps']:.0f} rps "
+        f"p99 {frontends['asyncio']['p99'] * 1e3:.1f} ms "
+        f"(x{frontends['achieved_ratio']:.2f} throughput, "
+        f"p99 x{frontends['p99_ratio']:.2f})"
+    )
     serving_report = {
         "scale": args.scale,
         "platform": platform.platform(),
@@ -428,6 +448,7 @@ def main() -> int:
         "slo": slo,
         "slo_drain": slo_run["drain"],
         "hedge_demo": demo,
+        "frontends": frontends,
     }
     args.serving_output.write_text(json.dumps(serving_report, indent=2) + "\n")
     print(f"wrote {args.serving_output}")
@@ -450,6 +471,11 @@ def main() -> int:
     if not demo["ok"]:
         raise AssertionError(
             "hedged p99.9 did not beat unhedged under seeded spikes"
+        )
+    if not frontends["ok"]:
+        raise AssertionError(
+            "asyncio front end did not reach 1.5x threaded achieved "
+            "throughput at equal-or-better p99"
         )
     return 0
 

@@ -61,3 +61,11 @@ echo "== serve+replay smoke (real socket round trip) =="
 PYTHONPATH=src python -m repro replay --spawn --requests 300 --rate 300 \
     --warmup 30 --seed 7 >/dev/null \
     && echo "socket replay round trip ok"
+
+# Same round trip over the asyncio front end: inline fast path, executor
+# offload, graceful drain (the command exits non-zero if the spawned
+# server fails to drain cleanly).
+echo "== serve+replay smoke (asyncio front end) =="
+PYTHONPATH=src python -m repro replay --spawn --async --requests 300 --rate 300 \
+    --warmup 30 --seed 7 >/dev/null \
+    && echo "asyncio replay round trip ok"

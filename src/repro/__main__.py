@@ -26,15 +26,19 @@ Commands:
     structure-of-arrays phase-1 fitter and verify bound series, change
     points, ladders and bid queries are bit-identical to per-key scalar
     ``DraftsPredictor`` fits; exits non-zero on the first divergence.
-``serve [--scale test] [--keys N] [--host H] [--port P] [--snapshot-dir D]``
+``serve [--scale test] [--keys N] [--host H] [--port P] [--async] [--workers N]``
     Stand the serving gateway up behind a real listening socket
     (``/predictions``, ``/bid``, ``/cheapest``, ``/healthz``, ``/metrics``)
-    and run until interrupted; Ctrl-C drains gracefully.
-``replay [--url U | --spawn] [--requests N] [--rate R] [--hedge] ...``
+    and run until interrupted; Ctrl-C drains gracefully. ``--async``
+    swaps the thread-per-connection front end for the single-threaded
+    asyncio one; ``--workers N`` (asyncio only) forks N SO_REUSEPORT
+    processes sharing the port.
+``replay [--url U | --spawn [--async]] [--requests N] [--rate R] ...``
     Replay an open-loop (diurnal x Zipf) workload against a serving socket
     and print the tail SLO table. ``--spawn`` brings up an in-process
     server on an ephemeral port (optionally with seeded latency spikes)
-    so one command is a full round trip.
+    so one command is a full round trip; exits non-zero if the spawned
+    server fails to drain cleanly.
 """
 
 from __future__ import annotations
@@ -334,11 +338,22 @@ def _replay_universe(args: argparse.Namespace):
     return predictable_keys(universe, args.keys, args.probability)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _server_class(use_async: bool):
+    if use_async:
+        from repro.serving.aiohttpd import AsyncGatewayHTTPServer
+
+        return AsyncGatewayHTTPServer
+    from repro.serving.httpd import GatewayHTTPServer
+
+    return GatewayHTTPServer
+
+
+def _serve_one(args: argparse.Namespace, *, reuse_port: bool, banner: bool) -> int:
+    """Build a warm gateway, serve until SIGINT, drain, report."""
     from repro.cloud.api import EC2Api
     from repro.service.drafts_service import DraftsService, ServiceConfig
     from repro.serving.gateway import GatewayConfig, ServingGateway
-    from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+    from repro.serving.httpd import HttpdConfig
 
     universe = scaled_universe(args.scale)
     keys, start_now = _replay_universe(args)
@@ -355,18 +370,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"/predictions/{key[0]}/{key[1]}"
             f"?probability={key[2]}&now={start_now}"
         )
-    server = GatewayHTTPServer(
+    server = _server_class(args.use_async)(
         gateway,
         HttpdConfig(
-            host=args.host, port=args.port, max_connections=args.max_connections
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            reuse_port=reuse_port,
         ),
     )
     server.start()
-    print(f"serving {len(keys)} warm key(s) on {server.url}")
-    print(f"  warm simulation instant: now={start_now}")
-    for key in keys:
-        print(f"  /predictions/{key[0]}/{key[1]}?probability={key[2]}&now={start_now}")
-    print("Ctrl-C to drain and stop")
+    if banner:
+        front = "asyncio" if args.use_async else "threaded"
+        print(f"serving {len(keys)} warm key(s) on {server.url} ({front})")
+        print(f"  warm simulation instant: now={start_now}")
+        for key in keys:
+            print(
+                f"  /predictions/{key[0]}/{key[1]}"
+                f"?probability={key[2]}&now={start_now}"
+            )
+        print("Ctrl-C to drain and stop")
     try:
         import time as time_module
 
@@ -375,11 +398,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     stats = server.stop()
-    print(
-        f"\nstopped: drained={stats['drained']} "
-        f"forced_close={stats['forced_close']}"
-    )
-    return 0
+    if banner:
+        print(
+            f"\nstopped: drained={stats['drained']} "
+            f"forced_close={stats['forced_close']}"
+        )
+    return 0 if stats["drained"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("serve: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers == 1:
+        return _serve_one(args, reuse_port=False, banner=True)
+    # Multi-loop mode: N processes bind the same port via SO_REUSEPORT and
+    # the kernel spreads connections across them. One event loop is one
+    # core, so this is the asyncio front end's scale-out story; the
+    # threaded server has no equivalent constraint and keeps one process.
+    if not args.use_async:
+        print("serve: --workers requires --async", file=sys.stderr)
+        return 2
+    if args.port == 0:
+        print(
+            "serve: --workers requires an explicit --port "
+            "(ephemeral binds would scatter across ports)",
+            file=sys.stderr,
+        )
+        return 2
+    import os
+
+    children = []
+    for _ in range(args.workers - 1):
+        pid = os.fork()
+        if pid == 0:  # worker child: serve quietly until SIGINT
+            os._exit(_serve_one(args, reuse_port=True, banner=False))
+        children.append(pid)
+    print(f"{args.workers} workers sharing port {args.port} (SO_REUSEPORT)")
+    status = _serve_one(args, reuse_port=True, banner=True)
+    for pid in children:
+        _, wait_status = os.waitpid(pid, 0)
+        if os.waitstatus_to_exitcode(wait_status) != 0:
+            status = 1
+    return status
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -422,7 +483,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         from repro.service.drafts_service import DraftsService, ServiceConfig
         from repro.serving.chaos import FaultConfig, ReplaySpiker
         from repro.serving.gateway import GatewayConfig, ServingGateway
-        from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+        from repro.serving.httpd import HttpdConfig
 
         if args.spike_rate > 0:
             spiker = ReplaySpiker(
@@ -445,26 +506,33 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 f"/predictions/{key[0]}/{key[1]}"
                 f"?probability={key[2]}&now={start_now}"
             )
-        server = GatewayHTTPServer(
+        server = _server_class(args.use_async)(
             gateway, HttpdConfig(max_connections=256), spike=spiker
         )
         server.start()
         url = server.url
+    elif args.use_async:
+        print("replay: --async only applies with --spawn", file=sys.stderr)
+        return 2
     else:
         url = args.url
+    drain = None
     try:
         report = Replayer([url], keys, replay_cfg).run()
     finally:
         if server is not None:
             drain = server.stop()
-            report.setdefault("drain", drain)
+    if drain is not None:
+        report.setdefault("drain", drain)
     if spiker is not None:
         report["injected_spikes"] = spiker.injected_spikes
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         print(format_slo_report(report))
-    failed = report["error_rate"] > 0.5
+    failed = report["error_rate"] > 0.5 or (
+        drain is not None and not drain["drained"]
+    )
     return 1 if failed else 0
 
 
@@ -562,6 +630,20 @@ def main(argv: list[str] | None = None) -> int:
         help="crash-safe checkpoint directory (warm restore on start, "
         "final checkpoint after the drain)",
     )
+    p_srv.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve from the single-threaded asyncio front end instead "
+        "of a thread per connection",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="SO_REUSEPORT worker processes (requires --async and an "
+        "explicit --port); the kernel spreads connections across loops",
+    )
     p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser(
@@ -603,6 +685,13 @@ def main(argv: list[str] | None = None) -> int:
         help="seeded server-side latency-spike rate (--spawn only)",
     )
     p_rep.add_argument("--spike-seconds", type=float, default=0.25)
+    p_rep.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="spawn the asyncio front end instead of the threaded one "
+        "(--spawn only)",
+    )
     p_rep.add_argument("--json", action="store_true")
     p_rep.set_defaults(func=_cmd_replay)
 

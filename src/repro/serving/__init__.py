@@ -21,11 +21,15 @@ pure cache reads. This package is that architecture as a subsystem:
 * :mod:`repro.serving.httpd` — the gateway behind a real listening socket
   (``python -m repro serve``): keep-alive, graceful drain, backlog
   overflow surfaced as shed;
+* :mod:`repro.serving.aiohttpd` — the same contract on a single-threaded
+  asyncio event loop (``python -m repro serve --async``): executor
+  offload for blocking handlers, ``SO_REUSEPORT`` multi-loop fan-out;
 * :mod:`repro.serving.replay` — the open-loop socket replayer
   (``python -m repro replay``): persistent connection pools, diurnal x
   Zipf arrivals, hedged requests, tail SLO reporting.
 """
 
+from repro.serving.aiohttpd import AsyncGatewayHTTPServer
 from repro.serving.chaos import (
     ChaosConfig,
     FaultConfig,
@@ -59,6 +63,7 @@ from repro.serving.store import (
 )
 
 __all__ = [
+    "AsyncGatewayHTTPServer",
     "BackgroundRefresher",
     "ChaosConfig",
     "Clock",

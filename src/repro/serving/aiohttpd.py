@@ -1,0 +1,602 @@
+"""Asyncio HTTP front end for the gateway (one event loop, no threads-per-connection).
+
+The threaded front end (:mod:`repro.serving.httpd`) spends its capacity on
+thread wakeups: every keep-alive connection pins a thread, and past a few
+dozen connections the scheduler — not the gateway — sets the throughput
+ceiling. This module serves the same routes from a single-threaded
+``asyncio`` event loop (stdlib only): connections are protocol objects,
+socket readiness is one ``epoll`` set, and the loop multiplexes thousands
+of keep-alive peers without a thread each.
+
+The contract is unchanged from the threaded server — it is the *same*
+transport-agnostic core (:mod:`repro.serving.httpcore`):
+
+* **parity** — same status code and byte-identical body (via
+  :func:`repro.service.rest.encode_body`) as the in-process gateway for
+  every URL, across every status path (200/400/404/429/503/504);
+* **keep-alive** — HTTP/1.1 persistent connections, ``Content-Length``
+  always set; per-connection read timeouts reap dead peers;
+* **overflow shed** — beyond ``max_connections`` concurrent connections
+  the accept loop writes the canned 429 + ``Retry-After`` and closes
+  (bytes identical to the threaded server's shed, both built by
+  :func:`~repro.serving.httpcore.shed_response_bytes`);
+* **graceful drain** — :meth:`AsyncGatewayHTTPServer.stop` stops
+  accepting, lets in-flight requests finish, closes idle keep-alives,
+  sheds the kernel accept-queue backlog, and only then checkpoints and
+  stops the gateway.
+
+Three event-loop-specific decisions:
+
+* **inline fast path** — most requests are warm-store reads the gateway
+  answers in microseconds; paying a thread-pool round trip for each would
+  cost more than the handler itself. The protocol asks the gateway
+  (:meth:`~repro.serving.gateway.ServingGateway.can_serve_inline`)
+  whether the URL can be answered without blocking — warm ``predictions``
+  and ``bid`` reads, health, metrics, every in-memory error path — and if
+  so dispatches *synchronously inside* ``data_received``: one callback
+  from bytes-in to bytes-out, no task, no timer, no context switch.
+* **executor offload** — everything that may block (a cold-miss fit, the
+  ``cheapest`` zone scan, any request when a chaos spike hook is armed —
+  hooks may sleep) runs via ``loop.run_in_executor`` on a small thread
+  pool behind a bounded semaphore: the loop keeps serving socket I/O
+  while at most ``executor_workers`` handlers run, and excess requests
+  queue on the (async) semaphore instead of spawning threads.
+* **SO_REUSEPORT fan-out** — one loop is one core. ``reuse_port=True``
+  lets N server processes (``python -m repro serve --async --workers N``)
+  bind the same port and have the kernel spread connections across
+  loops; the replayer's EWMA/quarantine routing needs no changes to
+  drive them.
+
+Read timeouts are enforced by one coarse idle reaper rather than a
+per-read ``asyncio.wait_for``: arming and cancelling a timer for every
+request costs ~50 µs on this path, while a sweep every fraction of the
+timeout gives the same guarantee (a dead peer is reaped within
+``request_timeout_seconds`` plus one sweep interval) for a per-request
+cost of zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.rest import encode_body
+from repro.serving.gateway import ServingGateway
+from repro.serving.httpcore import (
+    SpikeHook,
+    dispatch,
+    render_response,
+    retry_after_header,
+    shed_response_bytes,
+    sweep_backlog,
+)
+from repro.serving.httpd import HttpdConfig
+
+__all__ = ["AsyncGatewayHTTPServer"]
+
+#: Cap on one buffered request head (request line + headers).
+_MAX_HEAD_BYTES = 65536
+
+
+class _Headers:
+    """Case-insensitive view of one request's header lines (the subset of
+    the ``email.message`` interface the spike hooks and keep-alive logic
+    use: ``get``/``__contains__``)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, lines: list[str]) -> None:
+        items: dict[str, str] = {}
+        for line in lines:
+            name, sep, value = line.partition(":")
+            if sep:
+                items[name.strip().lower()] = value.strip()
+        self._items = items
+
+    def get(self, name: str, default=None):
+        return self._items.get(name.lower(), default)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+
+class _BadRequest(Exception):
+    """Malformed request head; the connection gets a 400 and closes."""
+
+
+def _parse_head(head: bytes) -> tuple[str, str, _Headers]:
+    """Split one request head into (method, path, headers)."""
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise _BadRequest("malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise _BadRequest(f"unsupported protocol {version!r}")
+    return method, path, _Headers(lines[1:])
+
+
+class _GatewayProtocol(asyncio.Protocol):
+    """One keep-alive connection: buffer bytes, parse heads, answer.
+
+    The hot path never leaves ``data_received``: head found in the
+    buffer, gateway dispatched inline, response written to the transport
+    — all in the same callback. Only requests the gateway cannot answer
+    from memory become a task (executor offload); while one is in flight
+    the protocol stops parsing (``busy``) so responses stay ordered, and
+    resumes from the buffer when the response has been written.
+    """
+
+    __slots__ = ("server", "transport", "buffer", "busy", "last_activity")
+
+    def __init__(self, server: "AsyncGatewayHTTPServer") -> None:
+        self.server = server
+        self.transport: asyncio.Transport | None = None
+        self.buffer = bytearray()
+        self.busy = False  # an offloaded request is in flight
+        self.last_activity = 0.0
+
+    # -- transport callbacks ---------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        self.last_activity = self.server._loop.time()
+        self.server._gateway.metrics.gauge("httpd.active_connections").set(
+            len(self.server._connections)
+        )
+
+    def connection_lost(self, exc) -> None:
+        server = self.server
+        server._connections.discard(self)
+        server._gateway.metrics.gauge("httpd.active_connections").set(
+            len(server._connections)
+        )
+
+    def eof_received(self) -> bool:
+        return False  # peer finished sending; close our side too
+
+    def data_received(self, data: bytes) -> None:
+        self.last_activity = self.server._loop.time()
+        self.buffer += data
+        if not self.busy:
+            self._process()
+
+    # -- request loop ----------------------------------------------------------
+
+    def _process(self) -> None:
+        """Answer every complete head in the buffer, in order."""
+        while True:
+            index = self.buffer.find(b"\r\n\r\n")
+            if index < 0:
+                if len(self.buffer) > _MAX_HEAD_BYTES:
+                    self.transport.close()  # oversized head; no valid answer
+                return
+            head = bytes(self.buffer[:index])
+            del self.buffer[: index + 4]
+            if not self._serve(head):
+                return
+
+    def _serve(self, head: bytes) -> bool:
+        """Answer one request; ``False`` pauses the loop (offload pending
+        or connection closing)."""
+        server = self.server
+        try:
+            method, path, headers = _parse_head(head)
+        except _BadRequest as exc:
+            self._write(400, {"error": str(exc)}, close=True)
+            return False
+        if method != "GET":
+            self._write(
+                501, {"error": f"unsupported method {method!r}"}, close=True
+            )
+            return False
+        close = (
+            server._draining
+            or headers.get("Connection", "").lower() == "close"
+        )
+        server._requests_total.inc()
+        if server._spike is None:
+            can_inline, curve = server._gateway.probe_inline(path)
+            if can_inline:
+                server._requests_inline.inc()
+                status, body = dispatch(server._gateway, None, path, headers)
+                if status == 200 and curve is not None:
+                    self._write_encoded(
+                        status, body, curve, path, close=close
+                    )
+                else:
+                    self._write(status, body, close=close)
+                return not close
+        self.busy = True
+        task = server._loop.create_task(self._offload(path, headers, close))
+        server._request_tasks.add(task)
+        task.add_done_callback(server._request_done)
+        return False
+
+    async def _offload(self, path: str, headers: _Headers, close: bool) -> None:
+        """One potentially blocking gateway call, off the loop, behind
+        the bounded semaphore."""
+        server = self.server
+        server._inflight_requests += 1
+        try:
+            async with server._gate:
+                status, body = await server._loop.run_in_executor(
+                    server._executor,
+                    dispatch,
+                    server._gateway,
+                    server._spike,
+                    path,
+                    headers,
+                )
+        finally:
+            server._inflight_requests -= 1
+        if self.transport is None or self.transport.is_closing():
+            return  # peer went away while the handler ran
+        self._write(status, body, close=close)
+        self.busy = False
+        self.last_activity = server._loop.time()
+        if not close:
+            self._process()  # pipelined heads may already be buffered
+
+    def _write(self, status: int, body: dict, *, close: bool) -> None:
+        payload = encode_body(body)
+        self.transport.write(
+            render_response(
+                status,
+                payload,
+                retry_after=retry_after_header(body),
+                close=close,
+            )
+        )
+        if close:
+            self.transport.close()
+
+    def _write_encoded(
+        self, status: int, body: dict, curve, path: str, *, close: bool
+    ) -> None:
+        """Write a warm 200, reusing its cached wire encoding.
+
+        A warm curve is immutable and its body is a pure function of
+        (curve, URL), so the JSON encoding — the single largest cost on
+        the inline path, dominated by float repr — is byte-stable until a
+        refresh swaps the curve object. The cache is validated by object
+        identity against the curve the probe saw; a refresh landing
+        between probe and dispatch makes one entry mis-keyed for one
+        request, and the next probe (seeing the new object) re-encodes.
+        The gateway call above still runs in full, so every counter,
+        gauge and histogram ticks exactly as on the uncached path.
+        """
+        cache = self.server._encode_cache
+        cached = cache.get(path)
+        if cached is not None and cached[0] is curve:
+            payload = cached[1]
+        else:
+            payload = encode_body(body)
+            if len(cache) >= 4096:
+                cache.clear()  # bounded; refreshes strand dead entries
+            cache[path] = (curve, payload)
+        self.transport.write(
+            render_response(status, payload, retry_after=None, close=close)
+        )
+        if close:
+            self.transport.close()
+
+
+class AsyncGatewayHTTPServer:
+    """The gateway behind a single-threaded asyncio event loop.
+
+    Drop-in for :class:`~repro.serving.httpd.GatewayHTTPServer`: same
+    constructor shape, same ``start``/``stop``/``address``/``url``
+    surface, same drain statistics, same metrics names — so the parity
+    suite, the replayer and the chaos spike hook treat the two servers
+    interchangeably. The loop runs in one background thread; warm-store
+    reads dispatch inline on the loop, while potentially blocking gateway
+    work (cold-miss fits, snapshot writes, chaos spikes) runs on a
+    bounded executor so it never stalls connection I/O.
+
+    ``manage_gateway=True`` (default) ties the gateway lifecycle to the
+    server's, exactly as the threaded server does: :meth:`start` starts
+    the refresher workers (and the warm-restore), :meth:`stop` — after
+    the drain — stops the gateway, which writes the final checkpoint.
+    """
+
+    def __init__(
+        self,
+        gateway: ServingGateway,
+        config: HttpdConfig | None = None,
+        *,
+        spike: SpikeHook | None = None,
+        manage_gateway: bool = True,
+    ) -> None:
+        self._gateway = gateway
+        self._cfg = config or HttpdConfig()
+        self._spike = spike
+        self._manage_gateway = manage_gateway
+        self._listener: socket.socket | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        # Loop-confined state (touched only from the loop thread).
+        self._accept_task: asyncio.Task | None = None
+        self._reaper_task: asyncio.Task | None = None
+        self._connections: set[_GatewayProtocol] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._shed_tasks: set[asyncio.Task] = set()
+        self._inflight_requests = 0
+        self._draining = False
+        self._gate: asyncio.Semaphore | None = None
+        # url -> (curve, payload): wire encodings of warm 200s, validated
+        # by curve object identity (see _GatewayProtocol._write_encoded).
+        self._encode_cache: dict[str, tuple[object, bytes]] = {}
+        # Metric objects resolved once at start(): the registry lookup is
+        # lock-protected and would otherwise run on every request.
+        self._requests_total = None
+        self._requests_inline = None
+
+    # -- public surface (mirrors GatewayHTTPServer) ---------------------------
+
+    @property
+    def gateway(self) -> ServingGateway:
+        """The gateway this server fronts."""
+        return self._gateway
+
+    @property
+    def config(self) -> HttpdConfig:
+        """The server configuration."""
+        return self._cfg
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — concrete even when port 0 was asked."""
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the listening server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AsyncGatewayHTTPServer":
+        """Bind, listen, and serve on a background event loop (idempotent)."""
+        if self._listener is not None:
+            return self
+        if self._manage_gateway:
+            self._gateway.start()
+        for name in (
+            "httpd.connections",
+            "httpd.connections_shed",
+        ):
+            self._gateway.metrics.counter(name)
+        self._requests_total = self._gateway.metrics.counter("httpd.requests")
+        self._requests_inline = self._gateway.metrics.counter(
+            "httpd.requests_inline"
+        )
+        self._gateway.metrics.gauge("httpd.active_connections")
+        self._encode_cache.clear()
+        # Bind synchronously so `address` is concrete before start() returns
+        # (and clients can already queue in the backlog).
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self._cfg.reuse_port:
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            listener.bind((self._cfg.host, self._cfg.port))
+            listener.listen(self._cfg.backlog)
+            listener.setblocking(False)
+        except BaseException:
+            listener.close()
+            raise
+        self._listener = listener
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._cfg.executor_workers,
+            thread_name_prefix="aiohttpd-handler",
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="gateway-aiohttpd",
+            daemon=True,
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self._install(), self._loop).result()
+        return self
+
+    def stop(self) -> dict:
+        """Graceful drain, then shut the gateway down (final checkpoint).
+
+        Same sequence and statistics as the threaded server: stop
+        accepting; wait for in-flight requests (bounded by
+        ``drain_timeout_seconds``); close remaining keep-alive
+        connections; shed the kernel accept queue; close the listener;
+        stop the gateway (final checkpoint).
+        """
+        loop, thread = self._loop, self._thread
+        if loop is None:
+            return {"drained": True, "forced_close": 0, "backlog_shed": 0}
+        stats = asyncio.run_coroutine_threadsafe(self._drain(), loop).result()
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        loop.close()
+        self._executor.shutdown(wait=True)
+        self._listener.close()
+        self._listener = None
+        self._loop = self._thread = self._executor = None
+        if self._manage_gateway:
+            self._gateway.wait_idle(self._cfg.drain_timeout_seconds)
+            self._gateway.stop()
+        return stats
+
+    def __enter__(self) -> "AsyncGatewayHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- loop side ------------------------------------------------------------
+
+    async def _install(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._gate = asyncio.Semaphore(self._cfg.executor_workers)
+        self._accept_task = loop.create_task(self._accept_loop())
+        self._reaper_task = loop.create_task(self._reap_idle())
+
+    async def _accept_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            sock, _addr = await loop.sock_accept(self._listener)
+            self._admit(loop, sock)
+            # Greedily drain the kernel accept queue before yielding.
+            # Under a connection storm, one accept per ready-queue round
+            # trip would park late connections — first request already
+            # sent — behind every queued I/O event for the whole storm.
+            while True:
+                try:
+                    sock, _addr = self._listener.accept()
+                except (BlockingIOError, InterruptedError):
+                    break
+                self._admit(loop, sock)
+
+    def _admit(self, loop: asyncio.AbstractEventLoop, sock: socket.socket) -> None:
+        """Gate one accepted socket: shed past the cap, else wrap it in a
+        transport. The selector loop's transport factory installs
+        synchronously, so a batch of storm accepts is wired up in one
+        ready-queue round; the public ``connect_accepted_socket`` (one
+        task + waiter per connection) is the fallback for loops without
+        it."""
+        if self._draining or (
+            len(self._connections) >= self._cfg.max_connections
+        ):
+            self._shed(sock)
+            return
+        sock.setblocking(False)  # greedy accept() returns blocking sockets
+        self._gateway.metrics.counter("httpd.connections").inc()
+        protocol = _GatewayProtocol(self)
+        self._connections.add(protocol)
+        make_transport = getattr(loop, "_make_socket_transport", None)
+        if make_transport is not None:
+            make_transport(sock, protocol)
+            return
+        task = loop.create_task(self._install_connection(protocol, sock))
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_done)
+
+    async def _install_connection(
+        self, protocol: "_GatewayProtocol", sock: socket.socket
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.connect_accepted_socket(lambda: protocol, sock)
+        except OSError:
+            self._connections.discard(protocol)
+            sock.close()
+            return
+
+    async def _reap_idle(self) -> None:
+        """Close keep-alive peers idle past the read timeout.
+
+        One sweep for all connections instead of one timer per read: a
+        dead peer is closed within ``request_timeout_seconds`` plus one
+        sweep interval. Connections with an offloaded request in flight
+        are not reaped — the timeout covers *reads*, as in the threaded
+        server.
+        """
+        timeout = self._cfg.request_timeout_seconds
+        interval = min(max(timeout / 4.0, 0.05), 1.0)
+        while True:
+            await asyncio.sleep(interval)
+            cutoff = self._loop.time() - timeout
+            for protocol in list(self._connections):
+                if (
+                    not protocol.busy
+                    and protocol.last_activity < cutoff
+                    and protocol.transport is not None
+                ):
+                    protocol.transport.close()
+
+    def _request_done(self, task: asyncio.Task) -> None:
+        self._request_tasks.discard(task)
+        if not task.cancelled():
+            task.exception()  # retrieve, so the loop never logs "never retrieved"
+
+    def _shed(self, sock: socket.socket) -> None:
+        """Canned 429 for a connection beyond the cap (or in the drain)."""
+        self._gateway.metrics.counter("httpd.connections_shed").inc()
+        task = asyncio.get_running_loop().create_task(self._shed_task(sock))
+        self._shed_tasks.add(task)
+        task.add_done_callback(self._shed_tasks.discard)
+
+    async def _shed_task(self, sock: socket.socket) -> None:
+        # Same no-RST sequence as httpcore.shed_socket, but cooperative:
+        # send, half-close, drain the unread request bytes to EOF, close —
+        # closing with unread data would RST the in-flight 429 away.
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.sock_sendall(sock, shed_response_bytes(self._gateway))
+            sock.shutdown(socket.SHUT_WR)
+            while True:
+                data = await asyncio.wait_for(
+                    loop.sock_recv(sock, 4096), timeout=1.0
+                )
+                if not data:
+                    return
+        except (OSError, asyncio.TimeoutError):
+            pass  # peer already gone or stalled past the linger budget
+        finally:
+            sock.close()
+
+    # -- drain ----------------------------------------------------------------
+
+    async def _wait_requests_idle(self, timeout: float) -> bool:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self._inflight_requests:
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.002)
+        return True
+
+    async def _drain(self) -> dict:
+        """Loop-side of :meth:`stop` (runs on the event loop thread)."""
+        self._draining = True
+        for task in (self._accept_task, self._reaper_task):
+            if task is None:
+                continue
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, OSError):
+                pass
+        drained = await self._wait_requests_idle(
+            self._cfg.drain_timeout_seconds
+        )
+        # Whatever remains is an idle keep-alive (or a straggler past the
+        # drain budget): close the transport, which fires connection_lost.
+        forced = len(self._connections)
+        for protocol in list(self._connections):
+            if protocol.transport is not None:
+                protocol.transport.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._cfg.drain_timeout_seconds
+        while self._connections and loop.time() < deadline:
+            await asyncio.sleep(0.002)
+        # Offload tasks past the budget answer a closed transport; cancel.
+        for task in list(self._request_tasks):
+            task.cancel()
+        if self._request_tasks:
+            await asyncio.wait(list(self._request_tasks), timeout=1.0)
+        if self._shed_tasks:
+            # Shed writes self-terminate within their 1 s linger budget.
+            await asyncio.wait(list(self._shed_tasks), timeout=2.0)
+            for task in list(self._shed_tasks):
+                task.cancel()
+        # One tick so closed transports run their close callbacks.
+        await asyncio.sleep(0)
+        swept = sweep_backlog(
+            self._listener, shed_response_bytes(self._gateway)
+        )
+        if swept:
+            self._gateway.metrics.counter("httpd.connections_shed").inc(swept)
+        return {"drained": drained, "forced_close": forced, "backlog_shed": swept}

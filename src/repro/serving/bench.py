@@ -42,6 +42,7 @@ Four phases, matching the subsystem's acceptance criteria:
 
 from __future__ import annotations
 
+import gc
 import tempfile
 import threading
 import time
@@ -64,9 +65,11 @@ from repro.serving.store import CurveKey
 from repro.util.tables import format_table
 
 __all__ = [
+    "FrontendBenchConfig",
     "ServingBenchConfig",
     "SloBenchConfig",
     "format_serving_report",
+    "run_frontend_benchmark",
     "run_refresh_benchmark",
     "run_serving_benchmark",
     "run_slo_benchmark",
@@ -624,6 +627,178 @@ def run_slo_benchmark(config: SloBenchConfig | None = None) -> dict:
         "drain": drain,
         "hedge_demo": demo,
     }
+
+
+@dataclass(frozen=True)
+class FrontendBenchConfig:
+    """Shape of the threaded-vs-asyncio front-end comparison.
+
+    Both servers get the *same* replay — same seed, same offered
+    open-loop load, same key universe, same warmed gateway construction —
+    so the only variable is the HTTP front end (thread-per-connection vs
+    single event loop with executor offload).
+
+    The replay runs in ``waves``: each wave is a fresh replayer with a
+    fresh (empty) connection pool against the same running server, so
+    every wave re-pays the connection storm. That is the regime the two
+    designs actually differ in — a thread-per-connection server pays a
+    thread spawn per storm connection, the event loop pays an accept —
+    and repeating the storm also averages out the run-to-run jitter a
+    single short stream suffers on a small host.
+
+    Attributes
+    ----------
+    scale / n_keys / seed:
+        Universe preset, key-universe size, load-generator seed.
+    waves:
+        Replay repetitions; latencies aggregate across all waves.
+    n_requests / rate / warmup_requests / concurrency / timeout_seconds:
+        The open-loop replay of each wave (warmup dropped per wave).
+    max_connections / executor_workers:
+        Server knobs (``executor_workers`` only affects the asyncio
+        front end; the listen backlog is sized to ``2 * concurrency`` so
+        a storm never overflows into SYN retransmits).
+    """
+
+    scale: str = "test"
+    n_keys: int = 4
+    seed: int = 7
+    waves: int = 4
+    n_requests: int = 2000
+    rate: float = 12000.0
+    warmup_requests: int = 100
+    concurrency: int = 128
+    timeout_seconds: float = 5.0
+    max_connections: int = 512
+    executor_workers: int = 8
+
+
+def _replay_waves(server, keys, cfg: FrontendBenchConfig, start_now: float) -> dict:
+    """Run ``cfg.waves`` fresh replays against a running server and
+    aggregate their measured records into one summary."""
+    from repro.serving.replay import ReplayConfig, Replayer
+
+    class _RecordingReplayer(Replayer):
+        """Keeps the raw records so waves can be pooled."""
+
+        def _report(self, records):
+            self.records = records
+            return super()._report(records)
+
+    measured = []
+    achieved_window = 0.0
+    offered_window = 0.0
+    # Cycle-collector pauses land on whichever thread holds the GIL; on
+    # the event-loop front end that is the one serving thread, so GC
+    # noise hits the two designs asymmetrically. Collect between waves,
+    # keep the collector off during each measured wave (both fronts get
+    # the same treatment; one wave is under a second, the garbage fits).
+    for wave in range(cfg.waves):
+        replayer = _RecordingReplayer(
+            [server.url],
+            keys,
+            ReplayConfig(
+                n_requests=cfg.n_requests,
+                rate=cfg.rate,
+                seed=cfg.seed + wave,
+                warmup_requests=cfg.warmup_requests,
+                concurrency=cfg.concurrency,
+                timeout_seconds=cfg.timeout_seconds,
+                start_now=start_now,
+            ),
+        )
+        gc.collect()
+        gc.disable()
+        try:
+            report = replayer.run()
+        finally:
+            gc.enable()
+        measured.extend(replayer.records[cfg.warmup_requests :])
+        achieved_window += (
+            report["responded"] / report["achieved_rps"]
+            if report["achieved_rps"]
+            else 0.0
+        )
+        offered_window += (
+            (report["measured"] - 1) / report["offered_rps"]
+            if report["offered_rps"]
+            else 0.0
+        )
+    responded = [r for r in measured if r.status is not None]
+    latencies = np.asarray([r.latency for r in responded])
+    n = len(measured)
+    shed = sum(1 for r in responded if r.status == 429)
+    return {
+        "waves": cfg.waves,
+        "offered_rps": (n - cfg.waves) / offered_window if offered_window else 0.0,
+        "achieved_rps": (
+            len(responded) / achieved_window if achieved_window else 0.0
+        ),
+        "p50": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+        "p99": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+        "p999": (
+            float(np.percentile(latencies, 99.9)) if latencies.size else 0.0
+        ),
+        "shed_rate": shed / n if n else 0.0,
+        "timeout_rate": sum(r.timeout for r in measured) / n if n else 0.0,
+        "error_rate": sum(r.error for r in measured) / n if n else 0.0,
+        "responded": len(responded),
+    }
+
+
+def run_frontend_benchmark(config: FrontendBenchConfig | None = None) -> dict:
+    """Threaded vs asyncio front end under the identical open-loop replay.
+
+    Returns per-front-end SLO summaries plus the acceptance arithmetic:
+    ``achieved_ratio`` (asyncio achieved throughput over threaded) and
+    ``ok`` — true when asyncio reaches >= 1.5x the threaded achieved
+    throughput at equal-or-better p99.
+    """
+    from repro.serving.aiohttpd import AsyncGatewayHTTPServer
+    from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
+
+    cfg = config or FrontendBenchConfig()
+    universe = scaled_universe(cfg.scale)
+    keys, start_now = _serving_keys(universe, cfg.n_keys, probability=0.95)
+    out: dict = {
+        "keys": ["{}@{}".format(k[0], k[1]) for k in keys],
+        "offered": {
+            "waves": cfg.waves,
+            "n_requests": cfg.n_requests,
+            "rate": cfg.rate,
+            "concurrency": cfg.concurrency,
+        },
+    }
+    for label, server_cls in (
+        ("threaded", GatewayHTTPServer),
+        ("asyncio", AsyncGatewayHTTPServer),
+    ):
+        server = server_cls(
+            _slo_gateway(universe, keys, start_now),
+            HttpdConfig(
+                max_connections=cfg.max_connections,
+                backlog=2 * cfg.concurrency,
+                executor_workers=cfg.executor_workers,
+            ),
+        )
+        server.start()
+        try:
+            summary = _replay_waves(server, keys, cfg, start_now)
+        finally:
+            drain = server.stop()
+        summary["drain"] = drain
+        out[label] = summary
+    out["achieved_ratio"] = out["asyncio"]["achieved_rps"] / max(
+        out["threaded"]["achieved_rps"], 1e-9
+    )
+    out["p99_ratio"] = out["asyncio"]["p99"] / max(
+        out["threaded"]["p99"], 1e-9
+    )
+    out["ok"] = (
+        out["achieved_ratio"] >= 1.5
+        and out["asyncio"]["p99"] <= out["threaded"]["p99"]
+    )
+    return out
 
 
 def run_serving_benchmark(config: ServingBenchConfig | None = None) -> dict:

@@ -243,6 +243,13 @@ class ServingGateway:
         )
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        # URL-parse memo: serving traffic repeats a bounded set of URLs
+        # (key universe x parameter grid), and urlsplit + parse_qs cost
+        # more than a warm store read. Entries are never mutated by the
+        # handlers (read-only segments/query), so sharing them is safe;
+        # plain dict ops are atomic under the GIL, and a racing double
+        # parse merely wastes one parse.
+        self._parse_cache: dict[str, tuple[list[str], dict, str]] = {}
         # Pre-register the instrument set so /metrics always exposes the
         # full contract (a counter that never fired still reads 0).
         for name in (
@@ -397,11 +404,21 @@ class ServingGateway:
 
     # -- request path --------------------------------------------------------
 
+    def _parse_url(self, url: str) -> tuple[list[str], dict, str]:
+        """Split ``url`` into (segments, query, path), memoised."""
+        cached = self._parse_cache.get(url)
+        if cached is None:
+            parts = urlsplit(url)
+            segments = [s for s in parts.path.split("/") if s]
+            query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+            if len(self._parse_cache) >= 4096:
+                self._parse_cache.clear()  # bound the memo under URL churn
+            self._parse_cache[url] = cached = (segments, query, parts.path)
+        return cached
+
     def get(self, url: str) -> Response:
         """Dispatch one GET request."""
-        parts = urlsplit(url)
-        segments = [s for s in parts.path.split("/") if s]
-        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        segments, query, path = self._parse_url(url)
         if segments in (["health"], ["healthz"]):
             self.metrics.counter("gateway.other").inc()
             return Response(200, {"status": "ok"})
@@ -411,7 +428,51 @@ class ServingGateway:
         if len(segments) == 3 and segments[0] in ("predictions", "bid", "cheapest"):
             return self._admitted(segments, query)
         self.metrics.counter("gateway.other").inc()
-        return Response(404, {"error": f"no route for {parts.path!r}"})
+        return Response(404, {"error": f"no route for {path!r}"})
+
+    def can_serve_inline(self, url: str) -> bool:
+        """True when answering ``url`` cannot block the calling thread.
+
+        Every route is an in-memory read except a cold-miss curve, which
+        fits inline — and ``cheapest``, which scans every zone and may hit
+        any number of cold keys. An event-loop front end uses this probe
+        to dispatch warm reads on the loop itself and push potentially
+        blocking requests to its executor. The probe is side-effect free:
+        it reads through :meth:`~repro.serving.store.ShardedCurveStore.peek`,
+        so it never perturbs the store's popularity accounting, and a
+        conservative ``False`` is always safe (the request merely takes
+        the slower, offloaded path).
+        """
+        return self.probe_inline(url)[0]
+
+    def probe_inline(self, url: str):
+        """(non-blocking, warm curve) for ``url`` — the raw probe.
+
+        The first element is :meth:`can_serve_inline`'s answer. The second
+        is the warm curve object that would serve a ``predictions``/``bid``
+        hit, or ``None`` for every other case (in-memory routes, error
+        paths, cold keys). Curves are immutable once fitted, so the object
+        doubles as a cache-validation token: a response derived from this
+        curve and this URL stays byte-stable exactly as long as the store
+        still holds the same object.
+        """
+        segments, query, _path = self._parse_url(url)
+        if len(segments) != 3 or segments[0] not in (
+            "predictions",
+            "bid",
+            "cheapest",
+        ):
+            return True, None  # health/metrics/404 answer from memory
+        if segments[0] == "cheapest":
+            return False, None
+        try:
+            probability, now = parse_floats(query, "probability", "now")
+        except ValueError:
+            return True, None  # a malformed query answers 400 from memory
+        entry = self.store.peek((segments[1], segments[2], probability))
+        if self.store.state_of(entry, now) is EntryState.MISSING:
+            return False, None
+        return True, entry.curve
 
     def _admitted(self, segments: list[str], query: dict) -> Response:
         self.metrics.counter("gateway.requests").inc()

@@ -1,0 +1,185 @@
+"""Transport-agnostic core shared by the threaded and asyncio servers.
+
+Both HTTP front ends (:mod:`repro.serving.httpd`, thread-per-connection;
+:mod:`repro.serving.aiohttpd`, single-threaded event loop) mount the same
+gateway and must answer byte-identically on every status path. Everything
+that defines those bytes — request dispatch, the canned connection-shed
+429, header derivation, the drain-window backlog sweep — lives here, so
+"parity" is one code path instead of two copies that can drift.
+
+Contents:
+
+* :func:`dispatch` — the gateway call with the pre-dispatch spike hook
+  and the answer-on-the-wire exception guard (unexpected errors become a
+  500 body, never a dropped connection);
+* :func:`retry_after_header` — RFC 9110 integer ``Retry-After`` seconds
+  derived from a response body's ``retry_after`` hint;
+* :func:`shed_body` / :func:`shed_response_bytes` — the canned 429 a
+  server writes raw (no handler machinery) when a connection is shed at
+  the accept gate; one builder, so threaded and asyncio shed bytes are
+  identical;
+* :func:`render_response` — a full HTTP/1.1 response head + payload for
+  code paths that write the wire directly (the asyncio server, raw
+  sheds);
+* :func:`sweep_backlog` — accept-and-shed every connection sitting in
+  the kernel accept queue, closing the drain race where a client that
+  connected after the stop-accepting gate would otherwise be reset by
+  the listener's close instead of receiving the canned 429.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+from http.client import responses as _REASONS
+from typing import Callable
+
+from repro.service.rest import encode_body
+
+__all__ = [
+    "SERVER_NAME",
+    "dispatch",
+    "reason_phrase",
+    "render_response",
+    "retry_after_header",
+    "shed_body",
+    "shed_response_bytes",
+    "shed_socket",
+    "sweep_backlog",
+]
+
+#: ``Server:`` header value, shared by both front ends.
+SERVER_NAME = "repro-serving"
+
+#: Pre-dispatch hook: (path, headers) -> None.  May sleep (chaos spikes).
+SpikeHook = Callable[[str, object], None]
+
+
+def reason_phrase(status: int) -> str:
+    """The HTTP reason phrase for ``status`` (empty when unassigned)."""
+    return _REASONS.get(status, "")
+
+
+def dispatch(gateway, spike, path: str, headers) -> tuple[int, dict]:
+    """Run the spike hook then the gateway; never raise.
+
+    The wire must always answer: an unexpected handler exception becomes
+    a 500 body rather than an aborted connection. Returns
+    ``(status, body)``.
+    """
+    if spike is not None:
+        spike(path, headers)
+    try:
+        response = gateway.get(path)
+        return response.status, response.body
+    except Exception as exc:  # noqa: BLE001 — wire must answer
+        return 500, {"error": f"internal error: {exc}"}
+
+
+def retry_after_header(body) -> int | None:
+    """The integer ``Retry-After`` seconds for ``body``, or ``None``.
+
+    RFC 9110 requires integer seconds; the hint is rounded up and floored
+    at 1 so a sub-second ``retry_after`` still tells clients to back off.
+    """
+    retry_after = body.get("retry_after") if isinstance(body, dict) else None
+    if retry_after is None:
+        return None
+    return max(1, math.ceil(retry_after))
+
+
+def render_response(
+    status: int,
+    payload: bytes,
+    *,
+    retry_after: int | None = None,
+    close: bool = False,
+) -> bytes:
+    """A complete HTTP/1.1 response (head + payload) as wire bytes.
+
+    Used wherever a server writes the socket directly instead of going
+    through handler machinery: the asyncio front end for every response,
+    both front ends for the canned accept-gate shed.
+    """
+    head = (
+        f"HTTP/1.1 {status} {reason_phrase(status)}\r\n"
+        f"Server: {SERVER_NAME}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+    )
+    if retry_after is not None:
+        head += f"Retry-After: {retry_after}\r\n"
+    if close:
+        head += "Connection: close\r\n"
+    return head.encode("ascii") + b"\r\n" + payload
+
+
+def shed_body(gateway) -> dict:
+    """The canned connection-shed 429 body (same shape as handler sheds:
+    an ``error`` string plus a float ``retry_after`` hint)."""
+    retry = float(max(1, math.ceil(gateway.config.retry_after_seconds)))
+    return {
+        "error": "server connection limit reached; connection shed",
+        "retry_after": retry,
+    }
+
+
+def shed_response_bytes(gateway) -> bytes:
+    """The full canned 429 both servers write for a shed connection."""
+    body = shed_body(gateway)
+    return render_response(
+        429,
+        encode_body(body),
+        retry_after=retry_after_header(body),
+        close=True,
+    )
+
+
+def shed_socket(
+    sock: socket.socket, shed_bytes: bytes, *, timeout: float = 1.0
+) -> None:
+    """Write the canned shed response and close *without a reset*.
+
+    The shed happens before the server reads the request, so the client's
+    request bytes usually sit unread in the receive buffer — and closing a
+    socket with unread data makes the kernel send RST, which can destroy
+    the in-flight 429 before the client reads it. Sequence instead: send
+    the response, half-close (FIN tells the client no more is coming),
+    then drain the peer's bytes until EOF (bounded by ``timeout``), and
+    only then close. Best-effort throughout — a vanished peer is fine.
+    """
+    try:
+        sock.setblocking(True)
+        sock.settimeout(timeout)
+        sock.sendall(shed_bytes)
+        sock.shutdown(socket.SHUT_WR)
+        while sock.recv(4096):
+            pass
+    except OSError:
+        pass  # peer already gone or stalled past the linger budget
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def sweep_backlog(listener: socket.socket, shed_bytes: bytes) -> int:
+    """Accept-and-shed everything queued on ``listener``; return the count.
+
+    Closes the drain race: a client whose TCP handshake completed in the
+    kernel backlog after the stop-accepting gate would be reset when the
+    listening socket closes. Sweeping immediately before the close hands
+    each of those connections the canned 429 + ``Connection: close``
+    instead. Best-effort by design — a peer that already vanished is
+    skipped, and the sweep stops at the first empty accept.
+    """
+    shed = 0
+    while True:
+        try:
+            listener.settimeout(0)
+            sock, _ = listener.accept()
+        except (BlockingIOError, socket.timeout, OSError):
+            return shed
+        shed_socket(sock, shed_bytes)
+        shed += 1

@@ -29,19 +29,24 @@ harness mounts seeded latency injection there (see
 
 from __future__ import annotations
 
-import math
+import socket
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
 
 from repro.service.rest import encode_body
 from repro.serving.gateway import ServingGateway
+from repro.serving.httpcore import (
+    SERVER_NAME,
+    SpikeHook,
+    dispatch,
+    retry_after_header,
+    shed_response_bytes,
+    shed_socket,
+    sweep_backlog,
+)
 
 __all__ = ["GatewayHTTPServer", "HttpdConfig"]
-
-#: Pre-dispatch hook: (path, headers) -> None.  May sleep (chaos spikes).
-SpikeHook = Callable[[str, object], None]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,15 @@ class HttpdConfig:
         requests before force-closing their connections.
     request_timeout_seconds:
         Per-connection socket read timeout (reaps dead keep-alive peers).
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several server processes (or event
+        loops) can share one port and let the kernel spread accepted
+        connections across them (the ``--workers`` fan-out mode).
+    executor_workers:
+        Asyncio front end only: threads in the executor that runs gateway
+        handler calls off the event loop (blocking work — refits,
+        snapshots — must never stall the loop). Ignored by the threaded
+        server, whose per-connection threads already provide this.
     """
 
     host: str = "127.0.0.1"
@@ -70,6 +84,8 @@ class HttpdConfig:
     backlog: int = 128
     drain_timeout_seconds: float = 10.0
     request_timeout_seconds: float = 30.0
+    reuse_port: bool = False
+    executor_workers: int = 8
 
     def __post_init__(self) -> None:
         if self.max_connections < 1:
@@ -80,13 +96,15 @@ class HttpdConfig:
             raise ValueError("drain_timeout_seconds must be >= 0")
         if self.request_timeout_seconds <= 0:
             raise ValueError("request_timeout_seconds must be positive")
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
 
 
 class _Handler(BaseHTTPRequestHandler):
     """One thread per connection; GETs delegate to the gateway."""
 
     protocol_version = "HTTP/1.1"
-    server_version = "repro-serving"
+    server_version = SERVER_NAME
     sys_version = ""
     # An unbuffered wfile sends every header line as its own small TCP
     # segment, and Nagle + delayed ACK then stalls each response ~40 ms on
@@ -110,25 +128,16 @@ class _Handler(BaseHTTPRequestHandler):
         server = self.server
         server.request_begin()
         try:
-            if server.spike is not None:
-                server.spike(self.path, self.headers)
-            try:
-                response = server.gateway.get(self.path)
-                status, body = response.status, response.body
-            except Exception as exc:  # noqa: BLE001 — wire must answer
-                status, body = 500, {"error": f"internal error: {exc}"}
+            status, body = dispatch(
+                server.gateway, server.spike, self.path, self.headers
+            )
             payload = encode_body(body)
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
-            retry_after = (
-                body.get("retry_after") if isinstance(body, dict) else None
-            )
+            retry_after = retry_after_header(body)
             if retry_after is not None:
-                # RFC 9110: Retry-After is integer seconds.
-                self.send_header(
-                    "Retry-After", str(max(1, math.ceil(retry_after)))
-                )
+                self.send_header("Retry-After", str(retry_after))
             if server.draining:
                 self.send_header("Connection", "close")
                 self.close_connection = True
@@ -164,6 +173,11 @@ class _Server(ThreadingHTTPServer):
             gateway.metrics.counter(name)
         gateway.metrics.gauge("httpd.active_connections")
         super().__init__((config.host, config.port), _Handler)
+
+    def server_bind(self) -> None:
+        if self._cfg.reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     # -- connection admission -------------------------------------------------
 
@@ -210,26 +224,7 @@ class _Server(ThreadingHTTPServer):
     def _shed_connection(self, request) -> None:
         """Answer 429 instead of letting the backlog reset the client."""
         self.gateway.metrics.counter("httpd.connections_shed").inc()
-        retry = max(1, math.ceil(self.gateway.config.retry_after_seconds))
-        payload = encode_body(
-            {
-                "error": "server connection limit reached; connection shed",
-                "retry_after": float(retry),
-            }
-        )
-        head = (
-            "HTTP/1.1 429 Too Many Requests\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Retry-After: {retry}\r\n"
-            "Connection: close\r\n\r\n"
-        ).encode("ascii")
-        try:
-            request.sendall(head + payload)
-        except OSError:
-            pass  # client already gone; shed is still counted
-        finally:
-            self.shutdown_request(request)
+        shed_socket(request, shed_response_bytes(self.gateway))
 
     # -- drain bookkeeping ----------------------------------------------------
 
@@ -260,13 +255,11 @@ class _Server(ThreadingHTTPServer):
 
     def close_open_connections(self) -> None:
         """Unblock idle keep-alive handlers by closing their sockets."""
-        import socket as socket_module
-
         with self._state:
             sockets = list(self._open_sockets)
         for sock in sockets:
             try:
-                sock.shutdown(socket_module.SHUT_RDWR)
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
 
@@ -344,13 +337,14 @@ class GatewayHTTPServer:
         """Graceful drain, then shut the gateway down (final checkpoint).
 
         Sequence: stop accepting; wait for in-flight requests to finish;
-        close remaining (idle) keep-alive connections; close the listening
-        socket; stop the gateway — whose shutdown checkpoint therefore
-        observes every admitted request. Returns drain statistics.
+        close remaining (idle) keep-alive connections; shed the kernel
+        accept queue; close the listening socket; stop the gateway —
+        whose shutdown checkpoint therefore observes every admitted
+        request. Returns drain statistics.
         """
         server, thread = self._server, self._thread
         if server is None:
-            return {"drained": True, "forced_close": 0}
+            return {"drained": True, "forced_close": 0, "backlog_shed": 0}
         timeout = self._cfg.drain_timeout_seconds
         with server._state:
             server.draining = True
@@ -361,12 +355,19 @@ class GatewayHTTPServer:
             forced = len(server._open_sockets)
         server.close_open_connections()
         server.wait_connections_closed(timeout)
+        # Connections whose handshake completed in the kernel backlog after
+        # the accept loop exited never reached process_request; without
+        # this sweep, closing the listener would reset them instead of
+        # answering the canned 429.
+        swept = sweep_backlog(server.socket, shed_response_bytes(self._gateway))
+        if swept:
+            self._gateway.metrics.counter("httpd.connections_shed").inc(swept)
         server.server_close()
         self._server, self._thread = None, None
         if self._manage_gateway:
             self._gateway.wait_idle(timeout)
             self._gateway.stop()
-        return {"drained": drained, "forced_close": forced}
+        return {"drained": drained, "forced_close": forced, "backlog_shed": swept}
 
     def __enter__(self) -> "GatewayHTTPServer":
         return self.start()

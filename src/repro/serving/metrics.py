@@ -120,28 +120,30 @@ class Histogram:
         The quantile's rank is located in the cumulative bucket counts and
         the estimate interpolated linearly inside the containing bucket
         (Prometheus ``histogram_quantile`` semantics, assuming non-negative
-        samples so the first bucket's lower edge is 0). Returns ``inf``
-        when the rank falls in the overflow bucket and ``nan`` when the
-        histogram is empty.
+        samples so the first bucket's lower edge is 0). Always a finite,
+        defined value: an empty histogram answers ``0.0`` (not NaN, which
+        would also poison the ``/metrics`` JSON), and a rank falling in
+        the overflow bucket answers the highest finite bound — the
+        Prometheus convention for the ``+Inf`` bucket.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         with self._lock:
             if self._count == 0:
-                return float("nan")
+                return 0.0
             rank = q * self._count
             seen = 0
             for index, count in enumerate(self._counts):
                 seen += count
                 if seen >= rank and count:
                     if index >= len(self.bounds):
-                        return float("inf")
+                        return self.bounds[-1]
                     lower = self.bounds[index - 1] if index > 0 else 0.0
                     upper = self.bounds[index]
                     fraction = (rank - (seen - count)) / count
                     fraction = min(max(fraction, 0.0), 1.0)
                     return lower + fraction * (upper - lower)
-        return float("inf")
+        return self.bounds[-1]
 
     def to_dict(self) -> dict:
         """JSON-ready form: per-bucket counts keyed by upper edge, plus

@@ -33,10 +33,10 @@ queueing delay). Threaded mode measures real wall time.
 
 from __future__ import annotations
 
+import socket
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from http.client import HTTPConnection
 from typing import Callable, Sequence
 from urllib.parse import urlsplit
 
@@ -277,19 +277,154 @@ class EwmaTracker:
             }
 
 
+class _HeaderDict(dict):
+    """Response headers keyed lowercase, read case-insensitively."""
+
+    def get(self, key, default=None):
+        return dict.get(self, key.lower(), default)
+
+
+class _LeanResponse:
+    """One parsed HTTP response: status, headers, fully buffered body."""
+
+    __slots__ = ("status", "headers", "_body", "_read")
+
+    def __init__(self, status: int, headers: _HeaderDict, body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self._body = body
+        self._read = False
+
+    def read(self) -> bytes:
+        self._read = True
+        return self._body
+
+    def isclosed(self) -> bool:
+        """Whether the body has been fully consumed (``http.client``'s
+        keep-alive-safety signal, which the pool checks before reuse)."""
+        return self._read
+
+
+class HTTPConnection:
+    """Minimal keep-alive HTTP/1.1 client for the replay harness.
+
+    A drop-in for the ``http.client`` surface the transport pool uses
+    (``request``/``getresponse``/``close``; responses answer ``read``,
+    ``isclosed``, ``status``, ``headers.get``). The stdlib client routes
+    every response through ``email.parser`` header parsing — on a small
+    host that costs more CPU than the server work being measured, and a
+    load generator that out-weighs its target measures itself. This
+    client is a buffered socket with a ``find``-and-``split`` parser.
+
+    It requires ``Content-Length`` on every response (the serving front
+    ends always set it; they never chunk) — which is what makes the lean
+    parse sufficient.
+    """
+
+    def __init__(self, host: str, port: int = 80, timeout: float | None = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = bytearray()
+
+    def connect(self) -> None:
+        """Open the TCP connection (done lazily by ``request``)."""
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def request(self, method: str, url: str, body=None, headers=None) -> None:
+        """Send one bodiless request (the replay only issues GETs)."""
+        if self._sock is None:
+            self.connect()
+        lines = [f"{method} {url} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+    def _fill(self) -> None:
+        data = self._sock.recv(65536)
+        if not data:
+            raise ConnectionError("connection closed mid-response")
+        self._buffer += data
+
+    def getresponse(self) -> _LeanResponse:
+        """Read and parse one response off the connection."""
+        while True:
+            index = self._buffer.find(b"\r\n\r\n")
+            if index >= 0:
+                break
+            self._fill()
+        head = bytes(self._buffer[:index])
+        del self._buffer[: index + 4]
+        lines = head.split(b"\r\n")
+        try:
+            status = int(lines[0].split(b" ", 2)[1])
+        except (IndexError, ValueError):
+            raise ConnectionError(
+                f"malformed status line {lines[0]!r}"
+            ) from None
+        headers = _HeaderDict()
+        for line in lines[1:]:
+            name, sep, value = line.partition(b":")
+            if sep:
+                headers[name.strip().lower().decode("latin-1")] = (
+                    value.strip().decode("latin-1")
+                )
+        length = headers.get("content-length")
+        if length is None:
+            raise ConnectionError("response without Content-Length")
+        length = int(length)
+        while len(self._buffer) < length:
+            self._fill()
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return _LeanResponse(status, headers, body)
+
+    def close(self) -> None:
+        """Close the connection and drop any buffered bytes."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        self._buffer.clear()
+
+
 class HttpTransport:
-    """Persistent keep-alive connection pools, one per target base URL."""
+    """Persistent keep-alive connection pools, one per target base URL.
+
+    Every connection the transport ever creates is accounted for:
+    ``created == idle + in_flight + discarded`` at all times (the
+    conservation invariant the hedge-path regression tests assert). A
+    connection is *discarded* (closed, never re-pooled) when its response
+    failed, was half-read — a losing hedge abandoned mid-body cannot be
+    reused, the next request would read the stale tail — or carried
+    ``Connection: close``; and when it is released after :meth:`close`
+    already ran, which previously re-pooled it into the fresh dict where
+    nothing would ever close it.
+    """
 
     def __init__(self, timeout_seconds: float = 5.0) -> None:
         self._timeout = timeout_seconds
         self._lock = threading.Lock()
         self._pools: dict[str, list[HTTPConnection]] = {}
+        self._closed = False
+        self._created = 0
+        self._reused = 0
+        self._discarded = 0
+        self._in_flight = 0
 
     def _acquire(self, target: str) -> HTTPConnection:
         with self._lock:
+            self._in_flight += 1
             pool = self._pools.setdefault(target, [])
             if pool:
+                self._reused += 1
                 return pool.pop()
+            self._created += 1
         parts = urlsplit(target)
         return HTTPConnection(
             parts.hostname, parts.port or 80, timeout=self._timeout
@@ -297,7 +432,21 @@ class HttpTransport:
 
     def _release(self, target: str, conn: HTTPConnection) -> None:
         with self._lock:
-            self._pools.setdefault(target, []).append(conn)
+            self._in_flight -= 1
+            if not self._closed:
+                self._pools.setdefault(target, []).append(conn)
+                return
+            # close() already ran (e.g. the replay finished while a losing
+            # hedge was still in flight): re-pooling would leak an open
+            # connection nobody will ever close.
+            self._discarded += 1
+        conn.close()
+
+    def _discard(self, target: str, conn: HTTPConnection) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._discarded += 1
+        conn.close()
 
     def __call__(
         self, target: str, path: str, timeout: float, headers: dict
@@ -309,21 +458,39 @@ class HttpTransport:
             body = response.read()
             closing = response.headers.get("Connection", "").lower() == "close"
         except BaseException:
-            conn.close()  # a half-read connection cannot be reused
+            self._discard(target, conn)  # half-read: cannot be reused
             raise
-        if closing:
-            conn.close()
+        if closing or not response.isclosed():
+            # Server asked to close, or the body was not fully consumed
+            # (a reused connection would see the stale remainder).
+            self._discard(target, conn)
         else:
             self._release(target, conn)
         return response.status, body
 
     def close(self) -> None:
-        """Close every pooled connection."""
+        """Close every pooled connection; later releases discard."""
         with self._lock:
             pools, self._pools = self._pools, {}
+            self._closed = True
+            closed = sum(len(pool) for pool in pools.values())
+            self._discarded += closed
         for pool in pools.values():
             for conn in pool:
                 conn.close()
+
+    def stats(self) -> dict:
+        """Pool accounting (the conservation invariant, JSON-ready)."""
+        with self._lock:
+            idle = sum(len(pool) for pool in self._pools.values())
+            return {
+                "created": self._created,
+                "reused": self._reused,
+                "discarded": self._discarded,
+                "in_flight": self._in_flight,
+                "idle": idle,
+                "closed": self._closed,
+            }
 
 
 class _HedgeDelayPolicy:
@@ -517,6 +684,22 @@ class Replayer:
         target = self.tracker.pick(index)
         record.target = target
         delay = self._delay_policy.current()
+        if delay is None:
+            # No hedge armed: call the transport on this worker thread
+            # directly. Routing through the io executor would add two
+            # thread hops per request — and double the client's thread
+            # count — for a future nobody races against. The transport's
+            # socket timeout enforces the request budget.
+            try:
+                status, _body = self._call(target, request.url, {})
+            except TimeoutError:
+                record.timeout = True
+            except OSError:
+                record.error = True
+            else:
+                record.status = status
+            self._finish(record, t0)
+            return
         primary = io.submit(self._call, target, request.url, {})
         futures = {primary: target}
         if delay is not None:
@@ -582,12 +765,18 @@ class Replayer:
         ]
         t0 = self._clock.now()
         if cfg.concurrency == 0:
-            for i, request in enumerate(stream):
-                delay = (t0 + request.arrival) - self._clock.now()
-                if delay > 0:
-                    self._clock.sleep(delay)
-                records[i].submitted = self._clock.now() - t0
-                self._run_one_inline(i, request, records[i], t0)
+            try:
+                for i, request in enumerate(stream):
+                    delay = (t0 + request.arrival) - self._clock.now()
+                    if delay > 0:
+                        self._clock.sleep(delay)
+                    records[i].submitted = self._clock.now() - t0
+                    self._run_one_inline(i, request, records[i], t0)
+            finally:
+                # Inline mode owns its transport too: without this close
+                # the idle keep-alive pool outlives the replay.
+                if self._own_transport:
+                    self._transport.close()
         else:
             workers = ThreadPoolExecutor(
                 max_workers=cfg.concurrency, thread_name_prefix="replay"
@@ -595,6 +784,19 @@ class Replayer:
             io = ThreadPoolExecutor(
                 max_workers=2 * cfg.concurrency, thread_name_prefix="replay-io"
             )
+            # Force the worker pool to full size before the clock starts.
+            # The executor otherwise spawns one thread per submit through
+            # the ramp-up, and on a small host that creation storm (GIL +
+            # scheduler churn) pollutes the first measured latencies of
+            # whatever server happens to be under test.
+            gate = threading.Barrier(cfg.concurrency + 1)
+            prespawned = [
+                workers.submit(gate.wait) for _ in range(cfg.concurrency)
+            ]
+            gate.wait()
+            for future in prespawned:
+                future.result()
+            t0 = self._clock.now()
             futures = []
             try:
                 for i, request in enumerate(stream):
@@ -693,6 +895,11 @@ class Replayer:
                 "max": float(queue_delays.max()) if n else 0.0,
             },
             "targets": self.tracker.snapshot(),
+            "transport": (
+                self._transport.stats()
+                if isinstance(self._transport, HttpTransport)
+                else None
+            ),
         }
 
 

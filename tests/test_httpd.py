@@ -1,9 +1,12 @@
 """Socket-server tests: parity with the in-process gateway, keep-alive,
-connection shedding, graceful drain."""
+connection shedding, graceful drain — parametrised over the threaded and
+asyncio front ends, which must be wire-indistinguishable."""
 
 from __future__ import annotations
 
+import asyncio
 import json
+import socket
 import threading
 from http.client import HTTPConnection
 from pathlib import Path
@@ -14,9 +17,21 @@ from repro.cloud.api import EC2Api
 from repro.experiments.common import scaled_universe
 from repro.service.drafts_service import DraftsService, ServiceConfig
 from repro.service.rest import encode_body
+from repro.serving.aiohttpd import AsyncGatewayHTTPServer
 from repro.serving.gateway import GatewayConfig, ServingGateway
+from repro.serving.httpcore import shed_response_bytes
 from repro.serving.httpd import GatewayHTTPServer, HttpdConfig
 from repro.serving.loadgen import predictable_keys
+
+SERVER_KINDS = {
+    "threaded": GatewayHTTPServer,
+    "asyncio": AsyncGatewayHTTPServer,
+}
+
+
+@pytest.fixture(params=sorted(SERVER_KINDS))
+def server_cls(request):
+    return SERVER_KINDS[request.param]
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +61,38 @@ def _get(address, path):
         conn.close()
 
 
+def _read_until_closed(sock: socket.socket) -> bytes:
+    """Drain a socket to EOF (the peer promised Connection: close)."""
+    chunks = b""
+    while True:
+        got = sock.recv(4096)
+        if not got:
+            return chunks
+        chunks += got
+
+
+def _stop_accepting(server) -> None:
+    """Put ``server`` exactly in the drain window: the stop-accepting gate
+    has fired, but the listener is still open and :meth:`stop` has not yet
+    run — new TCP handshakes land in the kernel backlog unanswered."""
+    if isinstance(server, GatewayHTTPServer):
+        inner = server._server
+        with inner._state:
+            inner.draining = True
+        inner.shutdown()  # accept loop exits; listener stays open
+        return
+
+    async def gate() -> None:
+        server._draining = True
+        server._accept_task.cancel()
+        try:
+            await server._accept_task
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run_coroutine_threadsafe(gate(), server._loop).result()
+
+
 class _GatedApi:
     """History reads block on ``gate`` (and flag ``entered``) — a handle to
     hold a request in flight at a deterministic point."""
@@ -68,7 +115,7 @@ class TestParity:
     """A socket response must carry the same status and a byte-identical
     body as the in-process handler, across every status path."""
 
-    def test_all_status_paths(self, env):
+    def test_all_status_paths(self, env, server_cls):
         universe, keys, start_now = env
         (t, z, p), (t2, z2, _) = keys
         early = start_now - 45 * 86400 + 3600
@@ -98,7 +145,7 @@ class TestParity:
             ),
         ]
         gateway = _gateway(universe)
-        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+        with server_cls(gateway, HttpdConfig()) as server:
             for want_status, url in cases:
                 expected = gateway.get(url)
                 assert expected.status == want_status, url
@@ -112,16 +159,41 @@ class TestParity:
                 else:
                     assert "Retry-After" not in headers
 
-    def test_health_alias_matches_healthz(self, env):
+    def test_repeated_warm_reads_stay_byte_identical(self, env, server_cls):
+        """Warm 200s repeat byte-for-byte over one keep-alive connection.
+
+        This is the regression fence for the asyncio encoded-response
+        cache: a cache hit must produce the same bytes as a fresh encode,
+        and every request must still tick the request accounting (the
+        cache elides only the re-serialisation, never the gateway call).
+        """
+        universe, keys, start_now = env
+        (t, z, p), _ = keys
+        url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
+        gateway = _gateway(universe)
+        with server_cls(gateway, HttpdConfig()) as server:
+            conn = HTTPConnection(*server.address, timeout=10)
+            try:
+                bodies = []
+                for _ in range(3):
+                    conn.request("GET", url)
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    bodies.append(response.read())
+            finally:
+                conn.close()
+            assert bodies[0] == bodies[1] == bodies[2]
+            assert bodies[0] == encode_body(gateway.get(url).body)
+            assert gateway.metrics.counter("httpd.requests").value == 3
         universe, _keys, _ = env
         gateway = _gateway(universe)
-        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+        with server_cls(gateway, HttpdConfig()) as server:
             for path in ("/health", "/healthz"):
                 status, _, body = _get(server.address, path)
                 assert status == 200
                 assert body == encode_body({"status": "ok"})
 
-    def test_gateway_shed_is_byte_identical(self, env):
+    def test_gateway_shed_is_byte_identical(self, env, server_cls):
         """429 from admission control, compared while a request is held
         in flight on the single slot."""
         universe, keys, start_now = env
@@ -133,7 +205,7 @@ class TestParity:
             api=_GatedApi(EC2Api(universe), gate, entered),
         )
         url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
-        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+        with server_cls(gateway, HttpdConfig()) as server:
             slow: dict = {}
 
             def hold():
@@ -154,21 +226,94 @@ class TestParity:
                 thread.join(timeout=30)
             assert slow["result"][0] == 200
 
-    def test_metrics_route_served(self, env):
+    def test_metrics_route_served(self, env, server_cls):
         universe, _keys, _ = env
         gateway = _gateway(universe)
-        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+        with server_cls(gateway, HttpdConfig()) as server:
             status, _, body = _get(server.address, "/metrics")
             assert status == 200
             snapshot = json.loads(body)
             assert snapshot["counters"]["httpd.requests"] >= 1
 
 
+class TestShedParity:
+    """The raw accept-gate shed (written without handler machinery) must be
+    wire-compatible with the handler-path 429: same JSON body shape, an
+    integer Retry-After, and Connection: close on the shed."""
+
+    def test_shed_429_matches_handler_429(self, env, server_cls):
+        universe, keys, start_now = env
+        t, z, p = keys[0]
+        gate, entered = threading.Event(), threading.Event()
+        gateway = _gateway(
+            universe,
+            GatewayConfig(max_inflight=1, retry_after_seconds=2.0),
+            api=_GatedApi(EC2Api(universe), gate, entered),
+        )
+        url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
+        with server_cls(gateway, HttpdConfig(max_connections=2)) as server:
+            slow: dict = {}
+
+            def hold():
+                slow["result"] = _get(server.address, url)
+
+            thread = threading.Thread(target=hold)
+            thread.start()
+            h_conn = HTTPConnection(*server.address, timeout=10)
+            try:
+                assert entered.wait(timeout=10)
+                # Handler-path 429: admitted connection, shed by admission
+                # control. Stays open (keep-alive) so it keeps holding the
+                # second connection slot while the raw shed happens.
+                h_conn.request("GET", url)
+                h_response = h_conn.getresponse()
+                h_status = h_response.status
+                h_headers = dict(h_response.headers)
+                h_body = h_response.read()
+                assert h_status == 429
+                # Raw shed path: third concurrent connection is over
+                # max_connections, answered by the canned write.
+                raw = socket.create_connection(server.address, timeout=10)
+                try:
+                    raw.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                    shed_wire = _read_until_closed(raw)
+                finally:
+                    raw.close()
+            finally:
+                gate.set()
+                thread.join(timeout=30)
+                h_conn.close()
+            assert slow["result"][0] == 200
+
+        # Byte-identical to the shared canned builder.
+        assert shed_wire == shed_response_bytes(gateway)
+        head, _, shed_payload = shed_wire.partition(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("ascii").split("\r\n")
+        shed_headers = {
+            name.lower(): value
+            for name, _, value in (
+                line.partition(": ") for line in header_lines
+            )
+        }
+        assert status_line == "HTTP/1.1 429 Too Many Requests"
+        assert shed_headers["connection"] == "close"
+        # Both paths: integer Retry-After (RFC 9110), same value here.
+        assert shed_headers["retry-after"] == "2"
+        assert h_headers["Retry-After"] == "2"
+        # Same JSON body shape: an error string plus a float retry_after.
+        shed_body = json.loads(shed_payload)
+        handler_body = json.loads(h_body)
+        assert set(shed_body) == set(handler_body) == {"error", "retry_after"}
+        assert isinstance(shed_body["retry_after"], float)
+        assert isinstance(handler_body["retry_after"], float)
+        assert int(shed_headers["content-length"]) == len(shed_payload)
+
+
 class TestConnections:
-    def test_keep_alive_reuses_connection(self, env):
+    def test_keep_alive_reuses_connection(self, env, server_cls):
         universe, _keys, _ = env
         gateway = _gateway(universe)
-        with GatewayHTTPServer(gateway, HttpdConfig()) as server:
+        with server_cls(gateway, HttpdConfig()) as server:
             conn = HTTPConnection(*server.address, timeout=10)
             try:
                 for _ in range(3):
@@ -189,12 +334,12 @@ class TestConnections:
             finally:
                 conn.close()
 
-    def test_connection_overflow_is_shed_as_429(self, env):
+    def test_connection_overflow_is_shed_as_429(self, env, server_cls):
         """Beyond max_connections a new connection gets an immediate 429
         with Retry-After, not a silent kernel reset."""
         universe, _keys, _ = env
         gateway = _gateway(universe)
-        with GatewayHTTPServer(
+        with server_cls(
             gateway, HttpdConfig(max_connections=1)
         ) as server:
             first = HTTPConnection(*server.address, timeout=10)
@@ -230,7 +375,7 @@ class TestConnections:
 
 class TestDrain:
     def test_graceful_drain_finishes_inflight_and_checkpoints(
-        self, env, tmp_path
+        self, env, tmp_path, server_cls
     ):
         """stop(): an in-flight request completes with a full response, and
         the final snapshot (written after the drain) contains its curve."""
@@ -244,7 +389,7 @@ class TestDrain:
             api=_GatedApi(EC2Api(universe), gate, entered),
         )
         url = f"/predictions/{t}/{z}?probability={p}&now={start_now}"
-        server = GatewayHTTPServer(
+        server = server_cls(
             gateway, HttpdConfig(drain_timeout_seconds=30)
         )
         server.start()
@@ -279,10 +424,10 @@ class TestDrain:
         snaps = list(Path(snapshot_dir).glob("*.snap"))
         assert len(snaps) >= 1
 
-    def test_stop_closes_idle_connections_and_listener(self, env):
+    def test_stop_closes_idle_connections_and_listener(self, env, server_cls):
         universe, _keys, _ = env
         gateway = _gateway(universe)
-        server = GatewayHTTPServer(gateway, HttpdConfig()).start()
+        server = server_cls(gateway, HttpdConfig()).start()
         address = server.address
         idle = HTTPConnection(*address, timeout=10)
         idle.request("GET", "/healthz")
@@ -294,3 +439,26 @@ class TestDrain:
             probe.request("GET", "/healthz")
             probe.getresponse()
         idle.close()
+
+    def test_connection_in_drain_window_gets_shed_not_reset(
+        self, env, server_cls
+    ):
+        """A client whose handshake lands in the kernel backlog after the
+        stop-accepting gate (but before the listener closes) must receive
+        the canned 429 + Connection: close, not a connection reset."""
+        universe, _keys, _ = env
+        gateway = _gateway(universe)
+        server = server_cls(gateway, HttpdConfig()).start()
+        _stop_accepting(server)
+        # The accept loop is gone but the listener is open: this handshake
+        # completes in the kernel backlog and nothing will ever accept it.
+        raw = socket.create_connection(server.address, timeout=10)
+        try:
+            raw.settimeout(10)
+            raw.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            stats = server.stop()
+            wire = _read_until_closed(raw)
+        finally:
+            raw.close()
+        assert stats["backlog_shed"] == 1
+        assert wire == shed_response_bytes(gateway)

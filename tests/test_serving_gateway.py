@@ -135,6 +135,78 @@ class TestRoutes:
         assert snap.body["store"]["entries"] >= 1
 
 
+class TestInlineProbe:
+    """The event-loop front end's non-blocking dispatch probe."""
+
+    @pytest.fixture()
+    def probe_env(self, small_universe):
+        api = EC2Api(small_universe)
+        gateway = ServingGateway(DraftsService(api), clock=ManualClock())
+        combo = small_universe.combo("c4.large", "us-east-1b")
+        now = small_universe.trace(combo).start + 45 * 86400.0
+        return gateway, now
+
+    def test_in_memory_routes_are_inline(self, probe_env):
+        gateway, _ = probe_env
+        for url in ("/health", "/metrics", "/nope", "/predictions/only"):
+            assert gateway.probe_inline(url) == (True, None)
+
+    def test_malformed_query_is_inline_400(self, probe_env):
+        gateway, now = probe_env
+        # Missing and unparseable parameters answer 400 from memory.
+        assert gateway.probe_inline(
+            "/predictions/c4.large/us-east-1b?now=1"
+        ) == (True, None)
+        assert gateway.probe_inline(
+            f"/predictions/c4.large/us-east-1b?probability=abc&now={now}"
+        ) == (True, None)
+
+    def test_cheapest_always_offloads(self, probe_env):
+        gateway, now = probe_env
+        assert gateway.probe_inline(
+            f"/cheapest/c4.large/us-east-1?probability=0.95&now={now}"
+        ) == (False, None)
+
+    def test_cold_key_offloads_without_store_side_effects(self, probe_env):
+        gateway, now = probe_env
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        before = gateway.metrics.snapshot()
+        assert gateway.probe_inline(url) == (False, None)
+        # Side-effect free: no store entry appeared, no counter moved.
+        assert gateway.store.peek(("c4.large", "us-east-1b", 0.95)) is None
+        assert gateway.metrics.snapshot() == before
+
+    def test_warm_key_is_inline_and_yields_the_stored_curve(self, probe_env):
+        gateway, now = probe_env
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        assert gateway.get(url).status == 200
+        can_inline, curve = gateway.probe_inline(url)
+        assert can_inline and gateway.can_serve_inline(url)
+        entry = gateway.store.peek(("c4.large", "us-east-1b", 0.95))
+        assert curve is entry.curve
+
+    def test_stale_key_is_still_inline(self, probe_env):
+        gateway, now = probe_env
+        url = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        assert gateway.get(url).status == 200
+        entry = gateway.store.peek(("c4.large", "us-east-1b", 0.95))
+        later = now + gateway.store.refresh_seconds + 1.0
+        assert gateway.store.state_of(entry, later) is EntryState.STALE
+        stale_url = (
+            f"/predictions/c4.large/us-east-1b?probability=0.95&now={later}"
+        )
+        assert gateway.probe_inline(stale_url) == (True, entry.curve)
+
+    def test_bid_route_shares_the_prediction_entry(self, probe_env):
+        gateway, now = probe_env
+        warm = f"/predictions/c4.large/us-east-1b?probability=0.95&now={now}"
+        assert gateway.get(warm).status == 200
+        can_inline, curve = gateway.probe_inline(
+            f"/bid/c4.large/us-east-1b?probability=0.95&duration=1800&now={now}"
+        )
+        assert can_inline and curve is not None
+
+
 class TestDifferential:
     def test_fresh_answers_bit_identical_across_universe(self, small_universe):
         """Cold gateway reads must serialise byte-for-byte like the lazy

@@ -84,13 +84,35 @@ class TestHistogram:
         assert data["p99"] < 1.0
         assert 1.0 < data["p999"] <= 2.0
 
-    def test_overflow_quantile_is_inf(self):
-        hist = Histogram("h", bounds=(1.0,))
+    def test_overflow_quantile_is_highest_finite_bound(self):
+        """A rank in the +Inf bucket answers the last finite bound (the
+        Prometheus convention) — inf would poison the /metrics JSON."""
+        hist = Histogram("h", bounds=(1.0, 2.0))
         hist.observe(5.0)
-        assert math.isinf(hist.quantile(0.99))
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 2.0
 
-    def test_empty_quantile_is_nan(self):
-        assert math.isnan(Histogram("h", bounds=(1.0,)).quantile(0.99))
+    def test_empty_quantile_is_defined(self):
+        """An empty histogram answers 0.0 on every q, never NaN — to_dict
+        must stay JSON-valid before the first observation."""
+        hist = Histogram("h", bounds=(1.0,))
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0
+        data = hist.to_dict()
+        assert data["p50"] == data["p99"] == data["p999"] == 0.0
+        assert not any(math.isnan(v) for v in (data["p50"], data["sum"]))
+
+    def test_single_sample_quantiles_are_defined(self):
+        """One sample: every q lands in its bucket, interpolated between
+        the bucket edges — defined for q in {0, 0.5, 1}."""
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(1.5)
+        assert hist.quantile(0.0) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+        data = hist.to_dict()
+        assert data["p50"] == pytest.approx(1.5)
+        assert 1.0 <= data["p999"] <= 2.0
 
     def test_invalid_bounds(self):
         with pytest.raises(ValueError):

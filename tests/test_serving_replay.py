@@ -4,6 +4,9 @@ seeded-spike demonstration that hedging cuts p99.9."""
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.serving.chaos import FaultConfig, ReplaySpiker
@@ -11,6 +14,7 @@ from repro.serving.clock import ManualClock
 from repro.serving.replay import (
     HEDGE_HEADER,
     EwmaTracker,
+    HttpTransport,
     ReplayConfig,
     Replayer,
     format_slo_report,
@@ -184,6 +188,176 @@ class TestHedgeAccounting:
         assert report["timeout_rate"] == pytest.approx(2 / 20)
         assert report["error_rate"] == pytest.approx(2 / 20)
         assert report["responded"] == 16
+
+
+class _FakeResponse:
+    """Just enough of HTTPResponse for HttpTransport: headers, read(),
+    isclosed(), status."""
+
+    def __init__(self, *, closing=False, fully_read=True):
+        self.status = 200
+        self.headers = {"Connection": "close"} if closing else {}
+        self._fully_read = fully_read
+
+    def read(self):
+        return b"{}"
+
+    def isclosed(self):
+        return self._fully_read
+
+
+class _FakeConnection:
+    """Stands in for http.client.HTTPConnection — no network, records
+    closes, optional per-copy service delay (primaries vs hedges)."""
+
+    primary_seconds = 0.0
+    hedge_seconds = 0.0
+    response_kwargs: dict = {}
+    instances: list = []
+    _lock = threading.Lock()
+
+    def __init__(self, host, port, timeout=None):
+        self.closed = False
+        with _FakeConnection._lock:
+            _FakeConnection.instances.append(self)
+
+    def request(self, method, path, headers=None):
+        self._hedge = bool((headers or {}).get(HEDGE_HEADER))
+
+    def getresponse(self):
+        seconds = (
+            _FakeConnection.hedge_seconds
+            if self._hedge
+            else _FakeConnection.primary_seconds
+        )
+        if seconds:
+            time.sleep(seconds)
+        return _FakeResponse(**_FakeConnection.response_kwargs)
+
+    def close(self):
+        self.closed = True
+
+    @classmethod
+    def reset(cls, primary=0.0, hedge=0.0, **response_kwargs):
+        cls.primary_seconds = primary
+        cls.hedge_seconds = hedge
+        cls.response_kwargs = response_kwargs
+        cls.instances = []
+
+
+@pytest.fixture
+def fake_connections(monkeypatch):
+    _FakeConnection.reset()
+    monkeypatch.setattr(
+        "repro.serving.replay.HTTPConnection", _FakeConnection
+    )
+    return _FakeConnection
+
+
+def _assert_conserved(stats):
+    """The pool conservation invariant: every connection ever created is
+    idle, in flight, or discarded — none has leaked."""
+    assert stats["created"] == (
+        stats["idle"] + stats["in_flight"] + stats["discarded"]
+    ), stats
+
+
+class TestPoolConservation:
+    """Hedge wins and losses must conserve the connection pool: every
+    connection the transport creates ends up pooled, in flight, or
+    discarded-and-closed — never leaked half-read or left open."""
+
+    def test_release_after_close_discards_instead_of_leaking(
+        self, fake_connections
+    ):
+        """Failing before: a connection released after close() (a losing
+        hedge finishing late) was re-pooled into the fresh dict, leaving
+        it open forever."""
+        transport = HttpTransport()
+        conn = transport._acquire("http://a")
+        transport.close()  # replay finished while the hedge was in flight
+        transport._release("http://a", conn)
+        assert conn.closed
+        stats = transport.stats()
+        assert stats["idle"] == 0
+        assert stats["in_flight"] == 0
+        assert stats["discarded"] == 1
+        _assert_conserved(stats)
+
+    def test_half_read_response_is_discarded_not_pooled(
+        self, fake_connections
+    ):
+        """A connection whose response body was not fully consumed must be
+        discarded — reusing it would read the stale remainder."""
+        fake_connections.reset(fully_read=False)
+        transport = HttpTransport()
+        status, body = transport("http://a", "/healthz", 5.0, {})
+        assert status == 200
+        stats = transport.stats()
+        assert stats["discarded"] == 1
+        assert stats["idle"] == 0
+        _assert_conserved(stats)
+        assert all(c.closed for c in fake_connections.instances)
+
+    def test_fully_read_keep_alive_is_pooled_and_reused(
+        self, fake_connections
+    ):
+        transport = HttpTransport()
+        transport("http://a", "/healthz", 5.0, {})
+        transport("http://a", "/healthz", 5.0, {})
+        stats = transport.stats()
+        assert stats["created"] == 1
+        assert stats["reused"] == 1
+        assert stats["idle"] == 1
+        _assert_conserved(stats)
+
+    def test_inline_replay_closes_its_own_transport(self, fake_connections):
+        """Failing before: inline mode (concurrency=0) never closed the
+        transport it owned, so the keep-alive pool outlived the replay."""
+        replayer = Replayer(
+            ["http://a"],
+            KEYS,
+            ReplayConfig(
+                n_requests=8, rate=10000.0, warmup_requests=0, concurrency=0
+            ),
+        )
+        report = replayer.run()
+        stats = report["transport"]
+        assert stats["closed"] is True
+        assert stats["idle"] == 0
+        assert stats["in_flight"] == 0
+        assert stats["created"] == stats["discarded"]
+        _assert_conserved(stats)
+        assert all(c.closed for c in fake_connections.instances)
+
+    def test_threaded_hedged_replay_conserves_the_pool(
+        self, fake_connections
+    ):
+        """Hedges race a second connection per slow request; whether the
+        hedge wins or the primary does, both connections must come home:
+        no half-read leak, nothing left open after the replay."""
+        fake_connections.reset(primary=0.03, hedge=0.001)
+        replayer = Replayer(
+            ["http://a"],
+            KEYS,
+            ReplayConfig(
+                n_requests=12,
+                rate=2000.0,
+                warmup_requests=0,
+                concurrency=4,
+                hedge=True,
+                hedge_delay_seconds=0.005,
+            ),
+        )
+        report = replayer.run()
+        assert report["hedge"]["launched"] > 0
+        stats = report["transport"]
+        assert stats["closed"] is True
+        assert stats["in_flight"] == 0
+        assert stats["idle"] == 0
+        assert stats["created"] == stats["discarded"]
+        _assert_conserved(stats)
+        assert all(c.closed for c in fake_connections.instances)
 
 
 class TestEwmaTracker:
