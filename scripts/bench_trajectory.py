@@ -28,6 +28,11 @@ baselines, and
   against the thread-per-connection server and the asyncio event-loop
   server; gated on asyncio reaching 1.5x the threaded achieved
   throughput at equal-or-better p99),
+* the shard-routed scaling curve (fork-mode 1/2/4-shard deployments
+  behind the consistent-hash router, each replayed with the identical
+  open-loop stream against a direct single-worker baseline; the gate is
+  hardware-aware — 2x at 4 shards on >= 4 cores, throughput
+  preservation with zero errors and clean drains on smaller hosts),
 
 written to ``BENCH_serving.json`` (one report per run, every phase
 re-measured, so adding the SLO phase never drops the refresh/restart
@@ -299,6 +304,18 @@ def _time_frontends(scale: str) -> dict:
     return run_frontend_benchmark(FrontendBenchConfig(scale=scale))
 
 
+def _time_scaling(scale: str) -> dict:
+    from repro.serving.bench import ScalingBenchConfig, run_scaling_benchmark
+
+    if scale == "bench":
+        cfg = ScalingBenchConfig(scale=scale)
+    else:
+        cfg = ScalingBenchConfig(
+            scale=scale, waves=2, n_requests=600, rate=4000.0
+        )
+    return run_scaling_benchmark(cfg)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -441,6 +458,20 @@ def main() -> int:
         f"(x{frontends['achieved_ratio']:.2f} throughput, "
         f"p99 x{frontends['p99_ratio']:.2f})"
     )
+    print("measuring the shard-routed scaling curve (fork-mode workers) ...")
+    scaling = _time_scaling(args.scale)
+    for n_shards, summary in sorted(
+        scaling["routed"].items(), key=lambda kv: int(kv[0])
+    ):
+        print(
+            f"  {n_shards} shard(s): {summary['achieved_rps']:.0f} rps "
+            f"p99 {summary['p99'] * 1e3:.2f} ms "
+            f"(x{summary['speedup']:.2f} vs direct "
+            f"{scaling['direct']['achieved_rps']:.0f} rps)"
+        )
+    print(
+        f"  gate [{scaling['gate']}]: {'ok' if scaling['ok'] else 'FAILED'}"
+    )
     serving_report = {
         "scale": args.scale,
         "platform": platform.platform(),
@@ -449,6 +480,7 @@ def main() -> int:
         "slo_drain": slo_run["drain"],
         "hedge_demo": demo,
         "frontends": frontends,
+        "scaling": scaling,
     }
     args.serving_output.write_text(json.dumps(serving_report, indent=2) + "\n")
     print(f"wrote {args.serving_output}")
@@ -476,6 +508,10 @@ def main() -> int:
         raise AssertionError(
             "asyncio front end did not reach 1.5x threaded achieved "
             "throughput at equal-or-better p99"
+        )
+    if not scaling["ok"]:
+        raise AssertionError(
+            f"shard-routed scaling gate failed: {scaling['gate']}"
         )
     return 0
 

@@ -69,3 +69,12 @@ echo "== serve+replay smoke (asyncio front end) =="
 PYTHONPATH=src python -m repro replay --spawn --async --requests 300 --rate 300 \
     --warmup 30 --seed 7 >/dev/null \
     && echo "asyncio replay round trip ok"
+
+# Router smoke: boot two forked shard workers behind the consistent-hash
+# front tier, assert the partition is exhaustive and disjoint (worker
+# /healthz identities vs the planned assignment, distinct pids), compare
+# routed bytes against a warm single-process gateway on every status path
+# (200/400/404/503/504 plus a cross-shard /cheapest merge), then drain
+# the whole deployment cleanly. Exits non-zero on the first divergence.
+echo "== router smoke (2 forked shards, byte parity + clean drain) =="
+PYTHONPATH=src python -m repro router-smoke --keys 4 --shards 2

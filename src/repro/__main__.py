@@ -406,10 +406,65 @@ def _serve_one(args: argparse.Namespace, *, reuse_port: bool, banner: bool) -> i
     return 0 if stats["drained"] else 1
 
 
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """`serve --shards N`: forked partition-restricted workers behind the
+    consistent-hash router."""
+    from repro.serving.router import RouterConfig, ShardDeployment, plan_shards
+
+    universe = scaled_universe(args.scale)
+    keys, start_now = _replay_universe(args)
+    combos = sorted({(key[0], key[1]) for key in keys})
+    partition = plan_shards(args.shards, combos)
+    deployment = ShardDeployment(
+        universe,
+        partition,
+        start_now=start_now,
+        probabilities=(args.probability,),
+        mode="fork",
+        router_config=RouterConfig(
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+        ),
+        snapshot_root=args.snapshot_dir,
+    )
+    deployment.start()
+    router = deployment.router
+    print(
+        f"routing {partition.n_combos} combo(s) across {args.shards} "
+        f"shard(s) on {router.url}"
+    )
+    print(f"  warm simulation instant: now={start_now}")
+    for sid in partition.shard_ids:
+        print(
+            f"  {sid}: {deployment.shard_urls[sid]} "
+            f"({len(partition.combos_of(sid))} combos)"
+        )
+    print("Ctrl-C to drain and stop")
+    try:
+        import time as time_module
+
+        while True:
+            time_module.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    stats = deployment.stop()
+    print(f"\nstopped: drained={stats['drained']}")
+    return 0 if stats["drained"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("serve: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.shards > 0:
+        if args.workers > 1:
+            print(
+                "serve: --shards and --workers are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_sharded(args)
     if args.workers == 1:
         return _serve_one(args, reuse_port=False, banner=True)
     # Multi-loop mode: N processes bind the same port via SO_REUSEPORT and
@@ -441,6 +496,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if os.waitstatus_to_exitcode(wait_status) != 0:
             status = 1
     return status
+
+
+def _replica_builder(universe, keys, start_now, args: argparse.Namespace):
+    """A :class:`ForkedWorker` builder for one full-universe replica.
+
+    Runs in the forked child: fits all keys (batch fit), primes the
+    store, and serves from the asyncio front end on an ephemeral port.
+    """
+
+    def build(worker_id: str):
+        import os
+
+        from repro.cloud.api import EC2Api
+        from repro.service.drafts_service import DraftsService, ServiceConfig
+        from repro.serving.aiohttpd import AsyncGatewayHTTPServer
+        from repro.serving.gateway import GatewayConfig, ServingGateway
+        from repro.serving.httpd import HttpdConfig
+
+        service = DraftsService(
+            EC2Api(universe), ServiceConfig(probabilities=(args.probability,))
+        )
+        service.warm_start([(key[0], key[1]) for key in keys], start_now)
+        gateway = ServingGateway(
+            service,
+            GatewayConfig(max_inflight=256),
+            identity={
+                "shard": worker_id,
+                "pid": os.getpid(),
+                "owned_keys": len(keys),
+            },
+        )
+        server = AsyncGatewayHTTPServer(
+            gateway, HttpdConfig(max_connections=256)
+        )
+        server.start()
+        for key in keys:
+            gateway.get(
+                f"/predictions/{key[0]}/{key[1]}"
+                f"?probability={key[2]}&now={start_now}"
+            )
+        return server
+
+    return build
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -477,51 +575,114 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     )
 
     server = None
+    deployment = None
+    workers = []
     spiker = None
     if args.spawn:
-        from repro.cloud.api import EC2Api
-        from repro.service.drafts_service import DraftsService, ServiceConfig
-        from repro.serving.chaos import FaultConfig, ReplaySpiker
-        from repro.serving.gateway import GatewayConfig, ServingGateway
-        from repro.serving.httpd import HttpdConfig
+        if (args.shards > 0 or args.workers > 1) and args.spike_rate > 0:
+            print(
+                "replay: --spike-rate needs the single-process spawn "
+                "(the spike hook lives in one server)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.shards > 0:
+            # Forked partition-restricted shards behind the router; the
+            # replayer drives the router's single front URL.
+            from repro.serving.router import ShardDeployment, plan_shards
 
-        if args.spike_rate > 0:
-            spiker = ReplaySpiker(
-                FaultConfig(
-                    spike_rate=args.spike_rate,
-                    spike_seconds=args.spike_seconds,
-                    seed=args.seed,
+            universe = scaled_universe(args.scale)
+            combos = sorted({(key[0], key[1]) for key in keys})
+            deployment = ShardDeployment(
+                universe,
+                plan_shards(args.shards, combos),
+                start_now=start_now,
+                probabilities=(args.probability,),
+                mode="fork",
+            )
+            deployment.start()
+            urls = [deployment.router.url]
+        elif args.workers > 1:
+            # Forked full-universe replicas, one ephemeral port each, so
+            # the EWMA/quarantine tracker sees real per-worker targets
+            # instead of one SO_REUSEPORT URL the kernel muddles.
+            if not args.use_async:
+                print(
+                    "replay: --workers requires --async", file=sys.stderr
                 )
+                return 2
+            from repro.serving.router import ForkedWorker
+
+            universe = scaled_universe(args.scale)
+            build = _replica_builder(universe, keys, start_now, args)
+            workers = [
+                ForkedWorker(build, f"w{i}") for i in range(args.workers)
+            ]
+            urls = [worker.wait_ready(180.0) for worker in workers]
+        else:
+            from repro.cloud.api import EC2Api
+            from repro.service.drafts_service import (
+                DraftsService,
+                ServiceConfig,
             )
-        universe = scaled_universe(args.scale)
-        gateway = ServingGateway(
-            DraftsService(
-                EC2Api(universe),
-                ServiceConfig(probabilities=(args.probability,)),
-            ),
-            GatewayConfig(max_inflight=256),
-        )
-        for key in keys:
-            gateway.get(
-                f"/predictions/{key[0]}/{key[1]}"
-                f"?probability={key[2]}&now={start_now}"
+            from repro.serving.chaos import FaultConfig, ReplaySpiker
+            from repro.serving.gateway import GatewayConfig, ServingGateway
+            from repro.serving.httpd import HttpdConfig
+
+            if args.spike_rate > 0:
+                spiker = ReplaySpiker(
+                    FaultConfig(
+                        spike_rate=args.spike_rate,
+                        spike_seconds=args.spike_seconds,
+                        seed=args.seed,
+                    )
+                )
+            universe = scaled_universe(args.scale)
+            gateway = ServingGateway(
+                DraftsService(
+                    EC2Api(universe),
+                    ServiceConfig(probabilities=(args.probability,)),
+                ),
+                GatewayConfig(max_inflight=256),
             )
-        server = _server_class(args.use_async)(
-            gateway, HttpdConfig(max_connections=256), spike=spiker
-        )
-        server.start()
-        url = server.url
+            for key in keys:
+                gateway.get(
+                    f"/predictions/{key[0]}/{key[1]}"
+                    f"?probability={key[2]}&now={start_now}"
+                )
+            server = _server_class(args.use_async)(
+                gateway, HttpdConfig(max_connections=256), spike=spiker
+            )
+            server.start()
+            urls = [server.url]
     elif args.use_async:
         print("replay: --async only applies with --spawn", file=sys.stderr)
         return 2
+    elif args.shards > 0 or args.workers > 1:
+        print(
+            "replay: --shards/--workers only apply with --spawn",
+            file=sys.stderr,
+        )
+        return 2
     else:
-        url = args.url
+        urls = [args.url]
     drain = None
     try:
-        report = Replayer([url], keys, replay_cfg).run()
+        report = Replayer(urls, keys, replay_cfg).run()
     finally:
         if server is not None:
             drain = server.stop()
+        elif deployment is not None:
+            drain = deployment.stop()
+        elif workers:
+            per_worker = {
+                worker.worker_id: worker.terminate(15.0)
+                for worker in workers
+            }
+            drain = {
+                "drained": all(s.get("drained") for s in per_worker.values()),
+                "workers": per_worker,
+            }
     if drain is not None:
         report.setdefault("drain", drain)
     if spiker is not None:
@@ -534,6 +695,163 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         drain is not None and not drain["drained"]
     )
     return 1 if failed else 0
+
+
+def _cmd_router_smoke(args: argparse.Namespace) -> int:
+    """Boot a forked sharded deployment and verify the routed contract.
+
+    Three invariants, each fatal on violation:
+
+    * **partition** — every combo owned by exactly one shard, and each
+      worker's ``/healthz`` reports exactly its partition's key count;
+    * **parity** — routed responses byte-identical to a single-process
+      gateway across every status path (200/400/404/503/504 plus the
+      scatter-gathered ``/cheapest``);
+    * **drain** — router and every worker drain cleanly on stop.
+    """
+    import http.client
+    import json
+
+    from repro.cloud.api import EC2Api
+    from repro.service.drafts_service import DraftsService, ServiceConfig
+    from repro.service.rest import encode_body
+    from repro.serving.gateway import GatewayConfig, ServingGateway
+    from repro.serving.router import ShardDeployment, plan_shards
+
+    universe = scaled_universe(args.scale)
+    keys, start_now = _replay_universe(args)
+    api = EC2Api(universe)
+    # Enroll every zone of each key's (type, region) so the partitioned
+    # /cheapest scan covers the same zone set the single gateway scans.
+    combos = set()
+    for itype, zone, _p in keys:
+        region = zone.rstrip("abcdefghijklmnopqrstuvwxyz")
+        for z in api.describe_availability_zones(region):
+            combos.add((itype, z))
+    combos = sorted(combos)
+    partition = plan_shards(args.shards, combos)
+
+    single = ServingGateway(
+        DraftsService(
+            EC2Api(universe), ServiceConfig(probabilities=(args.probability,))
+        ),
+        GatewayConfig(max_inflight=256),
+    )
+    single.service.warm_start(list(combos), start_now)
+    for itype, zone in combos:
+        single.get(
+            f"/predictions/{itype}/{zone}"
+            f"?probability={args.probability}&now={start_now}"
+        )
+
+    def http_get(base_url: str, path: str) -> tuple[int, bytes]:
+        host, port = base_url.split("//", 1)[1].split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=30)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    deployment = ShardDeployment(
+        universe,
+        partition,
+        start_now=start_now,
+        probabilities=(args.probability,),
+        mode="fork",
+    )
+    deployment.start()
+    failures = []
+    try:
+        # 1. Partition: disjoint by construction (Partition raises on
+        # split ownership); verify each worker *enrolled* exactly its cut.
+        total = 0
+        pids = set()
+        for sid in partition.shard_ids:
+            status, body = http_get(deployment.shard_urls[sid], "/healthz")
+            health = json.loads(body)
+            owned = len(partition.combos_of(sid))
+            total += health.get("owned_keys", -1)
+            pids.add(health.get("pid"))
+            if status != 200 or health.get("shard") != sid:
+                failures.append(f"{sid}: bad healthz {body!r}")
+            if health.get("owned_keys") != owned:
+                failures.append(
+                    f"{sid}: enrolled {health.get('owned_keys')} keys, "
+                    f"partition assigns {owned}"
+                )
+        if total != len(combos):
+            failures.append(
+                f"partition not exhaustive: {total} enrolled keys "
+                f"across shards vs {len(combos)} combos"
+            )
+        if len(pids) != len(partition.shard_ids):
+            failures.append(f"expected distinct worker pids, got {pids}")
+
+        # 2. Parity: routed bytes vs the in-process gateway on every path.
+        itype, zone, prob = keys[0]
+        region = zone.rstrip("abcdefghijklmnopqrstuvwxyz")
+        cases = [
+            f"/predictions/{itype}/{zone}?probability={prob}&now={start_now}",
+            f"/bid/{itype}/{zone}"
+            f"?probability={prob}&duration=3600.0&now={start_now}",
+            f"/cheapest/{itype}/{region}?probability={prob}&now={start_now}",
+            f"/predictions/{itype}/{zone}?probability=abc&now={start_now}",
+            f"/bid/{itype}/{zone}"
+            f"?probability={prob}&duration=1e18&now={start_now}",
+            "/no/such/route",
+            f"/predictions/{itype}/{zone}"
+            f"?probability={prob}&now={start_now}&deadline=0",
+            f"/predictions/zz99.none/{zone}?probability={prob}&now={start_now}",
+        ]
+        # A (type, region) pair the universe has no capacity for: both
+        # sides must refuse with the same 503, and the routed side takes
+        # the empty-fan-out delegation path to get there.
+        region_cover: dict[str, set[str]] = {}
+        for combo in universe.combos():
+            region_cover.setdefault(combo.instance_type, set()).add(
+                combo.zone.region
+            )
+        all_regions = set().union(*region_cover.values())
+        gap = next(
+            (
+                (gap_type, min(all_regions - covered))
+                for gap_type, covered in sorted(region_cover.items())
+                if covered != all_regions
+            ),
+            None,
+        )
+        if gap is not None:
+            cases.append(
+                f"/cheapest/{gap[0]}/{gap[1]}"
+                f"?probability={prob}&now={start_now}"
+            )
+        for path in cases:
+            expected = single.get(path)
+            status, body = http_get(deployment.router.url, path)
+            want = encode_body(expected.body)
+            if status != expected.status or body != want:
+                failures.append(
+                    f"parity break on {path}: {status} {body!r} "
+                    f"vs {expected.status} {want!r}"
+                )
+    finally:
+        # 3. Drain.
+        stats = deployment.stop()
+    if not stats["drained"]:
+        failures.append(f"dirty drain: {stats}")
+    if failures:
+        for failure in failures:
+            print(f"router-smoke: FAIL — {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"router-smoke: ok — {len(combos)} combos over "
+        f"{args.shards} forked shards, partition exhaustive and "
+        f"disjoint, routed bytes identical on "
+        f"{len(cases)} paths, clean drain"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -644,6 +962,14 @@ def main(argv: list[str] | None = None) -> int:
         help="SO_REUSEPORT worker processes (requires --async and an "
         "explicit --port); the kernel spreads connections across loops",
     )
+    p_srv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the key universe across N forked shard workers "
+        "behind a consistent-hash router on --port (0 = off); "
+        "--snapshot-dir becomes the per-shard snapshot root",
+    )
     p_srv.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser(
@@ -692,8 +1018,35 @@ def main(argv: list[str] | None = None) -> int:
         help="spawn the asyncio front end instead of the threaded one "
         "(--spawn only)",
     )
+    p_rep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="spawn N forked full-universe replicas, one ephemeral port "
+        "each, and replay across all of them (requires --spawn --async); "
+        "the EWMA tracker sees one target per worker",
+    )
+    p_rep.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="spawn N forked partition-restricted shards behind the "
+        "consistent-hash router and replay against the router "
+        "(requires --spawn; 0 = off)",
+    )
     p_rep.add_argument("--json", action="store_true")
     p_rep.set_defaults(func=_cmd_replay)
+
+    p_rsm = sub.add_parser(
+        "router-smoke",
+        help="boot a forked sharded deployment; verify partition "
+        "disjointness, routed byte parity and clean drain",
+    )
+    p_rsm.add_argument("--scale", choices=sorted(SCALES), default="test")
+    p_rsm.add_argument("--keys", type=int, default=4)
+    p_rsm.add_argument("--shards", type=int, default=2)
+    p_rsm.add_argument("--probability", type=float, default=0.95)
+    p_rsm.set_defaults(func=_cmd_router_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -65,8 +65,12 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.service.rest import encode_body
 from repro.serving.gateway import ServingGateway
 from repro.serving.httpcore import (
+    MAX_HEAD_BYTES,
+    BadRequest,
+    Headers,
     SpikeHook,
     dispatch,
+    parse_head,
     render_response,
     retry_after_header,
     shed_response_bytes,
@@ -76,46 +80,12 @@ from repro.serving.httpd import HttpdConfig
 
 __all__ = ["AsyncGatewayHTTPServer"]
 
-#: Cap on one buffered request head (request line + headers).
-_MAX_HEAD_BYTES = 65536
-
-
-class _Headers:
-    """Case-insensitive view of one request's header lines (the subset of
-    the ``email.message`` interface the spike hooks and keep-alive logic
-    use: ``get``/``__contains__``)."""
-
-    __slots__ = ("_items",)
-
-    def __init__(self, lines: list[str]) -> None:
-        items: dict[str, str] = {}
-        for line in lines:
-            name, sep, value = line.partition(":")
-            if sep:
-                items[name.strip().lower()] = value.strip()
-        self._items = items
-
-    def get(self, name: str, default=None):
-        return self._items.get(name.lower(), default)
-
-    def __contains__(self, name: str) -> bool:
-        return name.lower() in self._items
-
-
-class _BadRequest(Exception):
-    """Malformed request head; the connection gets a 400 and closes."""
-
-
-def _parse_head(head: bytes) -> tuple[str, str, _Headers]:
-    """Split one request head into (method, path, headers)."""
-    try:
-        lines = head.decode("latin-1").split("\r\n")
-        method, path, version = lines[0].split(" ", 2)
-    except (UnicodeDecodeError, ValueError):
-        raise _BadRequest("malformed request line") from None
-    if not version.startswith("HTTP/1."):
-        raise _BadRequest(f"unsupported protocol {version!r}")
-    return method, path, _Headers(lines[1:])
+# The request-head parser is shared with the shard router; keep the old
+# module-private names alive for in-repo callers.
+_MAX_HEAD_BYTES = MAX_HEAD_BYTES
+_Headers = Headers
+_BadRequest = BadRequest
+_parse_head = parse_head
 
 
 class _GatewayProtocol(asyncio.Protocol):
@@ -418,6 +388,8 @@ class AsyncGatewayHTTPServer:
         if loop is None:
             return {"drained": True, "forced_close": 0, "backlog_shed": 0}
         stats = asyncio.run_coroutine_threadsafe(self._drain(), loop).result()
+        if self._gateway.identity:
+            stats["identity"] = dict(self._gateway.identity)
         loop.call_soon_threadsafe(loop.stop)
         thread.join()
         loop.close()

@@ -218,9 +218,15 @@ class ServingGateway:
         store: ShardedCurveStore | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Clock | None = None,
+        identity: dict | None = None,
     ) -> None:
         self._service = service
         self._cfg = config or GatewayConfig()
+        # Worker identity (shard id, pid, owned-key count) surfaced on
+        # /healthz and in drain stats so a router or replayer can attribute
+        # answers to the process that produced them. None/empty leaves the
+        # plain single-process bytes unchanged.
+        self.identity = dict(identity) if identity else None
         self._clock = clock or SystemClock()
         self.metrics = metrics or MetricsRegistry()
         self.store = store or ShardedCurveStore(
@@ -421,7 +427,10 @@ class ServingGateway:
         segments, query, path = self._parse_url(url)
         if segments in (["health"], ["healthz"]):
             self.metrics.counter("gateway.other").inc()
-            return Response(200, {"status": "ok"})
+            body = {"status": "ok"}
+            if self.identity:
+                body.update(self.identity)
+            return Response(200, body)
         if segments == ["metrics"]:
             self.metrics.counter("gateway.other").inc()
             return Response(200, self.snapshot())
@@ -685,7 +694,17 @@ class ServingGateway:
         probability, now = parse_floats(query, "probability", "now")
         self._check_probability(probability)
         best_zone, best_bid = "", math.inf
-        for zone in self._service.api.describe_availability_zones(region):
+        # A partition-restricted API (shard worker) narrows the scan to the
+        # zones this process owns *for this type*; the plain EC2 API has no
+        # such hook and the scan covers the whole region, as before.
+        api = self._service.api
+        zones_for = getattr(api, "zones_for_cheapest", None)
+        zones = (
+            zones_for(instance_type, region)
+            if zones_for is not None
+            else api.describe_availability_zones(region)
+        )
+        for zone in zones:
             try:
                 curve = self._serve_curve(
                     (instance_type, zone, probability), now, request

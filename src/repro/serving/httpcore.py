@@ -24,7 +24,9 @@ Contents:
 * :func:`sweep_backlog` — accept-and-shed every connection sitting in
   the kernel accept queue, closing the drain race where a client that
   connected after the stop-accepting gate would otherwise be reset by
-  the listener's close instead of receiving the canned 429.
+  the listener's close instead of receiving the canned 429;
+* :class:`Headers` / :func:`parse_head` — the minimal HTTP/1.1 request
+  head parser shared by the asyncio front end and the shard router.
 """
 
 from __future__ import annotations
@@ -37,13 +39,19 @@ from typing import Callable
 from repro.service.rest import encode_body
 
 __all__ = [
+    "MAX_HEAD_BYTES",
     "SERVER_NAME",
+    "BadRequest",
+    "Headers",
+    "canned_response",
     "dispatch",
+    "parse_head",
     "reason_phrase",
     "render_response",
     "retry_after_header",
     "shed_body",
     "shed_response_bytes",
+    "shed_response_bytes_for",
     "shed_socket",
     "sweep_backlog",
 ]
@@ -51,8 +59,49 @@ __all__ = [
 #: ``Server:`` header value, shared by both front ends.
 SERVER_NAME = "repro-serving"
 
+#: Cap on one buffered request head (request line + headers).
+MAX_HEAD_BYTES = 65536
+
 #: Pre-dispatch hook: (path, headers) -> None.  May sleep (chaos spikes).
 SpikeHook = Callable[[str, object], None]
+
+
+class Headers:
+    """Case-insensitive view of one request's header lines (the subset of
+    the ``email.message`` interface the spike hooks and keep-alive logic
+    use: ``get``/``__contains__``)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, lines: list[str]) -> None:
+        items: dict[str, str] = {}
+        for line in lines:
+            name, sep, value = line.partition(":")
+            if sep:
+                items[name.strip().lower()] = value.strip()
+        self._items = items
+
+    def get(self, name: str, default=None):
+        return self._items.get(name.lower(), default)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._items
+
+
+class BadRequest(Exception):
+    """Malformed request head; the connection gets a 400 and closes."""
+
+
+def parse_head(head: bytes) -> tuple[str, str, Headers]:
+    """Split one request head into (method, path, headers)."""
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise BadRequest("malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported protocol {version!r}")
+    return method, path, Headers(lines[1:])
 
 
 def reason_phrase(status: int) -> str:
@@ -114,6 +163,32 @@ def render_response(
     return head.encode("ascii") + b"\r\n" + payload
 
 
+def canned_response(
+    status: int,
+    error: str,
+    *,
+    retry_after: float | None = None,
+    close: bool = False,
+) -> bytes:
+    """A pre-renderable error response for code paths with no gateway.
+
+    The shard router answers its own failure modes — upstream pool
+    overflow (429), a shard that cannot be reached (503), a fan-out that
+    timed out (504) — without a gateway to dispatch into. The body shape
+    matches the gateway's error bodies (an ``error`` string plus an
+    optional float ``retry_after`` hint) so clients parse one format.
+    """
+    body: dict = {"error": error}
+    if retry_after is not None:
+        body["retry_after"] = float(retry_after)
+    return render_response(
+        status,
+        encode_body(body),
+        retry_after=retry_after_header(body),
+        close=close,
+    )
+
+
 def shed_body(gateway) -> dict:
     """The canned connection-shed 429 body (same shape as handler sheds:
     an ``error`` string plus a float ``retry_after`` hint)."""
@@ -127,6 +202,22 @@ def shed_body(gateway) -> dict:
 def shed_response_bytes(gateway) -> bytes:
     """The full canned 429 both servers write for a shed connection."""
     body = shed_body(gateway)
+    return render_response(
+        429,
+        encode_body(body),
+        retry_after=retry_after_header(body),
+        close=True,
+    )
+
+
+def shed_response_bytes_for(retry_after_seconds: float) -> bytes:
+    """The canned connection-shed 429 for a front tier without a gateway
+    (the shard router), byte-compatible with :func:`shed_response_bytes`."""
+    retry = float(max(1, math.ceil(retry_after_seconds)))
+    body = {
+        "error": "server connection limit reached; connection shed",
+        "retry_after": retry,
+    }
     return render_response(
         429,
         encode_body(body),

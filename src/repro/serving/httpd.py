@@ -367,7 +367,10 @@ class GatewayHTTPServer:
         if self._manage_gateway:
             self._gateway.wait_idle(timeout)
             self._gateway.stop()
-        return {"drained": drained, "forced_close": forced, "backlog_shed": swept}
+        stats = {"drained": drained, "forced_close": forced, "backlog_shed": swept}
+        if self._gateway.identity:
+            stats["identity"] = dict(self._gateway.identity)
+        return stats
 
     def __enter__(self) -> "GatewayHTTPServer":
         return self.start()

@@ -864,6 +864,35 @@ class Replayer:
                 k: float("nan")
                 for k in ("p50", "p95", "p99", "p999", "mean", "max")
             }
+        # Per-target breakdown: the pooled histogram above hides a slow
+        # shard behind a fast one — one bucket per base URL keeps a
+        # multi-target run honest (counts, tails, timeouts, errors).
+        per_target: dict[str, dict] = {}
+        grouped: dict[str, list[_Record]] = {}
+        for record in measured:
+            grouped.setdefault(record.target or "unassigned", []).append(
+                record
+            )
+        for target in sorted(grouped):
+            bucket = grouped[target]
+            answered = [r.latency for r in bucket if r.status is not None]
+            answered_arr = np.asarray(answered)
+            per_target[target] = {
+                "measured": len(bucket),
+                "responded": len(answered),
+                "p50": (
+                    float(np.percentile(answered_arr, 50))
+                    if answered
+                    else float("nan")
+                ),
+                "p99": (
+                    float(np.percentile(answered_arr, 99))
+                    if answered
+                    else float("nan")
+                ),
+                "timeouts": sum(r.timeout for r in bucket),
+                "errors": sum(r.error for r in bucket),
+            }
         return {
             "n_requests": cfg.n_requests,
             "warmup_dropped": cfg.warmup_requests,
@@ -895,6 +924,7 @@ class Replayer:
                 "max": float(queue_delays.max()) if n else 0.0,
             },
             "targets": self.tracker.snapshot(),
+            "per_target": per_target,
             "transport": (
                 self._transport.stats()
                 if isinstance(self._transport, HttpTransport)
